@@ -1,0 +1,41 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Expensive derived artifacts (compositions, simplified blocks) are built
+once per session and shared across benchmark files.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The Section 6 blocks, built once."""
+    from repro.models.protocol_translator import (
+        inconsistent_sender,
+        receiver,
+        restricted_sender,
+        sender,
+        translator,
+    )
+
+    return {
+        "sender": sender(),
+        "translator": translator(),
+        "receiver": receiver(),
+        "inconsistent_sender": inconsistent_sender(),
+        "restricted_sender": restricted_sender(),
+    }
+
+
+@pytest.fixture(scope="session")
+def simplified_blocks():
+    """The Figure 9 derived blocks (algebraically expensive), built once."""
+    from repro.models.protocol_translator import (
+        simplified_receiver,
+        simplified_translator,
+    )
+
+    return {
+        "translator": simplified_translator(),
+        "receiver": simplified_receiver(),
+    }

@@ -1,0 +1,111 @@
+"""Ablations of the reduction-pipeline design choices (DESIGN.md §5).
+
+The Figure 9 derivations rely on three engineering decisions layered on
+the paper's algebra:
+
+1. the Section 4.4 **fast path** inside ``hide`` (place collapse for
+   conflict-free chains),
+2. **interleaved trimming** (dead-transition removal between
+   contractions, per Section 5.2),
+3. **duplicate-place merging** after contraction.
+
+Each ablation measures the same task with the choice disabled and
+asserts the direction of the effect.  The duplicate-merge ablation uses
+a bounded cascade (three contraction steps) because the un-merged
+variant grows too fast to run to completion — which is the point.
+"""
+
+from repro.algebra.dead import merge_duplicate_places, trim
+from repro.algebra.hide import hide, hide_transition
+from repro.models.paper_figures import FIG3_HIDDEN_LABEL, fig3_simple_chain
+from repro.models.protocol_translator import restricted_sender, translator
+from repro.stg.stg import compose, signal_actions
+from repro.verify.language import languages_equal
+
+
+def test_ablation_fast_path_shape():
+    """Fast path produces a strictly smaller net, same language."""
+    net = fig3_simple_chain()
+    fast = hide(net, FIG3_HIDDEN_LABEL, fast_path=True)
+    general = hide(net, FIG3_HIDDEN_LABEL, fast_path=False)
+    assert languages_equal(fast, general)
+    assert len(fast.places) < len(general.places)
+    print("\nAblation (fast path):")
+    print(f"  with   : {fast.stats()}")
+    print(f"  without: {general.stats()}")
+
+
+def _cascade(merge: bool, steps: int = 3):
+    """Contract `steps` synchronization transitions of the restricted
+    sender||translator composite, with/without duplicate merging."""
+    composite = compose(restricted_sender(), translator())
+    net = trim(composite.net)
+    labels = signal_actions(net.actions, {"a0", "a1", "b0", "b1", "n"})
+    sizes = [len(net.places)]
+    for _ in range(steps):
+        candidates = [
+            t
+            for _, t in sorted(net.transitions.items())
+            if t.action in labels
+            and not t.is_self_looping()
+            and t.preset
+            and t.postset
+        ]
+        if not candidates:
+            break
+        target = min(
+            candidates, key=lambda t: (len(t.preset) * len(t.postset), t.tid)
+        )
+        net = hide_transition(net, target.tid)
+        if merge:
+            net = merge_duplicate_places(net)
+        sizes.append(len(net.places))
+    return sizes
+
+
+def test_ablation_duplicate_merge_shape():
+    merged = _cascade(merge=True)
+    unmerged = _cascade(merge=False)
+    print("\nAblation (duplicate-place merge), places per step:")
+    print(f"  with merge   : {merged}")
+    print(f"  without merge: {unmerged}")
+    assert merged[-1] <= unmerged[-1]
+
+
+def test_ablation_trim_interleaving_shape():
+    """Hiding one signal with vs. without a trim first: the dead
+    cross-product sync transitions multiply the contraction work."""
+    composite = compose(restricted_sender(), translator())
+    untrimmed = composite.net
+    trimmed = trim(untrimmed)
+    n_labels = signal_actions(trimmed.actions, {"n"})
+
+    def count_n(net):
+        return sum(len(net.transitions_with_action(a)) for a in n_labels)
+
+    print("\nAblation (trim before contraction):")
+    print(
+        f"  n-transitions to contract: untrimmed={count_n(untrimmed)},"
+        f" trimmed={count_n(trimmed)}"
+    )
+    assert count_n(trimmed) < count_n(untrimmed)
+
+
+def test_bench_cascade_with_merge(benchmark):
+    sizes = benchmark.pedantic(_cascade, args=(True,), rounds=3, iterations=1)
+    assert sizes
+
+
+def test_bench_cascade_without_merge(benchmark):
+    sizes = benchmark.pedantic(_cascade, args=(False,), rounds=3, iterations=1)
+    assert sizes
+
+
+def test_bench_hide_fast_path_on(benchmark):
+    net = fig3_simple_chain()
+    benchmark(hide, net, FIG3_HIDDEN_LABEL, True)
+
+
+def test_bench_hide_fast_path_off(benchmark):
+    net = fig3_simple_chain()
+    benchmark(hide, net, FIG3_HIDDEN_LABEL, False)

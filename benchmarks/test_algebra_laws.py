@@ -1,0 +1,148 @@
+"""The paper's formal claims (Props 4.1-4.6, Thm 4.5/4.7, Props 5.2-5.4)
+exercised at scale on randomized nets.
+
+Not a figure: this bench backs the paper's *correctness* claims with
+randomized law-checking (deterministic seeds) and benchmarks each
+operator on a standard workload.
+"""
+
+import random
+
+from repro.algebra.choice import choice
+from repro.algebra.compose import parallel
+from repro.algebra.hide import hide
+from repro.algebra.operators import prefix, rename
+from repro.models.paper_figures import fig3_general
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+from repro.petri.traces import (
+    bounded_language,
+    parallel_compose_languages,
+    rename_language,
+)
+from repro.verify.language import languages_equal
+
+PLACES = ["p0", "p1", "p2", "p3"]
+ACTIONS = ["a", "b", "u"]
+
+
+def random_net(rng: random.Random, transitions: int = 4) -> PetriNet:
+    """A random small bounded net with a safe initial marking."""
+    while True:
+        net = PetriNet("random")
+        for _ in range(transitions):
+            preset = set(rng.sample(PLACES, rng.randint(1, 2)))
+            postset = set(rng.sample(PLACES, rng.randint(1, 2)))
+            net.add_transition(preset, rng.choice(ACTIONS), postset)
+        net.set_initial(
+            Marking.from_places(rng.sample(PLACES, rng.randint(1, 2)))
+        )
+        try:
+            ReachabilityGraph(net, max_states=3000)
+        except UnboundedNetError:
+            continue
+        return net
+
+
+def test_laws_at_scale():
+    """60 random instances per law; every one must hold."""
+    rng = random.Random(20260706)
+    depth = 4
+    checked = {"rename": 0, "choice": 0, "parallel": 0, "prefix": 0}
+    for _ in range(60):
+        net = random_net(rng)
+        other = random_net(rng).renamed_places(
+            {p: f"r_{p}" for p in PLACES}
+        )
+
+        renamed = rename(net, {"a": "x"})
+        assert bounded_language(renamed, depth) == rename_language(
+            bounded_language(net, depth), {"a": "x"}
+        )
+        checked["rename"] += 1
+
+        prefixed = prefix(net, "z")
+        expected = {()} | {
+            ("z",) + t for t in bounded_language(net, depth - 1)
+        }
+        assert bounded_language(prefixed, depth) == expected
+        checked["prefix"] += 1
+
+        combined = choice(net, other)
+        assert bounded_language(combined, depth) == bounded_language(
+            net, depth
+        ) | bounded_language(other, depth)
+        checked["choice"] += 1
+
+        composed = parallel(net, other)
+        assert bounded_language(composed, depth) == parallel_compose_languages(
+            bounded_language(net, depth),
+            bounded_language(other, depth),
+            net.actions,
+            other.actions,
+            max_length=depth,
+        )
+        checked["parallel"] += 1
+
+    print(f"\nrandomized law checks: {checked}")
+
+
+def test_theorem_47_at_scale():
+    """Hide-as-contraction equals trace projection on the Fig 3 net for
+    every label, exactly (DFA equivalence)."""
+    net = fig3_general()
+    for label in sorted(net.used_actions()):
+        contracted = hide(net, label)
+        assert languages_equal(contracted, net, silent={label, EPSILON}), label
+
+
+def test_bench_rename(benchmark):
+    net = random_net(random.Random(1), transitions=6)
+    result = benchmark(rename, net, {"a": "x"})
+    assert "x" in result.actions
+
+
+def test_bench_prefix(benchmark):
+    net = random_net(random.Random(2), transitions=6)
+    result = benchmark(prefix, net, "z")
+    assert "z" in result.actions
+
+
+def test_bench_choice(benchmark):
+    left = random_net(random.Random(3), transitions=5)
+    right = random_net(random.Random(4), transitions=5).renamed_places(
+        {p: f"r_{p}" for p in PLACES}
+    )
+    result = benchmark(choice, left, right)
+    assert result.transitions
+
+
+def test_bench_parallel(benchmark):
+    left = random_net(random.Random(5), transitions=5)
+    right = random_net(random.Random(6), transitions=5).renamed_places(
+        {p: f"r_{p}" for p in PLACES}
+    )
+    result = benchmark(parallel, left, right)
+    assert result.actions
+
+
+def test_bench_hide_random(benchmark):
+    rng = random.Random(7)
+    net = random_net(rng, transitions=5)
+    # Replace any randomly generated 'u' transitions (which may
+    # self-loop, rejected by Def 4.10) with one contractible instance.
+    for transition in net.transitions_with_action("u"):
+        net.remove_transition(transition.tid)
+    net.add_transition({"p0"}, "u", {"p1"})
+    result = benchmark(hide, net, "u")
+    assert "u" not in result.actions
+
+
+def test_bench_exact_language_equality(benchmark):
+    net = fig3_general()
+    contracted = hide(net, "u")
+    result = benchmark(
+        languages_equal, contracted, net, {"u", EPSILON}
+    )
+    assert result

@@ -1,0 +1,88 @@
+"""Figure 3: hiding as net contraction.
+
+Reproduces both panels: the general-net contraction (3b) with kept +
+duplicated successors and product places, and the marked-graph case
+(3c) where the construction stays small; plus the Section 4.4 fast
+path.  Theorem 4.7 is checked exactly on each.  Benchmarks contraction
+against the relabel-to-epsilon alternative it replaces.
+"""
+
+from repro.algebra.hide import hide, hide_to_epsilon
+from repro.models.paper_figures import (
+    FIG3_HIDDEN_LABEL,
+    fig3_general,
+    fig3_marked_graph,
+    fig3_simple_chain,
+)
+from repro.petri.net import EPSILON
+from repro.verify.language import languages_equal
+
+
+def test_fig3_general_shape():
+    net = fig3_general()
+    contracted = hide(net, FIG3_HIDDEN_LABEL, fast_path=False)
+
+    # Theorem 4.7 exactly.
+    assert languages_equal(
+        contracted, net, silent={FIG3_HIDDEN_LABEL, EPSILON}
+    )
+    # The preset places are gone, replaced by the 2x2 product.
+    assert {"p1", "p2"}.isdisjoint(contracted.places)
+    # Successors g, h, i, j are kept AND duplicated.
+    for successor in ("g", "h", "i", "j"):
+        assert len(contracted.transitions_with_action(successor)) == 2
+
+    print("\nFig 3(b) reproduction (general net):")
+    print(f"  before: {net.stats()}")
+    print(f"  after : {contracted.stats()}")
+
+
+def test_fig3_marked_graph_shape():
+    net = fig3_marked_graph()
+    contracted = hide(net, FIG3_HIDDEN_LABEL)
+    assert languages_equal(
+        contracted, net, silent={FIG3_HIDDEN_LABEL, EPSILON}
+    )
+    print("\nFig 3(c) reproduction (marked graph):")
+    print(f"  before: {net.stats()}")
+    print(f"  after : {contracted.stats()}")
+
+
+def test_fig3_fast_path_shape():
+    """Section 4.4's simplification: single conflict-free input place +
+    single output place collapse into one place."""
+    net = fig3_simple_chain()
+    fast = hide(net, FIG3_HIDDEN_LABEL, fast_path=True)
+    general = hide(net, FIG3_HIDDEN_LABEL, fast_path=False)
+    assert languages_equal(fast, general)
+    assert len(fast.places) < len(net.places)
+    print("\nFig 3 fast path:")
+    print(f"  before     : {net.stats()}")
+    print(f"  collapse   : {fast.stats()}")
+    print(f"  general    : {general.stats()}")
+
+
+def test_bench_hide_general(benchmark):
+    net = fig3_general()
+    result = benchmark(hide, net, FIG3_HIDDEN_LABEL)
+    assert FIG3_HIDDEN_LABEL not in result.actions
+
+
+def test_bench_hide_marked_graph(benchmark):
+    net = fig3_marked_graph()
+    result = benchmark(hide, net, FIG3_HIDDEN_LABEL)
+    assert FIG3_HIDDEN_LABEL not in result.actions
+
+
+def test_bench_hide_fast_path(benchmark):
+    net = fig3_simple_chain()
+    result = benchmark(hide, net, FIG3_HIDDEN_LABEL, True)
+    assert len(result.places) == 2
+
+
+def test_bench_hide_to_epsilon_baseline(benchmark):
+    """The conventional alternative the paper improves on: relabeling to
+    a silent action (no structural reduction at all)."""
+    net = fig3_general()
+    result = benchmark(hide_to_epsilon, net, FIG3_HIDDEN_LABEL)
+    assert result.transitions_with_action(EPSILON)

@@ -1,0 +1,57 @@
+"""Figure 6: the receiver block (4-phase commands to toggle outputs).
+
+Reproduces the receiver STG: Table 1(b) wire pairs resolve to command
+toggles, 4-phase discipline on ``r``, consistency, and the reverse-
+analogous relationship to the sender.
+"""
+
+from repro.models.protocol_translator import RECEIVER_COMMANDS
+from repro.petri.analysis import analyze
+from repro.petri.reachability import firing_sequences
+from repro.stg.state_graph import build_state_graph
+
+
+def test_fig6_shape(case_study):
+    receiver = case_study["receiver"]
+    receiver.validate()
+
+    assert receiver.inputs == {"p0", "p1", "q0", "q1"}
+    assert receiver.outputs == {"start", "mute", "zero", "one", "r"}
+
+    graph = build_state_graph(receiver)
+    assert graph.is_consistent()
+    props = analyze(receiver.net)
+    assert props.safe and props.deadlock_free
+
+    # One full start cycle: p0+ q0+ -> start~ -> r+ -> p0- q0- -> r-.
+    traces = set(firing_sequences(receiver.net, 7))
+    assert ("p0+", "q0+", "start~", "r+", "p0-", "q0-", "r-") in traces
+
+    print("\nFig 6 reproduction (receiver):")
+    print(f"  net       : {receiver.net.stats()}")
+    print(f"  behaviour : {props}")
+    for command, (w1, w2) in RECEIVER_COMMANDS.items():
+        print(f"  {w1}+ {w2}+ -> {command}~ ; r+ ; {w1}- {w2}- ; r-")
+
+
+def test_fig6_choice_resolved_by_wires(case_study):
+    """The receiver must not commit to a command before the wires rise:
+    after p0+ alone, both start~ and mute~ remain possible (pending q)."""
+    receiver = case_study["receiver"]
+    net = receiver.net
+    marking = net.initial
+    p0_rise = next(t for t in net.enabled_transitions(marking) if t.action == "p0+")
+    after_p0 = net.fire(p0_rise, marking)
+    # q0+ and q1+ are both still enabled: the command is still open.
+    enabled = {t.action for t in net.enabled_transitions(after_p0)}
+    assert {"q0+", "q1+"} <= enabled
+
+
+def test_bench_receiver_state_graph(benchmark, case_study):
+    graph = benchmark(build_state_graph, case_study["receiver"])
+    assert graph.is_consistent()
+
+
+def test_bench_receiver_analysis(benchmark, case_study):
+    props = benchmark(analyze, case_study["receiver"].net)
+    assert props.deadlock_free

@@ -1,0 +1,61 @@
+"""Figure 8: the inconsistent sender and its detection.
+
+Reproduces the paper's negative result: the sender that raises and
+lowers its command wires without waiting for the ``n`` acknowledge
+composes with the translator into a system where Proposition 5.5's
+failure condition holds — and the same check passes on the consistent
+Figure 5 sender.  Benchmarks the failure detection itself.
+"""
+
+from repro.verify.receptiveness import (
+    check_receptiveness,
+    check_receptiveness_with_hiding,
+)
+
+
+def test_fig8_shape(case_study):
+    bad = check_receptiveness(
+        case_study["inconsistent_sender"], case_study["translator"]
+    )
+    good = check_receptiveness(case_study["sender"], case_study["translator"])
+
+    assert not bad.is_receptive()
+    assert good.is_receptive()
+
+    # The paper's diagnosis: "the sender is able to make both a0- and
+    # b0- transitions without waiting for the acknowledge n+".
+    failing = set(bad.failing_actions())
+    assert {"a0-", "b0-"} <= failing
+
+    print("\nFig 8 reproduction:")
+    print(f"  consistent sender  : {good}")
+    print(f"  inconsistent sender: NOT receptive,"
+          f" failing actions = {sorted(failing)}")
+
+
+def test_fig8_hide_prime_variant(case_study):
+    """The same verdicts via the hide' refinement (Section 5.3)."""
+    bad = check_receptiveness_with_hiding(
+        case_study["inconsistent_sender"], case_study["translator"]
+    )
+    good = check_receptiveness_with_hiding(
+        case_study["sender"], case_study["translator"]
+    )
+    assert not bad.is_receptive()
+    assert good.is_receptive()
+
+
+def test_bench_detect_inconsistency(benchmark, case_study):
+    report = benchmark(
+        check_receptiveness,
+        case_study["inconsistent_sender"],
+        case_study["translator"],
+    )
+    assert not report.is_receptive()
+
+
+def test_bench_pass_consistent(benchmark, case_study):
+    report = benchmark(
+        check_receptiveness, case_study["sender"], case_study["translator"]
+    )
+    assert report.is_receptive()

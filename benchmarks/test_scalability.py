@@ -1,0 +1,95 @@
+"""The paper's scalability claim (Sections 1 and 4): the algebra works
+at the net level and "avoids potential state space explosion problems
+encountered by state based techniques".
+
+Workload: a bank of ``n`` independent 4-phase interface channels (one
+master/slave pair each) — the typical shape of a system with many
+concurrent interface modules.  The net-level composition grows
+*linearly* in ``n`` (places, transitions), while the reachability graph
+a state-based technique must build grows *exponentially* (the channels
+interleave freely: 4^n states).  The benches time net-level composition
+vs. state-space construction as ``n`` grows; the shape test asserts the
+linear-vs-exponential split.
+
+A second workload (a sequential pipeline) shows the complementary case:
+when the system is token-sequential, both costs stay linear — the
+explosion is specifically a concurrency phenomenon, which is why
+interface *banks* motivate net-level methods.
+"""
+
+import pytest
+
+from repro.core.circuit import compose_many
+from repro.models.library import (
+    four_phase_master,
+    four_phase_slave,
+    pipeline,
+)
+from repro.petri.reachability import ReachabilityGraph
+
+SIZES = [1, 2, 3, 4, 5]
+
+
+def channel_bank(channels: int):
+    """n independent closed handshake loops, composed by the algebra."""
+    modules = []
+    for index in range(channels):
+        modules.append(
+            four_phase_master(req=f"r{index}", ack=f"a{index}", name=f"m{index}")
+        )
+        modules.append(
+            four_phase_slave(req=f"r{index}", ack=f"a{index}", name=f"s{index}")
+        )
+    return compose_many(modules)
+
+
+def test_scalability_shape():
+    rows = []
+    for n in SIZES:
+        flat = channel_bank(n)
+        graph = ReachabilityGraph(flat.net)
+        stats = flat.net.stats()
+        rows.append(
+            (n, stats["places"], stats["transitions"], graph.num_states())
+        )
+
+    print("\nScalability (net size vs. state space), channel bank:")
+    print("  channels  places  transitions  states")
+    for n, places, transitions, states in rows:
+        print(f"  {n:8d}  {places:6d}  {transitions:11d}  {states:6d}")
+
+    # Net size is exactly linear; the state space is exactly 4^n.
+    for n, places, transitions, states in rows:
+        assert places == 8 * n
+        assert transitions == 4 * n
+        assert states == 4**n
+
+
+def test_pipeline_stays_linear():
+    """Contrast case: a token-sequential pipeline has linear state
+    growth — no explosion without concurrency."""
+    rows = []
+    for n in (2, 4, 8):
+        flat = compose_many(pipeline(n))
+        graph = ReachabilityGraph(flat.net)
+        rows.append((n, flat.net.stats()["places"], graph.num_states()))
+    print("\nSequential pipeline (both linear):")
+    for n, places, states in rows:
+        print(f"  stages={n:2d}  places={places:3d}  states={states:3d}")
+    (n0, _, s0), (n1, _, s1) = rows[0], rows[-1]
+    assert s1 <= s0 * (n1 / n0) + 8
+
+
+@pytest.mark.parametrize("channels", SIZES)
+def test_bench_net_level_composition(benchmark, channels):
+    """Cost of the paper's approach: build the composed net only."""
+    flat = benchmark(channel_bank, channels)
+    assert flat.net.transitions
+
+
+@pytest.mark.parametrize("channels", SIZES)
+def test_bench_state_level_exploration(benchmark, channels):
+    """Cost a state-based technique pays: build the full state space."""
+    flat = channel_bank(channels)
+    graph = benchmark(ReachabilityGraph, flat.net)
+    assert graph.num_states() == 4**channels

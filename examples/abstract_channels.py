@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Abstract rendez-vous channels and their automatic expansion (Section 3).
+
+A producer sends one of three commands over an abstract channel; the
+consumer dispatches on the received value.  The channel is then expanded
+to a delay-insensitive wire-level protocol — once with a one-hot code
+and a 4-phase handshake, once with a dual-rail code — and the expanded
+system is verified to still behave like the abstract one.
+
+Run:  python examples/abstract_channels.py
+"""
+
+from repro.core.channels import dual_rail, one_hot, receive, send
+from repro.core.cip import Cip
+from repro.core.expansion import expand_cip
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.reachability import ReachabilityGraph
+from repro.stg.stg import Stg
+
+COMMANDS = ("load", "store", "halt")
+
+
+def producer() -> Stg:
+    """Chooses a command and sends it; repeats."""
+    net = PetriNet("producer")
+    for command in COMMANDS:
+        net.add_transition({"idle"}, send("cmd", command), {"sent"})
+    net.add_transition({"sent"}, "step+", {"idle2"})
+    net.add_transition({"idle2"}, "step-", {"idle"})
+    net.set_initial(Marking({"idle": 1}))
+    return Stg(net, outputs={"step"})
+
+
+def consumer() -> Stg:
+    """Receives a command and reacts with a dedicated output toggle."""
+    net = PetriNet("consumer")
+    for command in COMMANDS:
+        net.add_transition({"wait"}, receive("cmd", command), {f"do_{command}"})
+        net.add_transition({f"do_{command}"}, f"ack_{command}~", {"wait"})
+    net.set_initial(Marking({"wait": 1}))
+    return Stg(net, outputs={f"ack_{c}" for c in COMMANDS})
+
+
+def main() -> None:
+    cip = Cip("channel_demo")
+    cip.add_module("producer", producer())
+    cip.add_module("consumer", consumer())
+    cip.add_channel("cmd", "producer", "consumer", values=COMMANDS)
+    cip.validate()
+    print(f"abstract CIP: {cip.stats()}")
+
+    abstract = cip.compose_all()
+    graph = ReachabilityGraph(abstract.net)
+    print(
+        f"abstract composition: {abstract.net.stats()},"
+        f" {graph.num_states()} states"
+    )
+
+    # ---- expansion with a one-hot code + 4-phase handshake -----------
+    encoding = one_hot("cmd", list(COMMANDS))
+    print(f"\none-hot code valid (Sperner): {encoding.is_valid()}")
+    expanded = expand_cip(cip, encodings={"cmd": encoding})
+    expanded.validate()
+    print(f"expanded CIP wires: {sorted(expanded.wires)}")
+    concrete = expanded.compose_all()
+    graph = ReachabilityGraph(concrete.net)
+    print(
+        f"expanded composition: {concrete.net.stats()},"
+        f" {graph.num_states()} states,"
+        f" deadlock-free={graph.is_deadlock_free()}"
+    )
+
+    # ---- the same with a dual-rail (2-bit) code -----------------------
+    rail = dual_rail("cmd", 2)
+    # dual_rail names values by bit pattern; remap onto our commands.
+    from repro.core.channels import Encoding
+
+    remapped = Encoding.of(
+        {
+            command: rail.code_of(format(index, "02b"))
+            for index, command in enumerate(COMMANDS)
+        }
+    )
+    print(f"\ndual-rail code valid: {remapped.is_valid()}")
+    rail_expanded = expand_cip(cip, encodings={"cmd": remapped})
+    concrete2 = rail_expanded.compose_all()
+    graph2 = ReachabilityGraph(concrete2.net)
+    print(
+        f"dual-rail composition: {concrete2.net.stats()},"
+        f" {graph2.num_states()} states,"
+        f" deadlock-free={graph2.is_deadlock_free()}"
+    )
+
+    # ---- two-phase variant --------------------------------------------
+    two_phase = expand_cip(cip, encodings={"cmd": encoding}, protocol="two_phase")
+    concrete3 = two_phase.compose_all()
+    graph3 = ReachabilityGraph(concrete3.net)
+    print(
+        f"\ntwo-phase composition: {concrete3.net.stats()},"
+        f" {graph3.num_states()} states"
+    )
+
+
+if __name__ == "__main__":
+    main()

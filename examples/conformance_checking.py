@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Substitutability checking: mirror-based conformance and failures.
+
+A vendor offers three 'drop-in replacements' for a 4-phase slave.  The
+mirror construction (the specification's most liberal environment) plus
+the Proposition 5.5 receptiveness check decides which ones are safe —
+and failures semantics explains *why* the rejected ones fail even
+though one of them is trace-equivalent to the spec.
+
+Run:  python examples/conformance_checking.py
+"""
+
+from repro.models.library import four_phase_slave
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.stg.stg import Stg
+from repro.verify.conformance import check_conformance
+from repro.verify.equivalence import deadlock_traces, failures
+from repro.verify.language import languages_equal
+
+
+def pipelined_replacement() -> Stg:
+    """Same protocol with an extra internal step: conforming."""
+    net = PetriNet("pipelined")
+    net.add_transition({"s0"}, "r+", {"s1"})
+    net.add_transition({"s1"}, EPSILON, {"s1b"})
+    net.add_transition({"s1b"}, "a+", {"s2"})
+    net.add_transition({"s2"}, "r-", {"s3"})
+    net.add_transition({"s3"}, "a-", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return Stg(net, inputs={"r"}, outputs={"a"})
+
+
+def eager_replacement() -> Stg:
+    """Acknowledges *before* the request: produces an output the
+    specification never allows."""
+    net = PetriNet("eager")
+    net.add_transition({"s0"}, "a+", {"s1"})
+    net.add_transition({"s1"}, "r+", {"s2"})
+    net.add_transition({"s2"}, "a-", {"s3"})
+    net.add_transition({"s3"}, "r-", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return Stg(net, inputs={"r"}, outputs={"a"})
+
+
+def moody_replacement() -> Stg:
+    """Internally chooses, on each cycle, whether it will serve another
+    request — trace-contained in the spec, but can refuse service."""
+    net = PetriNet("moody")
+    net.add_transition({"s0"}, EPSILON, {"serve"})
+    net.add_transition({"s0"}, EPSILON, {"sulk"})
+    net.add_transition({"serve"}, "r+", {"s1"})
+    net.add_transition({"s1"}, "a+", {"s2"})
+    net.add_transition({"s2"}, "r-", {"s3"})
+    net.add_transition({"s3"}, "a-", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return Stg(net, inputs={"r"}, outputs={"a"})
+
+
+def main() -> None:
+    specification = four_phase_slave()
+    candidates = [
+        pipelined_replacement(),
+        eager_replacement(),
+        moody_replacement(),
+    ]
+
+    print(f"specification: {specification}")
+    for candidate in candidates:
+        report = check_conformance(candidate, specification)
+        print(f"\n{candidate.net.name:10s}: {report}")
+
+    # The moody replacement is interesting: its *traces* are fine...
+    moody = moody_replacement()
+    print(
+        "\nmoody vs spec, trace languages equal:",
+        languages_equal(moody.net, specification.net),
+    )
+    # ...but failures semantics shows it can refuse r+ after a full
+    # handshake (the silent 'sulk' branch): a stable state refusing
+    # everything.
+    refusals = {
+        refusal
+        for trace, refusal in failures(moody.net)
+        if trace == ()
+    }
+    print(f"refusal sets after the empty trace: {sorted(map(sorted, refusals))}")
+    print(f"deadlock traces of moody: {sorted(deadlock_traces(moody.net))[:3]}")
+    print(
+        "deadlock traces of the spec:",
+        sorted(deadlock_traces(specification.net)),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: build two handshake modules, compose, verify, simplify,
+synthesize.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.analysis import analyze
+from repro.stg.stg import compose, hide_signals
+from repro.synth.implementation import synthesize, verify_implementation
+from repro.verify.receptiveness import check_receptiveness
+
+
+def main() -> None:
+    # 1. Two modules sharing the wires r (master output) and a (slave
+    #    output) — the classic 4-phase handshake pair.
+    master = four_phase_master()
+    slave = four_phase_slave()
+    print(f"master: {master}")
+    print(f"slave : {slave}")
+
+    # 2. Verify the composition is receptive (Propositions 5.5/5.6):
+    #    every output always finds its consumer ready.
+    report = check_receptiveness(master, slave)
+    print(f"\nreceptiveness: {report}")
+
+    # 3. Compose with the circuit algebra (Definition 4.7 / Section 5.1)
+    #    and inspect the behaviour of the closed system.
+    system = compose(master, slave)
+    print(f"\ncomposed net : {system.net.stats()}")
+    print(f"behaviour    : {analyze(system.net)}")
+
+    # 4. Hide the acknowledge wire by net contraction (Definition 4.10):
+    #    the visible behaviour is the bare request cycle.
+    request_only = hide_signals(system, {"a"})
+    print(f"\nafter hide(a): {request_only.net.stats()}")
+
+    # 5. Synthesize the slave into logic and validate the circuit.
+    implementation = synthesize(slave)
+    print("\nslave netlist:")
+    print(implementation.netlist())
+    result = verify_implementation(slave, implementation)
+    print(f"verification : {'PASS' if result.ok else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — Communicating Petri nets for concurrent asynchronous module design.
+
+A production-quality reproduction of *"A Communicating Petri Net Model
+for the Design of Concurrent Asynchronous Modules"* (G. de Jong and
+B. Lin, DAC 1994).
+
+Public API overview
+-------------------
+
+* :mod:`repro.petri` — general labeled Petri nets, markings,
+  reachability, structural theory, trace semantics.
+* :mod:`repro.algebra` — the paper's net algebra: nil / prefix / rename,
+  choice with root unwinding, rendez-vous parallel composition, hiding
+  as net contraction.
+* :mod:`repro.stg` — Signal Transition Graphs: signal interpretation,
+  encoded state graphs, consistency / coding checks, boolean guards.
+* :mod:`repro.core` — Communicating Interface Processes (CIP), abstract
+  channel expansion to handshakes, the circuit algebra, compositional
+  synthesis and environment-driven simplification.
+* :mod:`repro.verify` — receptiveness and language-level verification.
+* :mod:`repro.synth` — state-graph based logic synthesis of speed-
+  independent implementations and a gate-level simulator.
+* :mod:`repro.models` — the paper's protocol-translator case study and a
+  library of classic asynchronous modules.
+* :mod:`repro.io` — astg (.g) / DOT / JSON interchange.
+"""
+
+from repro.algebra import (
+    choice,
+    hide,
+    hide_to_epsilon,
+    nil,
+    parallel,
+    prefix,
+    rename,
+)
+from repro.petri import Marking, PetriNet, ReachabilityGraph, Transition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Marking",
+    "PetriNet",
+    "ReachabilityGraph",
+    "Transition",
+    "choice",
+    "hide",
+    "hide_to_epsilon",
+    "nil",
+    "parallel",
+    "prefix",
+    "rename",
+    "__version__",
+]

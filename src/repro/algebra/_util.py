@@ -1,0 +1,27 @@
+"""Shared helpers for the algebra operators (fresh names, products)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.petri.marking import Place
+
+
+def fresh_place(base: str, existing: Iterable[Place]) -> Place:
+    """A place name derived from ``base`` not colliding with ``existing``."""
+    taken = set(existing)
+    if base not in taken:
+        return base
+    counter = 1
+    while f"{base}_{counter}" in taken:
+        counter += 1
+    return f"{base}_{counter}"
+
+
+def product_place(left: Place, right: Place, existing: Iterable[Place]) -> Place:
+    """A readable name for the product place ``(left, right)``.
+
+    Used by choice (product of initial-place copies) and hide (product of
+    the hidden transition's preset and postset).
+    """
+    return fresh_place(f"({left}*{right})", existing)

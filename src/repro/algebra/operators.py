@@ -1,0 +1,125 @@
+"""Basic action operators: nil, prefix, rename (Definitions 4.2-4.4)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.algebra._util import fresh_place
+from repro.petri.marking import Marking
+from repro.petri.net import Action, PetriNet
+
+
+def nil(name: str = "nil") -> PetriNet:
+    """The deadlock process (Definition 4.2).
+
+    A single marked place with no transitions: ``L(nil)`` contains only
+    the empty trace (Proposition 4.1 states the set of non-empty traces
+    is empty).
+    """
+    net = PetriNet(name)
+    net.add_place("p0", tokens=1)
+    return net
+
+
+def prefix(net: PetriNet, action: Action, allow_unsafe: bool = False) -> PetriNet:
+    """Action prefix ``a . N`` (Definition 4.3).
+
+    A fresh initial place ``m0`` and a transition ``(m0, a, M)`` with
+    ``M`` the initially marked places of ``N``; the new initial marking
+    holds a single token in ``m0``, so ``a`` must fire exactly once
+    before any behaviour of ``N``.
+
+    The definition requires a *safe* initial marking.  With
+    ``allow_unsafe=True`` the paper's sketched generalization is used
+    instead: the original initial marking is kept, and a sentinel place
+    (produced by the ``a`` transition) is added in a self-loop to every
+    initially enabled transition of ``N``, blocking them until ``a``
+    fires.
+    """
+    if not net.initial.is_safe():
+        if not allow_unsafe:
+            raise ValueError(
+                "prefix (Def 4.3) requires a safe initial marking;"
+                " pass allow_unsafe=True for the generalized construction"
+            )
+        return _prefix_unsafe(net, action)
+    result = net.copy(name=f"{action}.{net.name}")
+    start = fresh_place("m0", result.places)
+    result.add_place(start)
+    initial_places = result.initial.marked_places()
+    result.set_initial(Marking({start: 1}))
+    result.add_transition({start}, action, initial_places)
+    return result
+
+
+def _prefix_unsafe(net: PetriNet, action: Action) -> PetriNet:
+    result = PetriNet(f"{action}.{net.name}", net.actions | {action}, net.places)
+    start = fresh_place("m0", result.places)
+    sentinel = fresh_place("started", result.places | {start})
+    result.add_place(start)
+    result.add_place(sentinel)
+    initial_places = net.initial.marked_places()
+    for tid, transition in net.transitions.items():
+        if transition.preset <= initial_places:
+            # Initially enabled: gate on the sentinel via a self-loop.
+            result.add_transition(
+                transition.preset | {sentinel},
+                transition.action,
+                transition.postset | {sentinel},
+                tid=tid,
+            )
+        else:
+            result.add_transition(
+                transition.preset, transition.action, transition.postset, tid=tid
+            )
+    result.input_guards = dict(net.input_guards)
+    result.add_transition({start}, action, {sentinel})
+    counts = dict(net.initial)
+    counts[start] = 1
+    result.set_initial(Marking(counts))
+    return result
+
+
+def rename(net: PetriNet, mapping: Mapping[Action, Action]) -> PetriNet:
+    """The renaming operator (Definition 4.4), extended to label sets.
+
+    Every transition labeled ``b`` is relabeled ``mapping[b]``; the
+    alphabet is updated accordingly.  Satisfies
+    ``L(rename(N, f)) = rename(L(N), f)`` (Proposition 4.3).
+    """
+    result = PetriNet(
+        net.name,
+        {mapping.get(a, a) for a in net.actions},
+        net.places,
+        net.initial,
+    )
+    for tid, transition in net.transitions.items():
+        result.add_transition(
+            transition.preset,
+            mapping.get(transition.action, transition.action),
+            transition.postset,
+            tid=tid,
+        )
+    result.input_guards = dict(net.input_guards)
+    return result
+
+
+def sequence_net(actions: Iterable[Action], cyclic: bool = False, name: str = "seq") -> PetriNet:
+    """Convenience constructor: the net firing ``actions`` in order.
+
+    With ``cyclic=True`` the last action feeds back to the first place,
+    giving the Kleene-star behaviour ``(a1 . a2 ...)*`` used in the
+    paper's Figure 2 example.
+    """
+    labels = list(actions)
+    net = PetriNet(name)
+    if not labels:
+        net.add_place("p0", tokens=1)
+        return net
+    places = [f"p{i}" for i in range(len(labels) + (0 if cyclic else 1))]
+    for index, label in enumerate(labels):
+        source = places[index]
+        target = places[(index + 1) % len(places)]
+        net.add_transition({source}, label, {target})
+    net.set_initial(Marking({places[0]: 1}))
+    return net

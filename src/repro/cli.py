@@ -1,0 +1,253 @@
+"""Command-line interface: ``cip`` (or ``python -m repro``).
+
+Subcommands operate on STGs in the astg ``.g`` format (``.json`` is
+also accepted, selected by extension):
+
+* ``cip info FILE`` — sizes, net class, behavioural properties;
+* ``cip compose A B -o OUT`` — circuit-algebra composition;
+* ``cip hide FILE -s SIG [-s SIG ...] -o OUT`` — net contraction;
+* ``cip verify A B`` — receptiveness check of the composition;
+* ``cip simplify TARGET ENV -o OUT`` — environment-driven reduction;
+* ``cip synth FILE`` — complex-gate synthesis (prints the netlist);
+* ``cip dot FILE`` — Graphviz export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.stg.stg import Stg
+
+
+def _load(path: str) -> Stg:
+    if path.endswith(".json"):
+        from repro.io.json_io import load
+
+        return load(path)
+    from repro.io.astg import load_astg
+
+    return load_astg(path)
+
+
+def _save(stg: Stg, path: str) -> None:
+    if path.endswith(".json"):
+        from repro.io.json_io import save
+
+        save(stg, path)
+    else:
+        from repro.io.astg import save_astg
+
+        save_astg(stg, path)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.petri.analysis import analyze
+    from repro.petri.classify import classify
+    from repro.petri.reachability import UnboundedNetError
+
+    stg = _load(args.file)
+    stg.validate()
+    stats = stg.net.stats()
+    print(f"model    : {stg.name}")
+    print(f"inputs   : {', '.join(sorted(stg.inputs)) or '-'}")
+    print(f"outputs  : {', '.join(sorted(stg.outputs)) or '-'}")
+    if stg.internals:
+        print(f"internal : {', '.join(sorted(stg.internals))}")
+    print(
+        f"size     : {stats['places']} places, {stats['transitions']}"
+        f" transitions, {stats['arcs']} arcs"
+    )
+    print(f"class    : {classify(stg.net).most_specific()}")
+    try:
+        print(f"behaviour: {analyze(stg.net, max_states=args.max_states)}")
+    except UnboundedNetError as error:
+        print(f"behaviour: UNBOUNDED ({error})")
+    return 0
+
+
+def cmd_compose(args: argparse.Namespace) -> int:
+    from repro.stg.stg import compose
+
+    result = compose(_load(args.first), _load(args.second))
+    if args.trim:
+        from repro.algebra.dead import trim
+
+        result.net = trim(result.net)
+    _save(result, args.output)
+    print(f"wrote {args.output}: {result.net.stats()}")
+    return 0
+
+
+def cmd_hide(args: argparse.Namespace) -> int:
+    from repro.stg.stg import hide_signals
+
+    stg = _load(args.file)
+    result = hide_signals(stg, set(args.signals))
+    _save(result, args.output)
+    print(f"wrote {args.output}: {result.net.stats()}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.receptiveness import check_receptiveness
+
+    report = check_receptiveness(
+        _load(args.first), _load(args.second), method=args.method
+    )
+    print(report)
+    return 0 if report.is_receptive() else 1
+
+
+def cmd_simplify(args: argparse.Namespace) -> int:
+    from repro.core.synthesis import (
+        reduction_report,
+        simplify_against_environment,
+    )
+
+    target = _load(args.target)
+    environment = _load(args.environment)
+    reduced = simplify_against_environment(target, environment)
+    _save(reduced, args.output)
+    report = reduction_report(target, reduced)
+    print(
+        f"wrote {args.output}: states {report.original_states} ->"
+        f" {report.reduced_states} (x{report.state_ratio():.2f})"
+    )
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.synth.implementation import synthesize, verify_implementation
+    from repro.synth.nextstate import CodingError
+
+    stg = _load(args.file)
+    try:
+        implementation = synthesize(stg)
+    except CodingError as error:
+        print(f"cannot synthesize: {error}", file=sys.stderr)
+        return 1
+    print(implementation.netlist())
+    result = verify_implementation(stg, implementation)
+    print(f"# verification: {'PASS' if result.ok else 'FAIL'}")
+    return 0 if result.ok else 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.io.dot import stg_to_dot
+
+    print(stg_to_dot(_load(args.file)), end="")
+    return 0
+
+
+def cmd_stategraph(args: argparse.Namespace) -> int:
+    from repro.stg.state_graph import build_state_graph
+
+    stg = _load(args.file)
+    graph = build_state_graph(stg, max_states=args.max_states)
+    print(f"states       : {graph.num_states()}")
+    print(f"edges        : {len(graph.edges)}")
+    print(f"consistent   : {graph.is_consistent()}")
+    for violation in graph.violations[:5]:
+        print(f"  ! {violation.action}: {violation.reason}")
+    print(f"USC          : {graph.has_usc()}")
+    print(f"CSC          : {graph.has_csc()}")
+    persistency = graph.output_persistency_violations()
+    print(f"persistency  : {'ok' if not persistency else 'VIOLATED'}")
+    for state, output, action in persistency[:5]:
+        print(f"  ! {output} disabled by {action}")
+    return 0 if graph.is_consistent() and graph.has_csc() else 1
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    from repro.algebra.reductions import reduce
+    from repro.stg.stg import Stg
+
+    stg = _load(args.file)
+    before = stg.net.stats()
+    reduced = Stg(
+        reduce(stg.net),
+        inputs=stg.inputs,
+        outputs=stg.outputs,
+        internals=stg.internals,
+        initial_values=stg.initial_values,
+    )
+    _save(reduced, args.output)
+    print(f"wrote {args.output}: {before} -> {reduced.net.stats()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cip",
+        description="Communicating Petri nets for asynchronous module design",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="net statistics and properties")
+    info.add_argument("file")
+    info.add_argument("--max-states", type=int, default=1_000_000)
+    info.set_defaults(func=cmd_info)
+
+    comp = sub.add_parser("compose", help="circuit-algebra composition")
+    comp.add_argument("first")
+    comp.add_argument("second")
+    comp.add_argument("-o", "--output", required=True)
+    comp.add_argument("--trim", action="store_true", help="remove dead transitions")
+    comp.set_defaults(func=cmd_compose)
+
+    hide = sub.add_parser("hide", help="hide signals by net contraction")
+    hide.add_argument("file")
+    hide.add_argument("-s", "--signals", action="append", required=True)
+    hide.add_argument("-o", "--output", required=True)
+    hide.set_defaults(func=cmd_hide)
+
+    verify = sub.add_parser("verify", help="receptiveness of a composition")
+    verify.add_argument("first")
+    verify.add_argument("second")
+    verify.add_argument(
+        "--method",
+        choices=("auto", "reachability", "structural"),
+        default="auto",
+    )
+    verify.set_defaults(func=cmd_verify)
+
+    simplify = sub.add_parser(
+        "simplify", help="environment-driven reduction (Section 5.2)"
+    )
+    simplify.add_argument("target")
+    simplify.add_argument("environment")
+    simplify.add_argument("-o", "--output", required=True)
+    simplify.set_defaults(func=cmd_simplify)
+
+    synth = sub.add_parser("synth", help="complex-gate synthesis")
+    synth.add_argument("file")
+    synth.set_defaults(func=cmd_synth)
+
+    dot = sub.add_parser("dot", help="Graphviz export")
+    dot.add_argument("file")
+    dot.set_defaults(func=cmd_dot)
+
+    stategraph = sub.add_parser(
+        "stategraph", help="encoded state graph: consistency / USC / CSC"
+    )
+    stategraph.add_argument("file")
+    stategraph.add_argument("--max-states", type=int, default=200_000)
+    stategraph.set_defaults(func=cmd_stategraph)
+
+    reduce_cmd = sub.add_parser(
+        "reduce", help="language-preserving net cleanup"
+    )
+    reduce_cmd.add_argument("file")
+    reduce_cmd.add_argument("-o", "--output", required=True)
+    reduce_cmd.set_defaults(func=cmd_reduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Abstract communication channels and delay-insensitive value encodings.
+
+Section 3 of the paper: CIP edges are either plain signal wires or
+abstract channels ``sigma``.  A channel carries ``c!`` (send) and ``c?``
+(receive) rendez-vous events; a *valued* channel additionally names the
+value: ``c!v`` / ``c?v``.
+
+For data transmission the paper requires a delay-insensitive encoding:
+each value maps to the set of wires that go high, and "such an encoding
+is correct when no encoding covers another" — i.e. the code sets form a
+Sperner family (an antichain under inclusion).  Dual-rail and general
+m-of-n encodings are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+SEND = "!"
+RECEIVE = "?"
+
+
+def send(channel: str, value: str = "") -> str:
+    """The action label of sending ``value`` (or a bare sync) on ``channel``."""
+    return f"{channel}{SEND}{value}"
+
+
+def receive(channel: str, value: str = "") -> str:
+    """The action label of receiving on ``channel``."""
+    return f"{channel}{RECEIVE}{value}"
+
+
+def is_channel_action(action: str) -> bool:
+    """``True`` for ``c!``, ``c?``, ``c!v``, ``c?v`` labels."""
+    return (
+        (SEND in action or RECEIVE in action)
+        and not action.startswith((SEND, RECEIVE))
+    )
+
+
+def parse_channel_action(action: str) -> tuple[str, str, str]:
+    """Split a channel label into ``(channel, direction, value)``."""
+    for direction in (SEND, RECEIVE):
+        if direction in action:
+            channel, _, value = action.partition(direction)
+            if not channel:
+                break
+            return channel, direction, value
+    raise ValueError(f"{action!r} is not a channel action")
+
+
+def matching_action(action: str) -> str:
+    """The complementary rendez-vous label (``c!v`` <-> ``c?v``)."""
+    channel, direction, value = parse_channel_action(action)
+    other = RECEIVE if direction == SEND else SEND
+    return f"{channel}{other}{value}"
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """A delay-insensitive value encoding: value -> set of wires raised.
+
+    Valid iff no code covers another (Sperner condition) — otherwise the
+    receiver could mistake a still-arriving larger code for a completed
+    smaller one.
+    """
+
+    codes: tuple[tuple[str, frozenset[str]], ...]
+
+    @classmethod
+    def of(cls, mapping: dict[str, frozenset[str] | set[str]]) -> "Encoding":
+        return cls(
+            tuple(
+                sorted((value, frozenset(wires)) for value, wires in mapping.items())
+            )
+        )
+
+    def as_dict(self) -> dict[str, frozenset[str]]:
+        return dict(self.codes)
+
+    def values(self) -> list[str]:
+        return [value for value, _ in self.codes]
+
+    def wires(self) -> frozenset[str]:
+        """All wires used by any code."""
+        result: set[str] = set()
+        for _, code in self.codes:
+            result |= code
+        return frozenset(result)
+
+    def code_of(self, value: str) -> frozenset[str]:
+        return self.as_dict()[value]
+
+    def covering_pairs(self) -> list[tuple[str, str]]:
+        """Pairs ``(v1, v2)`` with ``code(v1)`` a subset of ``code(v2)``
+        — each pair is a violation of the correctness condition."""
+        violations = []
+        for (v1, c1), (v2, c2) in combinations(self.codes, 2):
+            if c1 <= c2:
+                violations.append((v1, v2))
+            elif c2 <= c1:
+                violations.append((v2, v1))
+        return violations
+
+    def is_valid(self) -> bool:
+        """The paper's condition: no code covers another."""
+        return (
+            len({code for _, code in self.codes}) == len(self.codes)
+            and not self.covering_pairs()
+        )
+
+    def decode(self, high_wires: set[str]) -> str | None:
+        """The value whose code is exactly the raised wires, if any."""
+        for value, code in self.codes:
+            if code == frozenset(high_wires):
+                return value
+        return None
+
+
+def dual_rail(channel: str, bits: int) -> Encoding:
+    """Dual-rail encoding: ``2*bits`` wires ``<channel>_bit<i>_t/f``; for
+    each bit exactly one of the pair goes high."""
+    codes: dict[str, frozenset[str]] = {}
+    for number in range(2**bits):
+        wires = set()
+        for bit in range(bits):
+            level = (number >> bit) & 1
+            rail = "t" if level else "f"
+            wires.add(f"{channel}_b{bit}{rail}")
+        codes[format(number, f"0{bits}b")] = frozenset(wires)
+    return Encoding.of(codes)
+
+
+def one_hot(channel: str, values: list[str]) -> Encoding:
+    """One wire per value (1-of-n code)."""
+    return Encoding.of(
+        {value: frozenset({f"{channel}_{value}"}) for value in values}
+    )
+
+
+def m_of_n(channel: str, m: int, n: int) -> Encoding:
+    """The m-of-n code: every m-subset of n wires is one value.
+
+    The paper's point: instead of ``2k`` wires for ``k`` bits, any
+    antichain code works; m-of-n codes carry ``C(n, m)`` values.
+    """
+    if not 0 < m <= n:
+        raise ValueError("m_of_n requires 0 < m <= n")
+    wires = [f"{channel}_w{i}" for i in range(n)]
+    codes = {}
+    for index, subset in enumerate(combinations(wires, m)):
+        codes[f"v{index}"] = frozenset(subset)
+    return Encoding.of(codes)

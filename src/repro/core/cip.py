@@ -1,0 +1,224 @@
+"""Communicating Interface Processes (Definition 3.1).
+
+A CIP is a graph whose vertices are labeled Petri nets (as
+:class:`~repro.stg.stg.Stg` modules) and whose edges are labeled either
+by signal names (plain wires) or by abstract communication channels.
+Channel events (``c!`` / ``c?``) synchronize by rendez-vous and are
+expanded to low-level handshakes by :mod:`repro.core.expansion` before
+synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.channels import (
+    RECEIVE,
+    SEND,
+    Encoding,
+    is_channel_action,
+    parse_channel_action,
+)
+from repro.stg.stg import Stg, compose
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A channel edge of the CIP graph.
+
+    ``values`` is empty for a pure synchronization channel; a valued
+    channel carries a finite value alphabet, later mapped to wires by a
+    delay-insensitive :class:`~repro.core.channels.Encoding`.
+    """
+
+    name: str
+    sender: str
+    receiver: str
+    values: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """A plain signal edge: one driver module, any number of listeners."""
+
+    signal: str
+    driver: str
+    listeners: tuple[str, ...]
+
+
+class Cip:
+    """A communicating-interface-process graph (Definition 3.1)."""
+
+    def __init__(self, name: str = "cip"):
+        self.name = name
+        self.modules: dict[str, Stg] = {}
+        self.channels: dict[str, ChannelSpec] = {}
+        self.wires: dict[str, WireSpec] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_module(self, name: str, stg: Stg) -> Stg:
+        if name in self.modules:
+            raise ValueError(f"module {name!r} already present")
+        self.modules[name] = stg
+        return stg
+
+    def add_channel(
+        self,
+        name: str,
+        sender: str,
+        receiver: str,
+        values: tuple[str, ...] = (),
+    ) -> ChannelSpec:
+        """Declare an abstract channel edge from ``sender`` to ``receiver``."""
+        for module in (sender, receiver):
+            if module not in self.modules:
+                raise ValueError(f"unknown module {module!r}")
+        if name in self.channels:
+            raise ValueError(f"channel {name!r} already present")
+        spec = ChannelSpec(name, sender, receiver, tuple(values))
+        self.channels[name] = spec
+        return spec
+
+    def add_wire(self, signal: str, driver: str, *listeners: str) -> WireSpec:
+        """Declare a signal edge driven by ``driver``.
+
+        The signal must be an output of the driver and an input of every
+        listener.
+        """
+        if driver not in self.modules:
+            raise ValueError(f"unknown module {driver!r}")
+        for module in listeners:
+            if module not in self.modules:
+                raise ValueError(f"unknown module {module!r}")
+        spec = WireSpec(signal, driver, tuple(listeners))
+        self.wires[signal] = spec
+        return spec
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check modules individually plus the CIP wiring discipline:
+
+        * wires: the signal is an output of its driver and an input of
+          each listener;
+        * channels: send events only occur in the sender module, receive
+          events only in the receiver, and valued events use declared
+          values;
+        * no two modules drive the same signal.
+        """
+        for stg in self.modules.values():
+            stg.validate()
+        drivers: dict[str, str] = {}
+        for module_name, stg in self.modules.items():
+            for signal in stg.outputs | stg.internals:
+                if signal in drivers:
+                    raise ValueError(
+                        f"signal {signal!r} driven by both"
+                        f" {drivers[signal]!r} and {module_name!r}"
+                    )
+                drivers[signal] = module_name
+        for spec in self.wires.values():
+            driver = self.modules[spec.driver]
+            if spec.signal not in driver.outputs | driver.internals:
+                raise ValueError(
+                    f"wire {spec.signal!r} is not an output of {spec.driver!r}"
+                )
+            for listener in spec.listeners:
+                if spec.signal not in self.modules[listener].inputs:
+                    raise ValueError(
+                        f"wire {spec.signal!r} is not an input of {listener!r}"
+                    )
+        for module_name, stg in self.modules.items():
+            for transition in stg.net.transitions.values():
+                if not is_channel_action(transition.action):
+                    continue
+                channel, direction, value = parse_channel_action(
+                    transition.action
+                )
+                spec = self.channels.get(channel)
+                if spec is None:
+                    raise ValueError(
+                        f"undeclared channel {channel!r} used in {module_name!r}"
+                    )
+                expected = spec.sender if direction == SEND else spec.receiver
+                if module_name != expected:
+                    raise ValueError(
+                        f"{transition.action!r} used in {module_name!r} but"
+                        f" channel {channel!r} assigns that direction to"
+                        f" {expected!r}"
+                    )
+                if value and value not in spec.values:
+                    raise ValueError(
+                        f"value {value!r} not declared on channel {channel!r}"
+                    )
+
+    # -- composition -----------------------------------------------------------
+
+    def channel_actions(self) -> set[str]:
+        """All channel action labels occurring in the modules."""
+        actions: set[str] = set()
+        for stg in self.modules.values():
+            for transition in stg.net.transitions.values():
+                if is_channel_action(transition.action):
+                    actions.add(transition.action)
+        return actions
+
+    def compose_all(self) -> Stg:
+        """Flatten the CIP into one module (Section 5.1 circuit algebra).
+
+        Signal events of shared wires synchronize via the STG circuit
+        algebra; abstract channel events synchronize by rendez-vous:
+        ``c!v`` in the sender fuses with ``c?v`` in the receiver.  The
+        rendez-vous is realised by renaming both directions to a common
+        label before parallel composition, then restoring nothing — the
+        fused event keeps the send label, making the synchronized event
+        visible as the channel's occurrence.
+        """
+        from repro.algebra.operators import rename as rename_net
+
+        if not self.modules:
+            raise ValueError("cannot compose an empty CIP")
+        ordered = sorted(self.modules)
+        result: Stg | None = None
+        for name in ordered:
+            stg = self.modules[name]
+            # Map receive labels to the matching send labels so the plain
+            # alphabet-intersection rendez-vous of Definition 4.7 fuses
+            # the pair.
+            mapping = {}
+            for transition in stg.net.transitions.values():
+                action = transition.action
+                if is_channel_action(action):
+                    channel, direction, value = parse_channel_action(action)
+                    if direction == RECEIVE:
+                        mapping[action] = f"{channel}{SEND}{value}"
+            module = stg
+            if mapping:
+                module = Stg(
+                    rename_net(stg.net, mapping),
+                    stg.inputs,
+                    stg.outputs,
+                    stg.internals,
+                    stg.initial_values,
+                )
+            result = module if result is None else compose(result, module)
+        result.net.name = self.name
+        return result
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "modules": len(self.modules),
+            "channels": len(self.channels),
+            "wires": len(self.wires),
+            "places": sum(len(s.net.places) for s in self.modules.values()),
+            "transitions": sum(
+                len(s.net.transitions) for s in self.modules.values()
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Cip({self.name!r}, modules={sorted(self.modules)},"
+            f" channels={sorted(self.channels)}, wires={sorted(self.wires)})"
+        )

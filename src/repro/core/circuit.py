@@ -1,0 +1,65 @@
+"""The circuit algebra C = (I, O, N) (Section 5.1).
+
+A circuit is a behavioural structure (a labeled Petri net) extended with
+input and output signal sets.  Composition synchronizes common signals;
+common inputs remain inputs, an input matched by an output becomes an
+output, common outputs are illegal; internal signals are outputs and may
+be hidden:
+
+* ``C1 || C2 = (I1 | I2 \\ (O1 | O2),  O1 | O2,  N1 || N2)``
+* ``hide(C, A) = (I, O \\ A, hide(N, A))`` for ``A`` a subset of ``O``.
+
+:class:`~repro.stg.stg.Stg` already carries the ``(I, O, N)`` structure;
+this module provides the algebra's operations under the paper's naming
+and signatures, and is the level at which the synthesis and verification
+methods of Section 5 operate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.stg.stg import Stg
+from repro.stg.stg import compose as _compose
+from repro.stg.stg import hide_signals as _hide_signals
+
+#: A circuit is an STG with I/O interpretation — the tuple C = (I, O, N).
+Circuit = Stg
+
+
+def circuit(
+    net, inputs: Iterable[str] = (), outputs: Iterable[str] = (), **kwargs
+) -> Circuit:
+    """Build a circuit ``C = (I, O, N)``."""
+    return Stg(net, inputs=inputs, outputs=outputs, **kwargs)
+
+
+def compose(c1: Circuit, c2: Circuit) -> Circuit:
+    """``C1 || C2`` per the Section 5.1 equation.
+
+    Raises ``ValueError`` on common output signals.
+    """
+    return _compose(c1, c2)
+
+
+def compose_many(circuits: Iterable[Circuit]) -> Circuit:
+    """Left-associated n-ary circuit composition."""
+    iterator = iter(circuits)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("compose_many requires at least one circuit") from None
+    for item in iterator:
+        result = compose(result, item)
+    return result
+
+
+def hide(c: Circuit, signals: Iterable[str], fast_path: bool = True) -> Circuit:
+    """``hide(C, A) = (I, O \\ A, hide(N, A))`` with ``A`` a subset of
+    the outputs (internal signals count as outputs)."""
+    return _hide_signals(c, signals, fast_path=fast_path)
+
+
+def interface(c: Circuit) -> tuple[frozenset[str], frozenset[str]]:
+    """The circuit's ``(I, O)`` interface pair."""
+    return frozenset(c.inputs), frozenset(c.outputs | c.internals)

@@ -1,0 +1,179 @@
+"""Compositional synthesis (Section 5.2).
+
+When a module's environment is known, its behaviour can be reduced using
+that knowledge: instead of synthesizing ``M1`` directly, synthesize
+``hide(M1 || M2, A2 \\ A1)`` — the composition projected back onto
+``M1``'s alphabet.  Theorem 5.1 guarantees the reduced behaviour is a
+trace subset (``project(L(M1||M2), A_i)  subset-of  L(M_i)``), i.e. more
+don't-care freedom for logic synthesis.  The cross product of
+synchronization transitions leaves many dead transitions, which are
+removed (polynomially for marked graphs / free choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.dead import trim
+from repro.stg.stg import Stg, compose
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Before/after sizes of an environment-driven reduction."""
+
+    original_places: int
+    original_transitions: int
+    original_states: int
+    reduced_places: int
+    reduced_transitions: int
+    reduced_states: int
+
+    def state_ratio(self) -> float:
+        if self.original_states == 0:
+            return 1.0
+        return self.reduced_states / self.original_states
+
+
+def simplify_against_environment(
+    target: Stg,
+    environment: Stg,
+    fast_path: bool = True,
+    cleanup: bool = True,
+) -> Stg:
+    """``project(L(env || target), A_target)`` as an STG.
+
+    Composes the target with its (known) environment, removes dead
+    transitions, and hides every signal private to the environment —
+    the exact derivation the paper uses to build the *simplified*
+    protocol translator of Figure 9(b).
+
+    The result keeps the target's interface: signals of the environment
+    that the target listens to stay inputs.
+    """
+    composite = compose(environment, target)
+    if cleanup:
+        composite.net = trim(composite.net)
+    private = environment.signals() - target.signals()
+    # hide_signals requires the hidden signals to be outputs of the
+    # composite; environment-private inputs (driven by the outside
+    # world) are declared internal for the projection.
+    reducible = set(private)
+    reduced = Stg(
+        composite.net,
+        inputs=composite.inputs - reducible,
+        outputs=composite.outputs - reducible,
+        internals=composite.internals | reducible,
+        initial_values=composite.initial_values,
+    )
+    # Hide one *transition* at a time, cheapest first (smallest
+    # |preset| x |postset| product), trimming in between: each
+    # contraction duplicates the successors of the hidden transition and
+    # most duplicates are dead (Section 5.2) — removing them before the
+    # next contraction, and contracting small joins before they are
+    # inflated by other contractions, keeps the intermediate nets small.
+    from repro.algebra.hide import hide_transition
+    from repro.stg.stg import signal_actions
+
+    labels = signal_actions(reduced.net.actions, reducible)
+    net = reduced.net
+    while True:
+        candidates = [
+            t
+            for _, t in sorted(net.transitions.items())
+            if t.action in labels
+        ]
+        if not candidates:
+            break
+        cheapest = min(
+            candidates, key=lambda t: (len(t.preset) * len(t.postset), t.tid)
+        )
+        if cheapest.preset == cheapest.postset:
+            # Unobservable no-op loop (see repro.algebra.hide.hide).
+            net.remove_transition(cheapest.tid)
+            continue
+        if cheapest.preset & cheapest.postset:
+            # Partial self-loop (read arc): Definition 4.10 does not
+            # contract it.  Fall back to the paper's hide' for this one
+            # transition — relabel to epsilon, which preserves the
+            # visible language and keeps the dummy in the derived STG.
+            from repro.petri.net import EPSILON
+
+            net.remove_transition(cheapest.tid)
+            net.add_transition(
+                cheapest.preset, EPSILON, cheapest.postset, tid=cheapest.tid
+            )
+            continue
+        net = hide_transition(net, cheapest.tid, fast_path=fast_path)
+        if cleanup:
+            net = trim(net)
+    net.actions -= labels
+    reduced = Stg(
+        net,
+        inputs=reduced.inputs,
+        outputs=reduced.outputs,
+        internals=reduced.internals - reducible,
+        initial_values={
+            signal: level
+            for signal, level in reduced.initial_values.items()
+            if signal not in reducible
+        },
+    )
+    reduced.net.name = f"{target.name}_simplified"
+    # Restore the target's own I/O split on the surviving signals.
+    return Stg(
+        reduced.net,
+        inputs=target.inputs & reduced.signals(),
+        outputs=target.outputs & reduced.signals(),
+        internals=target.internals & reduced.signals(),
+        initial_values={
+            signal: level
+            for signal, level in reduced.initial_values.items()
+            if signal in target.signals()
+        },
+    )
+
+
+def compositional_reduction(m1: Stg, m2: Stg, **kwargs) -> tuple[Stg, Stg]:
+    """The Section 5.2 pair: reduce each module against the other.
+
+    Returns ``(hide(M1||M2, A2\\A1), hide(M1||M2, A1\\A2))`` — the nets
+    to synthesize instead of ``M1`` and ``M2``.
+    """
+    return (
+        simplify_against_environment(m1, m2, **kwargs),
+        simplify_against_environment(m2, m1, **kwargs),
+    )
+
+
+def reduction_report(original: Stg, reduced: Stg, max_states: int = 1_000_000) -> ReductionReport:
+    """Size comparison between a module and its reduced version."""
+    from repro.petri.reachability import ReachabilityGraph
+
+    original_graph = ReachabilityGraph(original.net, max_states=max_states)
+    reduced_graph = ReachabilityGraph(reduced.net, max_states=max_states)
+    return ReductionReport(
+        original_places=len(original.net.places),
+        original_transitions=len(original.net.transitions),
+        original_states=original_graph.num_states(),
+        reduced_places=len(reduced.net.places),
+        reduced_transitions=len(reduced.net.transitions),
+        reduced_states=reduced_graph.num_states(),
+    )
+
+
+def verify_theorem_51(target: Stg, environment: Stg, max_states: int = 1_000_000) -> bool:
+    """Check Theorem 5.1 on a concrete pair:
+    ``project(L(env || target), A_target)  subset-of  L(target)``."""
+    from repro.petri.net import EPSILON
+    from repro.stg.stg import signal_actions
+    from repro.verify.language import language_contained
+
+    composite = compose(environment, target)
+    target_actions = signal_actions(
+        composite.net.actions, target.signals()
+    )
+    silent = (composite.net.actions - target_actions) | {EPSILON}
+    return language_contained(
+        composite.net, target.net, silent=silent, max_states=max_states
+    )

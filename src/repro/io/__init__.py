@@ -1,0 +1,39 @@
+"""Interchange formats: astg ``.g``, Graphviz DOT, JSON."""
+
+from repro.io.astg import (
+    AstgFormatError,
+    load_astg,
+    parse_astg,
+    save_astg,
+    write_astg,
+)
+from repro.io.dot import cip_to_dot, net_to_dot, stg_to_dot
+from repro.io.json_io import (
+    dumps,
+    load,
+    loads,
+    net_from_dict,
+    net_to_dict,
+    save,
+    stg_from_dict,
+    stg_to_dict,
+)
+
+__all__ = [
+    "AstgFormatError",
+    "cip_to_dot",
+    "dumps",
+    "load",
+    "load_astg",
+    "loads",
+    "net_from_dict",
+    "net_to_dict",
+    "net_to_dot",
+    "parse_astg",
+    "save",
+    "save_astg",
+    "stg_from_dict",
+    "stg_to_dict",
+    "stg_to_dot",
+    "write_astg",
+]

@@ -1,0 +1,264 @@
+"""Read/write the astg ``.g`` interchange format (SIS / petrify style).
+
+Supported subset::
+
+    .model name
+    .inputs a b c
+    .outputs x y
+    .internal z
+    .dummy e1 e2
+    .graph
+    a+ x+ p1          # arcs from a transition to transitions/places
+    p1 b-             # arcs from an explicit place
+    .marking { p1 <a+,x+> }
+    .end
+
+* Signal transitions are written ``s+`` / ``s-`` / ``s~`` (also the
+  extended kinds); repeated occurrences of the same label use the
+  ``s+/2`` instance notation.
+* Implicit places between two transitions are accepted in markings via
+  ``<t1,t2>`` and are materialised as explicit places on reading.
+* Dummy events declared with ``.dummy`` are mapped to epsilon-labeled
+  transitions (their instance names are preserved through a round
+  trip).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.stg.stg import Stg
+
+
+class AstgFormatError(ValueError):
+    """Malformed .g input."""
+
+
+def _instance_label(name: str) -> tuple[str, int]:
+    """Split ``a+/2`` into (``a+``, 2); instance defaults to 1."""
+    if "/" in name:
+        label, _, instance = name.partition("/")
+        try:
+            return label, int(instance)
+        except ValueError as exc:
+            raise AstgFormatError(f"bad instance suffix in {name!r}") from exc
+    return name, 1
+
+
+def parse_astg(text: str) -> Stg:
+    """Parse a ``.g`` description into an :class:`Stg`."""
+    name = "astg"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    internals: list[str] = []
+    dummies: set[str] = set()
+    graph_lines: list[list[str]] = []
+    marking_tokens: list[str] = []
+    section = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if directive == ".model":
+                name = rest or name
+            elif directive == ".inputs":
+                inputs += rest.split()
+            elif directive == ".outputs":
+                outputs += rest.split()
+            elif directive in (".internal", ".internals"):
+                internals += rest.split()
+            elif directive == ".dummy":
+                dummies.update(rest.split())
+            elif directive == ".graph":
+                section = "graph"
+            elif directive == ".marking":
+                marking_tokens += rest.replace("{", " ").replace("}", " ").split()
+                section = None
+            elif directive == ".end":
+                section = None
+            elif directive in (".capacity", ".slowenv", ".silent"):
+                continue  # tolerated, ignored
+            else:
+                raise AstgFormatError(f"unknown directive {directive!r}")
+            continue
+        if section == "graph":
+            graph_lines.append(line.split())
+        else:
+            raise AstgFormatError(f"unexpected line outside .graph: {line!r}")
+
+    signal_names = set(inputs) | set(outputs) | set(internals)
+
+    def is_transition_name(token: str) -> bool:
+        label, _ = _instance_label(token)
+        if label in dummies:
+            return True
+        return any(
+            label == f"{signal}{suffix}"
+            for signal in signal_names
+            for suffix in "+-~=#*"
+        )
+
+    # First pass: discover transitions and explicit places.
+    transition_names: set[str] = set()
+    place_names: set[str] = set()
+    for tokens in graph_lines:
+        for token in tokens:
+            if is_transition_name(token):
+                transition_names.add(token)
+            else:
+                place_names.add(token)
+
+    # Arcs.
+    arcs: list[tuple[str, str]] = []
+    for tokens in graph_lines:
+        if not tokens:
+            continue
+        source, targets = tokens[0], tokens[1:]
+        for target in targets:
+            arcs.append((source, target))
+
+    # Implicit places between two transitions.
+    net = PetriNet(name)
+    for place in place_names:
+        net.add_place(place)
+    presets: dict[str, set[str]] = defaultdict(set)
+    postsets: dict[str, set[str]] = defaultdict(set)
+    implicit: dict[tuple[str, str], str] = {}
+
+    def implicit_place(source: str, target: str) -> str:
+        key = (source, target)
+        if key not in implicit:
+            implicit[key] = f"<{source},{target}>"
+            net.add_place(implicit[key])
+        return implicit[key]
+
+    for source, target in arcs:
+        source_is_t = source in transition_names
+        target_is_t = target in transition_names
+        if source_is_t and target_is_t:
+            place = implicit_place(source, target)
+            postsets[source].add(place)
+            presets[target].add(place)
+        elif source_is_t and not target_is_t:
+            postsets[source].add(target)
+        elif not source_is_t and target_is_t:
+            presets[target].add(source)
+        else:
+            raise AstgFormatError(
+                f"place-to-place arc {source!r} -> {target!r}"
+            )
+
+    for transition in sorted(transition_names):
+        label, _ = _instance_label(transition)
+        action = EPSILON if label in dummies else label
+        net.add_transition(presets[transition], action, postsets[transition])
+
+    # Marking: explicit place names or <t1,t2> implicit places.
+    counts: dict[str, int] = {}
+    index = 0
+    while index < len(marking_tokens):
+        token = marking_tokens[index]
+        if token.startswith("<") and not token.endswith(">"):
+            # re-join "<a+," "b->" style splits
+            joined = token
+            while not joined.endswith(">") and index + 1 < len(marking_tokens):
+                index += 1
+                joined += marking_tokens[index]
+            token = joined
+        index += 1
+        count = 1
+        if "=" in token:
+            token, _, count_text = token.partition("=")
+            count = int(count_text)
+        if token.startswith("<") and token.endswith(">"):
+            inner = token[1:-1]
+            source, _, target = inner.partition(",")
+            place = implicit.get((source, target))
+            if place is None:
+                raise AstgFormatError(f"marking names unknown implicit place {token}")
+            counts[place] = count
+        else:
+            if token not in net.places:
+                if is_transition_name(token):
+                    raise AstgFormatError(
+                        f"marking names a transition: {token!r}"
+                    )
+                # A marked place with no arcs never appears in .graph;
+                # the marking is its only mention, so declare it here.
+                net.add_place(token)
+            counts[token] = count
+    net.set_initial(Marking(counts))
+    return Stg(net, inputs=inputs, outputs=outputs, internals=internals)
+
+
+def write_astg(stg: Stg) -> str:
+    """Serialize an :class:`Stg` into ``.g`` text (explicit places).
+
+    Transitions sharing a label get ``/k`` instance suffixes; epsilon
+    transitions become ``.dummy`` events ``eps_<tid>``.
+    """
+    net = stg.net
+    lines = [f".model {net.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(sorted(stg.inputs)))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(sorted(stg.outputs)))
+    if stg.internals:
+        lines.append(".internal " + " ".join(sorted(stg.internals)))
+    label_counts: dict[str, int] = defaultdict(int)
+    transition_name: dict[int, str] = {}
+    dummies: list[str] = []
+    for tid, transition in sorted(net.transitions.items()):
+        if transition.action == EPSILON:
+            name = f"eps_{tid}"
+            dummies.append(name)
+        else:
+            label_counts[transition.action] += 1
+            occurrence = label_counts[transition.action]
+            name = (
+                transition.action
+                if occurrence == 1
+                else f"{transition.action}/{occurrence}"
+            )
+        transition_name[tid] = name
+    if dummies:
+        lines.append(".dummy " + " ".join(dummies))
+    lines.append(".graph")
+
+    def place_token(place: str) -> str:
+        return place.replace(" ", "_")
+
+    for tid, transition in sorted(net.transitions.items()):
+        targets = " ".join(place_token(p) for p in sorted(transition.postset))
+        if targets:
+            lines.append(f"{transition_name[tid]} {targets}")
+    for place in sorted(net.places):
+        consumers = [
+            transition_name[t.tid] for t in net.consumers(place)
+        ]
+        if consumers:
+            lines.append(f"{place_token(place)} " + " ".join(consumers))
+    marked = " ".join(
+        place_token(place) if count == 1 else f"{place_token(place)}={count}"
+        for place, count in sorted(net.initial.items())
+    )
+    lines.append(f".marking {{ {marked} }}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def load_astg(path: str) -> Stg:
+    """Read a ``.g`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_astg(handle.read())
+
+
+def save_astg(stg: Stg, path: str) -> None:
+    """Write a ``.g`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_astg(stg))

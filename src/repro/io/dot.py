@@ -1,0 +1,79 @@
+"""Graphviz DOT export for nets, STGs and CIP block diagrams."""
+
+from __future__ import annotations
+
+from repro.core.cip import Cip
+from repro.petri.net import EPSILON, PetriNet
+from repro.stg.stg import Stg
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def net_to_dot(net: PetriNet, stg: Stg | None = None) -> str:
+    """A DOT digraph: circles for places (token count shown), boxes for
+    transitions.  With an :class:`Stg` supplied, input events are drawn
+    dashed and guards become edge labels."""
+    lines = [f"digraph {_quote(net.name)} {{", "  rankdir=TB;"]
+    for place in sorted(net.places):
+        tokens = net.initial[place]
+        label = place if not tokens else f"{place}\\n{'●' * min(tokens, 3)}"
+        lines.append(
+            f"  {_quote('p_' + place)} [shape=circle, label={_quote(label)}];"
+        )
+    for tid, transition in sorted(net.transitions.items()):
+        style = ""
+        if transition.action == EPSILON:
+            style = ", style=filled, fillcolor=lightgray"
+        elif stg is not None and stg.is_input_action(transition.action):
+            style = ", style=dashed"
+        lines.append(
+            f"  {_quote('t_' + str(tid))} [shape=box,"
+            f" label={_quote(transition.action)}{style}];"
+        )
+        for place in sorted(transition.preset):
+            guard = net.guard_of(place, tid)
+            attr = f" [label={_quote(str(guard))}]" if guard is not None else ""
+            lines.append(
+                f"  {_quote('p_' + place)} -> {_quote('t_' + str(tid))}{attr};"
+            )
+        for place in sorted(transition.postset):
+            lines.append(
+                f"  {_quote('t_' + str(tid))} -> {_quote('p_' + place)};"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def stg_to_dot(stg: Stg) -> str:
+    """DOT export of an STG with I/O styling."""
+    return net_to_dot(stg.net, stg)
+
+
+def cip_to_dot(cip: Cip) -> str:
+    """The block diagram of a CIP (Figure 4 style): one node per module,
+    solid edges for wires, bold edges for abstract channels."""
+    lines = [f"digraph {_quote(cip.name)} {{", "  rankdir=LR;"]
+    for name, stg in sorted(cip.modules.items()):
+        label = (
+            f"{name}\\nin: {', '.join(sorted(stg.inputs)) or '-'}"
+            f"\\nout: {', '.join(sorted(stg.outputs)) or '-'}"
+        )
+        lines.append(f"  {_quote(name)} [shape=box, label={_quote(label)}];")
+    for wire in sorted(cip.wires):
+        spec = cip.wires[wire]
+        for listener in spec.listeners:
+            lines.append(
+                f"  {_quote(spec.driver)} -> {_quote(listener)}"
+                f" [label={_quote(wire)}];"
+            )
+    for channel in sorted(cip.channels):
+        spec = cip.channels[channel]
+        label = channel if not spec.values else f"{channel}({len(spec.values)})"
+        lines.append(
+            f"  {_quote(spec.sender)} -> {_quote(spec.receiver)}"
+            f" [label={_quote(label)}, style=bold, color=blue];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

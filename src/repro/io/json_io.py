@@ -1,0 +1,99 @@
+"""Lossless JSON serialization of nets and STGs (guards included)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.guards import Guard, parse_guard
+from repro.stg.stg import Stg
+
+FORMAT_VERSION = 1
+
+
+def net_to_dict(net: PetriNet) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "name": net.name,
+        "actions": sorted(net.actions),
+        "places": sorted(net.places),
+        "transitions": [
+            {
+                "tid": tid,
+                "preset": sorted(t.preset),
+                "action": t.action,
+                "postset": sorted(t.postset),
+            }
+            for tid, t in sorted(net.transitions.items())
+        ],
+        "initial": {place: count for place, count in sorted(net.initial.items())},
+        "guards": [
+            {"place": place, "tid": tid, "guard": str(guard)}
+            for (place, tid), guard in sorted(
+                net.input_guards.items(), key=lambda item: (item[0][1], item[0][0])
+            )
+            if isinstance(guard, Guard)
+        ],
+    }
+
+
+def net_from_dict(data: dict) -> PetriNet:
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {data.get('version')!r}")
+    net = PetriNet(data["name"], data["actions"], data["places"])
+    for entry in data["transitions"]:
+        net.add_transition(
+            entry["preset"], entry["action"], entry["postset"], tid=entry["tid"]
+        )
+    net.set_initial(Marking(data["initial"]))
+    for entry in data.get("guards", ()):
+        net.set_guard(entry["place"], entry["tid"], parse_guard(entry["guard"]))
+    return net
+
+
+def stg_to_dict(stg: Stg) -> dict:
+    return {
+        "net": net_to_dict(stg.net),
+        "inputs": sorted(stg.inputs),
+        "outputs": sorted(stg.outputs),
+        "internals": sorted(stg.internals),
+        "initial_values": {
+            signal: ("X" if level is None else level)
+            for signal, level in sorted(stg.initial_values.items())
+        },
+    }
+
+
+def stg_from_dict(data: dict) -> Stg:
+    values = {
+        signal: (None if level == "X" else level)
+        for signal, level in data.get("initial_values", {}).items()
+    }
+    return Stg(
+        net_from_dict(data["net"]),
+        inputs=data.get("inputs", ()),
+        outputs=data.get("outputs", ()),
+        internals=data.get("internals", ()),
+        initial_values=values,
+    )
+
+
+def dumps(stg: Stg, indent: int | None = 2) -> str:
+    """Serialize an STG to a JSON string."""
+    return json.dumps(stg_to_dict(stg), indent=indent)
+
+
+def loads(text: str) -> Stg:
+    """Deserialize an STG from a JSON string."""
+    return stg_from_dict(json.loads(text))
+
+
+def save(stg: Stg, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(stg))
+
+
+def load(path: str) -> Stg:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,202 @@
+"""A library of classic asynchronous modules as STGs.
+
+Used by the examples and tests; the arbiter demonstrates why the paper
+insists on *general* Petri nets (arbiters cannot be modeled as marked
+graphs or free-choice nets).
+"""
+
+from __future__ import annotations
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.stg import Stg
+
+
+def four_phase_master(req: str = "r", ack: str = "a", name: str = "master") -> Stg:
+    """Active handshake side: drives ``req``, observes ``ack``."""
+    net = PetriNet(name)
+    net.add_transition({"m0"}, f"{req}+", {"m1"})
+    net.add_transition({"m1"}, f"{ack}+", {"m2"})
+    net.add_transition({"m2"}, f"{req}-", {"m3"})
+    net.add_transition({"m3"}, f"{ack}-", {"m0"})
+    net.set_initial(Marking({"m0": 1}))
+    return Stg(net, inputs={ack}, outputs={req})
+
+
+def four_phase_slave(req: str = "r", ack: str = "a", name: str = "slave") -> Stg:
+    """Passive handshake side: observes ``req``, drives ``ack``."""
+    net = PetriNet(name)
+    net.add_transition({"s0"}, f"{req}+", {"s1"})
+    net.add_transition({"s1"}, f"{ack}+", {"s2"})
+    net.add_transition({"s2"}, f"{req}-", {"s3"})
+    net.add_transition({"s3"}, f"{ack}-", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return Stg(net, inputs={req}, outputs={ack})
+
+
+def two_phase_buffer_stage(
+    left_req: str, left_ack: str, right_req: str, right_ack: str, name: str
+) -> Stg:
+    """A transition-signaling FIFO stage: accept on the left handshake,
+    pass on via the right, and only acknowledge left once the right
+    side has acknowledged.
+
+    The fully sequential discipline keeps a chain of stages *receptive*:
+    a stage signals ``left_ack`` exactly when it is ready for the next
+    ``left_req``, so no event can ever arrive at an unready stage.
+    """
+    net = PetriNet(name)
+    net.add_transition({"b0"}, f"{left_req}~", {"b1"})
+    net.add_transition({"b1"}, f"{right_req}~", {"b2"})
+    net.add_transition({"b2"}, f"{right_ack}~", {"b3"})
+    net.add_transition({"b3"}, f"{left_ack}~", {"b0"})
+    net.set_initial(Marking({"b0": 1}))
+    return Stg(
+        net,
+        inputs={left_req, right_ack},
+        outputs={left_ack, right_req},
+    )
+
+
+def muller_c_element(x: str = "x", y: str = "y", c: str = "c") -> Stg:
+    """The Muller C-element: ``c`` rises after both inputs rise and
+    falls after both fall."""
+    net = PetriNet("c_element")
+    net.add_transition({"x0"}, f"{x}+", {"x1"})
+    net.add_transition({"y0"}, f"{y}+", {"y1"})
+    net.add_transition({"x1", "y1"}, f"{c}+", {"x2", "y2"})
+    net.add_transition({"x2"}, f"{x}-", {"x3"})
+    net.add_transition({"y2"}, f"{y}-", {"y3"})
+    net.add_transition({"x3", "y3"}, f"{c}-", {"x0", "y0"})
+    net.set_initial(Marking({"x0": 1, "y0": 1}))
+    return Stg(net, inputs={x, y}, outputs={c})
+
+
+def toggle_element(inp: str = "t", out0: str = "q0", out1: str = "q1") -> Stg:
+    """A toggle: input events alternate between the two outputs."""
+    net = PetriNet("toggle")
+    net.add_transition({"g0"}, f"{inp}~", {"g1"})
+    net.add_transition({"g1"}, f"{out0}~", {"g2"})
+    net.add_transition({"g2"}, f"{inp}~", {"g3"})
+    net.add_transition({"g3"}, f"{out1}~", {"g0"})
+    net.set_initial(Marking({"g0": 1}))
+    return Stg(net, inputs={inp}, outputs={out0, out1})
+
+
+def mutex_arbiter() -> Stg:
+    """A two-user mutual-exclusion arbiter — a *general* Petri net.
+
+    The shared ``mutex`` place makes the grant transitions compete for
+    one token while each also needs its private request: the conflicts
+    are neither free-choice nor asymmetric.  This net is the paper's
+    argument (Section 5.1) for defining the algebra on general nets.
+    """
+    net = PetriNet("arbiter")
+    net.add_transition({"idle1"}, "r1+", {"req1"})
+    net.add_transition({"idle2"}, "r2+", {"req2"})
+    net.add_transition({"req1", "mutex"}, "g1+", {"crit1"})
+    net.add_transition({"req2", "mutex"}, "g2+", {"crit2"})
+    net.add_transition({"crit1"}, "r1-", {"rel1"})
+    net.add_transition({"crit2"}, "r2-", {"rel2"})
+    net.add_transition({"rel1"}, "g1-", {"idle1", "mutex"})
+    net.add_transition({"rel2"}, "g2-", {"idle2", "mutex"})
+    net.set_initial(Marking({"idle1": 1, "idle2": 1, "mutex": 1}))
+    return Stg(net, inputs={"r1", "r2"}, outputs={"g1", "g2"})
+
+
+def merge_element(in0: str = "m0", in1: str = "m1", out: str = "z") -> Stg:
+    """A 2-phase merge: an event on either input produces an output
+    event.  The inputs must alternate with outputs (one at a time)."""
+    net = PetriNet("merge")
+    net.add_transition({"w"}, f"{in0}~", {"fire"})
+    net.add_transition({"w"}, f"{in1}~", {"fire"})
+    net.add_transition({"fire"}, f"{out}~", {"w"})
+    net.set_initial(Marking({"w": 1}))
+    return Stg(net, inputs={in0, in1}, outputs={out})
+
+
+def call_element(
+    req0: str = "r0",
+    req1: str = "r1",
+    sub_req: str = "sr",
+    sub_ack: str = "sa",
+    ack0: str = "a0",
+    ack1: str = "a1",
+) -> Stg:
+    """A 2-phase call element: two clients share one subroutine.
+
+    A request on either client port forwards to the subroutine; its
+    acknowledge is routed back to whichever client called — the element
+    must remember the caller (the classic 'call' control module).
+    """
+    net = PetriNet("call")
+    net.add_transition({"idle"}, f"{req0}~", {"busy0"})
+    net.add_transition({"idle"}, f"{req1}~", {"busy1"})
+    net.add_transition({"busy0"}, f"{sub_req}~", {"wait0"})
+    net.add_transition({"busy1"}, f"{sub_req}~", {"wait1"})
+    net.add_transition({"wait0"}, f"{sub_ack}~", {"done0"})
+    net.add_transition({"wait1"}, f"{sub_ack}~", {"done1"})
+    net.add_transition({"done0"}, f"{ack0}~", {"idle"})
+    net.add_transition({"done1"}, f"{ack1}~", {"idle"})
+    net.set_initial(Marking({"idle": 1}))
+    return Stg(
+        net,
+        inputs={req0, req1, sub_ack},
+        outputs={sub_req, ack0, ack1},
+    )
+
+
+def decision_wait(
+    row: str = "dr", col: str = "dc", out: str = "dw"
+) -> Stg:
+    """A 1x1 decision-wait: fires the output only after *both* the row
+    and the column input have arrived (2-phase join)."""
+    net = PetriNet("decision_wait")
+    net.add_transition({"wr"}, f"{row}~", {"gr"})
+    net.add_transition({"wc"}, f"{col}~", {"gc"})
+    net.add_transition({"gr", "gc"}, f"{out}~", {"wr", "wc"})
+    net.set_initial(Marking({"wr": 1, "wc": 1}))
+    return Stg(net, inputs={row, col}, outputs={out})
+
+
+def vme_bus_controller() -> Stg:
+    """The VME bus controller (read cycle) — the canonical CSC example.
+
+    Inputs ``dsr`` (data send request) and ``ldtack`` (local device
+    acknowledge); outputs ``lds`` (local device select), ``d`` (data
+    latch) and ``dtack``.  After ``d-`` the bus-side release
+    (``dtack-``) and the device-side release (``lds- ; ldtack-``) run
+    concurrently; the next ``lds+`` must wait for ``ldtack-``.  The STG
+    is consistent and persistent but has one CSC conflict, classically
+    resolved by a single internal state signal
+    (:func:`repro.stg.csc_resolution.resolve_csc`).
+    """
+    net = PetriNet("vme_read")
+    net.add_transition({"p0"}, "dsr+", {"p1"})
+    net.add_transition({"p1", "ready"}, "lds+", {"p2"})
+    net.add_transition({"p2"}, "ldtack+", {"p3"})
+    net.add_transition({"p3"}, "d+", {"p4"})
+    net.add_transition({"p4"}, "dtack+", {"p5"})
+    net.add_transition({"p5"}, "dsr-", {"p6"})
+    net.add_transition({"p6"}, "d-", {"p7", "p8"})
+    net.add_transition({"p7"}, "dtack-", {"p0"})
+    net.add_transition({"p8"}, "lds-", {"p9"})
+    net.add_transition({"p9"}, "ldtack-", {"ready"})
+    net.set_initial(Marking({"p0": 1, "ready": 1}))
+    return Stg(net, inputs={"dsr", "ldtack"}, outputs={"lds", "d", "dtack"})
+
+
+def pipeline(stages: int) -> list[Stg]:
+    """A chain of 2-phase buffer stages, ready for n-ary composition."""
+    modules = []
+    for index in range(stages):
+        modules.append(
+            two_phase_buffer_stage(
+                left_req=f"d{index}",
+                left_ack=f"k{index}",
+                right_req=f"d{index + 1}",
+                right_ack=f"k{index + 1}",
+                name=f"stage{index}",
+            )
+        )
+    return modules

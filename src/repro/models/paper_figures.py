@@ -1,0 +1,137 @@
+"""The example nets of the paper's Figures 1-3, built programmatically.
+
+These small nets illustrate the algebra operators; the case-study nets
+of Figures 4-9 live in :mod:`repro.models.protocol_translator`.
+"""
+
+from __future__ import annotations
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+#: The label of the hidden transition in the Figure 3 nets.
+FIG3_HIDDEN_LABEL = "u"
+
+
+def fig1_left() -> PetriNet:
+    """A cyclic process ``(a.b)*`` whose initial place lies on a loop.
+
+    Figure 1's point: in ``fig1_left() + fig1_right()`` a loop iteration
+    must *not* allow crossing into the other branch, which naive
+    initial-place merging would permit; root unwinding prevents it.
+    """
+    net = PetriNet("loop_ab")
+    net.add_transition({"s0"}, "a", {"s1"})
+    net.add_transition({"s1"}, "b", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return net
+
+
+def fig1_right() -> PetriNet:
+    """The second operand of the Figure 1 choice: ``(c.d)*``."""
+    net = PetriNet("loop_cd")
+    net.add_transition({"r0"}, "c", {"r1"})
+    net.add_transition({"r1"}, "d", {"r0"})
+    net.set_initial(Marking({"r0": 1}))
+    return net
+
+
+def fig1_naive_choice() -> PetriNet:
+    """The *incorrect* choice construction Figure 1 warns about.
+
+    The initial places of both loops are merged into one shared place,
+    so after one iteration of ``a.b`` the token returns to the shared
+    place and the ``c`` branch becomes enabled again — the trace
+    ``a.b.c`` appears although it is in neither ``L(N1)`` nor ``L(N2)``.
+    """
+    net = PetriNet("naive_choice")
+    net.add_transition({"m"}, "a", {"s1"})
+    net.add_transition({"s1"}, "b", {"m"})
+    net.add_transition({"m"}, "c", {"r1"})
+    net.add_transition({"r1"}, "d", {"m"})
+    net.set_initial(Marking({"m": 1}))
+    return net
+
+
+def fig2_left() -> PetriNet:
+    """``((a+b).c)*`` — the left operand of Figure 2's composition."""
+    net = PetriNet("ab_then_c")
+    net.add_transition({"s0"}, "a", {"s1"})
+    net.add_transition({"s0"}, "b", {"s1"})
+    net.add_transition({"s1"}, "c", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return net
+
+
+def fig2_right() -> PetriNet:
+    """``(a.d.a.e)*`` — the right operand of Figure 2's composition."""
+    net = PetriNet("adae")
+    net.add_transition({"r0"}, "a", {"r1"})
+    net.add_transition({"r1"}, "d", {"r2"})
+    net.add_transition({"r2"}, "a", {"r3"})
+    net.add_transition({"r3"}, "e", {"r0"})
+    net.set_initial(Marking({"r0": 1}))
+    return net
+
+
+def fig3_general() -> PetriNet:
+    """A general net exercising every role around a hidden transition.
+
+    The hidden transition ``u`` has preset ``{p1, p2}`` and postset
+    ``{q1, q2}``.  Around it (mirroring the roles discussed for
+    Figure 3):
+
+    * ``a``/``b`` produce into ``p1``/``p2`` (predecessors),
+    * ``c``/``d`` consume ``p1``/``p2`` (conflicts with ``u``),
+    * ``e``/``f`` produce into ``q1``/``q2`` (other producers of the
+      postset),
+    * ``g``/``h`` consume ``q1``/``q2`` individually and ``i`` consumes
+      both (successors, which hiding must keep *and* duplicate),
+    * ``j`` consumes ``q1`` together with an unrelated place.
+
+    The net is bounded (one-shot sources), so languages are comparable
+    exactly.
+    """
+    net = PetriNet("fig3_general")
+    net.add_transition({"ra"}, "a", {"p1"})
+    net.add_transition({"rb"}, "b", {"p2"})
+    net.add_transition({"p1"}, "c", {"rc"})
+    net.add_transition({"p2"}, "d", {"rd"})
+    net.add_transition({"re"}, "e", {"q1"})
+    net.add_transition({"rf"}, "f", {"q2"})
+    net.add_transition({"p1", "p2"}, FIG3_HIDDEN_LABEL, {"q1", "q2"})
+    net.add_transition({"q1"}, "g", {"rg"})
+    net.add_transition({"q2"}, "h", {"rh"})
+    net.add_transition({"q1", "q2"}, "i", {"ri"})
+    net.add_transition({"q1", "rj"}, "j", {"rk"})
+    net.set_initial(Marking({"ra": 1, "rb": 1, "re": 1, "rf": 1, "rj": 1}))
+    return net
+
+
+def fig3_marked_graph() -> PetriNet:
+    """Figure 3(c)'s setting: the hidden transition inside a live-safe
+    strongly connected marked graph (no conflicts, no extra producers).
+
+    ``u`` again has preset ``{p1, p2}`` and postset ``{q1, q2}``; the
+    surrounding cycle makes every place 1-bounded and every transition
+    live, so the simplified contraction of Section 4.4 applies.
+    """
+    net = PetriNet("fig3_marked_graph")
+    net.add_transition({"s1"}, "b", {"p1"})
+    net.add_transition({"s2"}, "c", {"p2"})
+    net.add_transition({"p1", "p2"}, FIG3_HIDDEN_LABEL, {"q1", "q2"})
+    net.add_transition({"q1"}, "g", {"s1"})
+    net.add_transition({"q2"}, "i", {"s2"})
+    net.set_initial(Marking({"s1": 1, "s2": 1}))
+    return net
+
+
+def fig3_simple_chain() -> PetriNet:
+    """The Section 4.4 fast-path case: one conflict-free input place and
+    one output place — hiding collapses the two places."""
+    net = PetriNet("fig3_chain")
+    net.add_transition({"s0"}, "a", {"p"})
+    net.add_transition({"p"}, FIG3_HIDDEN_LABEL, {"q"})
+    net.add_transition({"q"}, "b", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return net

@@ -1,0 +1,313 @@
+"""The Section 6 case study: an I2C-like protocol translation design.
+
+The design (Figure 4) has three blocks:
+
+* the **sender** converts transition-signaled commands (*rec*, *reset*,
+  *send0*, *send1*, each a toggle on its own wire) into a 4-phase
+  protocol on the command wires ``a0/a1/b0/b1`` acknowledged by ``n``
+  (Table 1a, Figure 5);
+* the **protocol translator** (Figure 7) acknowledges sender commands
+  and forwards them as 4-phase commands on ``p0/p1/q0/q1`` acknowledged
+  by ``r``; a *rec* command makes it sample the ``DATA``/``STROBE``
+  lines once they stabilize and forward a command chosen by their
+  levels;
+* the **receiver** (Figure 6) converts the 4-phase commands back into
+  toggle outputs *start*, *mute*, *zero*, *one* (Table 1b).
+
+Modeling notes (the receptiveness discipline of Section 5.3):
+
+* a module's choice between incoming commands is resolved by *which
+  wires rise* (one watch place per wire group), never by an internal
+  epsilon choice made before the wires arrive;
+* the translator keeps its wire-watch places marked while it forwards a
+  command; only the acknowledge ``n+`` is gated by a forwarding mutex.
+  Thus a new sender command may *arrive* (wires rise) while the
+  previous one is still being forwarded — the sender is only stalled at
+  the acknowledge, and every output of every block finds its consumer
+  ready: the composition is receptive.
+
+Figure 8's **inconsistent sender** raises and lowers its command wires
+without waiting for the ``n`` acknowledge — the receptiveness check of
+Section 5.3 must flag it.  Figure 9 restricts the sender to *reset*,
+*send0* and *send1*; projecting the composition back onto the
+translator / receiver alphabets yields the **simplified** blocks.
+"""
+
+from __future__ import annotations
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.guards import lit
+from repro.stg.signals import fall, rise, stable, toggle, unstable
+from repro.stg.stg import Stg
+
+#: Table 1(a): sender command -> raised wire pair.
+SENDER_COMMANDS: dict[str, tuple[str, str]] = {
+    "rec": ("a0", "b0"),
+    "reset": ("a0", "b1"),
+    "send0": ("a1", "b0"),
+    "send1": ("a1", "b1"),
+}
+
+#: Table 1(b): raised wire pair -> receiver command.
+RECEIVER_COMMANDS: dict[str, tuple[str, str]] = {
+    "start": ("p0", "q0"),
+    "mute": ("p0", "q1"),
+    "zero": ("p1", "q0"),
+    "one": ("p1", "q1"),
+}
+
+#: Which receiver command the translator forwards for each sender
+#: command (Figure 7): reset -> start, send0 -> zero, send1 -> one.
+FORWARDING: dict[str, str] = {
+    "reset": "start",
+    "send0": "zero",
+    "send1": "one",
+}
+
+#: The data-dependent command sent after *rec*, keyed by the stabilized
+#: (STROBE, DATA) levels (Figure 7's guarded choice).
+REC_DISPATCH: dict[tuple[int, int], str] = {
+    (0, 0): "start",
+    (0, 1): "mute",
+    (1, 0): "zero",
+    (1, 1): "one",
+}
+
+SENDER_WIRES = ("a0", "a1", "b0", "b1")
+RECEIVER_WIRES = ("p0", "p1", "q0", "q1")
+COMMAND_INPUTS = tuple(SENDER_COMMANDS)
+RECEIVER_OUTPUTS = tuple(RECEIVER_COMMANDS)
+
+
+def _sender_command_cycle(
+    net: PetriNet, idle: str, command: str, wires: tuple[str, str], wait_ack: bool
+) -> None:
+    """One Figure 5(b/c) command cycle: toggle in, 4-phase out.
+
+    With ``wait_ack=False`` this builds the Figure 8 inconsistent
+    variant: the wires fall without waiting for ``n+`` (and ``n`` is
+    never read at all).
+    """
+    w1, w2 = wires
+    c = command
+    net.add_transition({idle}, toggle(c), {f"{c}_f1", f"{c}_f2"})
+    net.add_transition({f"{c}_f1"}, rise(w1), {f"{c}_g1"})
+    net.add_transition({f"{c}_f2"}, rise(w2), {f"{c}_g2"})
+    if wait_ack:
+        net.add_transition({f"{c}_g1", f"{c}_g2"}, rise("n"), {f"{c}_h1", f"{c}_h2"})
+        net.add_transition({f"{c}_h1"}, fall(w1), {f"{c}_k1"})
+        net.add_transition({f"{c}_h2"}, fall(w2), {f"{c}_k2"})
+        net.add_transition({f"{c}_k1", f"{c}_k2"}, fall("n"), {idle})
+    else:
+        net.add_transition({f"{c}_g1"}, fall(w1), {f"{c}_k1"})
+        net.add_transition({f"{c}_g2"}, fall(w2), {f"{c}_k2"})
+        net.add_transition({f"{c}_k1", f"{c}_k2"}, "eps", {idle})
+
+
+def sender(commands: tuple[str, ...] = COMMAND_INPUTS) -> Stg:
+    """The Figure 5 sender (or the Figure 9(a) restricted sender when
+    ``commands`` excludes ``rec``).
+
+    Inputs: the command toggles and the acknowledge ``n``.
+    Outputs: the 4-phase command wires ``a0/a1/b0/b1``.
+    """
+    full = set(commands) == set(COMMAND_INPUTS)
+    net = PetriNet("sender" if full else "sender_restricted")
+    net.add_place("idle", tokens=1)
+    for command in commands:
+        _sender_command_cycle(
+            net, "idle", command, SENDER_COMMANDS[command], wait_ack=True
+        )
+    used_wires = {w for c in commands for w in SENDER_COMMANDS[c]}
+    return Stg(
+        net,
+        inputs=set(commands) | {"n"},
+        outputs=used_wires,
+    )
+
+
+def restricted_sender() -> Stg:
+    """The Figure 9(a) sender: *rec* is never issued."""
+    return sender(commands=("reset", "send0", "send1"))
+
+
+def inconsistent_sender() -> Stg:
+    """The Figure 8 sender: command wires rise *and fall* without
+    waiting for the translator's ``n`` acknowledge — it does not
+    implement the 4-phase protocol and composition with the translator
+    must fail the receptiveness check."""
+    net = PetriNet("sender_inconsistent")
+    net.add_place("idle", tokens=1)
+    for command in COMMAND_INPUTS:
+        _sender_command_cycle(
+            net, "idle", command, SENDER_COMMANDS[command], wait_ack=False
+        )
+    return Stg(
+        net,
+        inputs=set(COMMAND_INPUTS),
+        outputs=set(SENDER_WIRES),
+    )
+
+
+def receiver(commands: tuple[str, ...] = RECEIVER_OUTPUTS) -> Stg:
+    """The Figure 6 receiver (or a hand-restricted variant).
+
+    Inputs: the 4-phase command wires ``p0/p1/q0/q1``.
+    Outputs: the acknowledge ``r`` and the toggles *start/mute/zero/one*.
+
+    Structure: two watch places (one for the ``p`` wire pair, one for
+    ``q``); whichever wire of each pair rises resolves the command; the
+    matching join emits the toggle, acknowledges with ``r+``, waits for
+    the wires to fall and closes the handshake with ``r-``, re-marking
+    the watch places.
+    """
+    full = set(commands) == set(RECEIVER_OUTPUTS)
+    net = PetriNet("receiver" if full else "receiver_restricted")
+    used_wires = sorted({w for c in commands for w in RECEIVER_COMMANDS[c]})
+    for wire in used_wires:
+        group = "wp" if wire in ("p0", "p1") else "wq"
+        net.add_transition({group}, rise(wire), {f"up_{wire}"})
+    net.set_initial(Marking({"wp": 1, "wq": 1}))
+    for command in commands:
+        w1, w2 = RECEIVER_COMMANDS[command]
+        c = command
+        net.add_transition({f"up_{w1}", f"up_{w2}"}, toggle(c), {f"{c}_t"})
+        net.add_transition({f"{c}_t"}, rise("r"), {f"{c}_h1", f"{c}_h2"})
+        net.add_transition({f"{c}_h1"}, fall(w1), {f"{c}_k1"})
+        net.add_transition({f"{c}_h2"}, fall(w2), {f"{c}_k2"})
+        net.add_transition({f"{c}_k1", f"{c}_k2"}, fall("r"), {"wp", "wq"})
+    return Stg(
+        net,
+        inputs=set(used_wires),
+        outputs=set(commands) | {"r"},
+    )
+
+
+def _translator_send(
+    net: PetriNet, start_places: set[str], command: str, done: str, tag: str
+) -> None:
+    """Translator's 4-phase send of ``command`` to the receiver: raise
+    the wire pair, wait for ``r+``, lower, wait for ``r-``."""
+    w1, w2 = RECEIVER_COMMANDS[command]
+    prefix = f"tx_{tag}"
+    net.add_transition(start_places, "eps", {f"{prefix}_f1", f"{prefix}_f2"})
+    net.add_transition({f"{prefix}_f1"}, rise(w1), {f"{prefix}_g1"})
+    net.add_transition({f"{prefix}_f2"}, rise(w2), {f"{prefix}_g2"})
+    net.add_transition(
+        {f"{prefix}_g1", f"{prefix}_g2"}, rise("r"), {f"{prefix}_h1", f"{prefix}_h2"}
+    )
+    net.add_transition({f"{prefix}_h1"}, fall(w1), {f"{prefix}_k1"})
+    net.add_transition({f"{prefix}_h2"}, fall(w2), {f"{prefix}_k2"})
+    net.add_transition({f"{prefix}_k1", f"{prefix}_k2"}, fall("r"), {done})
+
+
+def translator() -> Stg:
+    """The Figure 7 protocol translator.
+
+    Behaviour: send an initial *start* command; then repeatedly accept
+    one sender command (4-phase on ``a0/a1/b0/b1``, acknowledged with
+    ``n``); *reset*/*send0*/*send1* are forwarded as *start*/*zero*/*one*;
+    *rec* samples the ``DATA``/``STROBE`` lines after they stabilize and
+    forwards the command selected by their levels (guards), after which
+    the lines may become unstable again.
+
+    The wire-watch places ``wa``/``wb`` are re-marked at ``n-`` so the
+    next command's wires can rise while the current one is still being
+    forwarded; ``n+`` is gated by the forwarding mutex ``fwd_free``.
+    """
+    net = PetriNet("translator")
+    stg = Stg(
+        net,
+        inputs=set(SENDER_WIRES) | {"r", "DATA", "STROBE"},
+        outputs=set(RECEIVER_WIRES) | {"n"},
+        initial_values={"DATA": None, "STROBE": None},
+    )
+    # Boot: the initial start command; completing it releases fwd_free.
+    net.add_place("boot", tokens=1)
+    _translator_send(net, {"boot"}, "start", "fwd_free", "boot")
+
+    # Sender-side front end: one watch place per wire group.
+    for wire in SENDER_WIRES:
+        group = "wa" if wire in ("a0", "a1") else "wb"
+        net.add_transition({group}, rise(wire), {f"up_{wire}"})
+    counts = dict(net.initial)
+    counts.update({"wa": 1, "wb": 1})
+    net.set_initial(Marking(counts))
+
+    # Acknowledge + release per command combination; the n- re-marks the
+    # watch places and hands the command to the dispatcher.
+    for command, (w1, w2) in SENDER_COMMANDS.items():
+        c = command
+        net.add_transition(
+            {f"up_{w1}", f"up_{w2}", "fwd_free"},
+            rise("n"),
+            {f"rx_{c}_h1", f"rx_{c}_h2"},
+        )
+        net.add_transition({f"rx_{c}_h1"}, fall(w1), {f"rx_{c}_k1"})
+        net.add_transition({f"rx_{c}_h2"}, fall(w2), {f"rx_{c}_k2"})
+        net.add_transition(
+            {f"rx_{c}_k1", f"rx_{c}_k2"},
+            fall("n"),
+            {"wa", "wb", f"dispatch_{c}"},
+        )
+
+    # Straightforward forwarding for reset/send0/send1 (Figure 7).
+    for command, forwarded in FORWARDING.items():
+        _translator_send(
+            net, {f"dispatch_{command}"}, forwarded, "fwd_free", command
+        )
+
+    # rec: wait for DATA and STROBE to stabilize, dispatch on their
+    # levels via guards, then release the lines (unstable again).
+    net.add_transition({"dispatch_rec"}, stable("STROBE"), {"rec_s"})
+    net.add_transition({"rec_s"}, stable("DATA"), {"rec_sd"})
+    for (strobe_level, data_level), forwarded in REC_DISPATCH.items():
+        strobe_guard = lit("STROBE") if strobe_level else ~lit("STROBE")
+        data_guard = lit("DATA") if data_level else ~lit("DATA")
+        tag = f"rec{strobe_level}{data_level}"
+        choice_t = net.add_transition({"rec_sd"}, "eps", {f"{tag}_go"})
+        net.set_guard("rec_sd", choice_t.tid, strobe_guard & data_guard)
+        _translator_send(net, {f"{tag}_go"}, forwarded, f"{tag}_done", tag)
+        net.add_transition({f"{tag}_done"}, unstable("STROBE"), {f"{tag}_u"})
+        net.add_transition({f"{tag}_u"}, unstable("DATA"), {"fwd_free"})
+    return stg
+
+
+def simplified_translator() -> Stg:
+    """The Figure 9(b) simplified translator, *derived by the algebra*:
+    ``project(N_send || N_tr, A_tr)`` for the restricted sender."""
+    from repro.core.synthesis import simplify_against_environment
+
+    return simplify_against_environment(translator(), restricted_sender())
+
+
+def simplified_receiver() -> Stg:
+    """The Figure 9(c) simplified receiver, derived by projecting the
+    full restricted composition back onto the receiver's alphabet.
+
+    The environment of the receiver is the translator driven by the
+    restricted sender; using the *original* (uncontracted) modules as
+    the environment keeps the intermediate nets small."""
+    from repro.core.synthesis import simplify_against_environment
+    from repro.stg.stg import compose
+
+    environment = compose(restricted_sender(), translator())
+    return simplify_against_environment(receiver(), environment)
+
+
+def build_cip():
+    """The Figure 4 block diagram as a CIP: three modules, wired."""
+    from repro.core.cip import Cip
+
+    cip = Cip("protocol_translator")
+    cip.add_module("sender", sender())
+    cip.add_module("translator", translator())
+    cip.add_module("receiver", receiver())
+    for wire in SENDER_WIRES:
+        cip.add_wire(wire, "sender", "translator")
+    cip.add_wire("n", "translator", "sender")
+    for wire in RECEIVER_WIRES:
+        cip.add_wire(wire, "translator", "receiver")
+    cip.add_wire("r", "receiver", "translator")
+    return cip

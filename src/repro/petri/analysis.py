@@ -1,0 +1,157 @@
+"""Behavioural and structural property checks for Petri nets.
+
+Wraps :class:`~repro.petri.reachability.ReachabilityGraph` exploration in
+the property vocabulary the paper uses: bounded, safe, live,
+strongly-connected, deadlock-free (Section 2.1), plus dead-transition
+detection used after parallel composition (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.petri.net import PetriNet, Transition
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+
+
+@dataclass(frozen=True)
+class NetProperties:
+    """Summary of the behavioural properties of a bounded net."""
+
+    bounded: bool
+    bound: int
+    safe: bool
+    live: bool
+    deadlock_free: bool
+    reversible: bool
+    states: int
+    dead_transition_ids: tuple[int, ...]
+
+    def __str__(self) -> str:
+        flags = [
+            f"bound={self.bound}" if self.bounded else "UNBOUNDED",
+            "safe" if self.safe else "unsafe",
+            "live" if self.live else "non-live",
+            "deadlock-free" if self.deadlock_free else "DEADLOCKS",
+            "reversible" if self.reversible else "irreversible",
+            f"states={self.states}",
+        ]
+        if self.dead_transition_ids:
+            flags.append(f"dead={list(self.dead_transition_ids)}")
+        return ", ".join(flags)
+
+
+def analyze(net: PetriNet, max_states: int = 1_000_000) -> NetProperties:
+    """Compute the behavioural property summary of a bounded net.
+
+    Raises :class:`UnboundedNetError` when the net is detected to be
+    unbounded (use :mod:`repro.petri.coverability` to analyse those).
+    """
+    graph = ReachabilityGraph(net, max_states=max_states)
+    return NetProperties(
+        bounded=True,
+        bound=graph.bound(),
+        safe=graph.is_safe(),
+        live=graph.is_live(),
+        deadlock_free=graph.is_deadlock_free(),
+        reversible=graph.is_reversible(),
+        states=graph.num_states(),
+        dead_transition_ids=tuple(t.tid for t in graph.dead_transitions()),
+    )
+
+
+def is_bounded(net: PetriNet, max_states: int = 1_000_000) -> bool:
+    """``True`` iff the net has a finite state space (Section 2.1)."""
+    try:
+        ReachabilityGraph(net, max_states=max_states)
+    except UnboundedNetError:
+        return False
+    return True
+
+
+def is_safe(net: PetriNet, max_states: int = 1_000_000) -> bool:
+    """``True`` iff every reachable marking is 1-bounded."""
+    return ReachabilityGraph(net, max_states=max_states).is_safe()
+
+
+def is_live(net: PetriNet, max_states: int = 1_000_000) -> bool:
+    """``True`` iff every transition stays fireable from every reachable state."""
+    return ReachabilityGraph(net, max_states=max_states).is_live()
+
+
+def is_live_safe(net: PetriNet, max_states: int = 1_000_000) -> bool:
+    """Conjunction of liveness and safety (the classical STG requirement)."""
+    graph = ReachabilityGraph(net, max_states=max_states)
+    return graph.is_safe() and graph.is_live()
+
+
+def dead_transitions(net: PetriNet, max_states: int = 1_000_000) -> list[Transition]:
+    """Transitions that never fire.
+
+    Section 5.2 of the paper: after parallel composition, synchronization
+    transitions may be dead and should be removed before synthesis.
+    """
+    return ReachabilityGraph(net, max_states=max_states).dead_transitions()
+
+
+def is_structurally_strongly_connected(net: PetriNet) -> bool:
+    """``True`` iff the bipartite place/transition graph of the net is
+    strongly connected (the *structural* requirement of Definition 2.3).
+
+    Nets with no transitions count as strongly connected only when they
+    have at most one place.
+    """
+    nodes: list[object] = sorted(net.places) + sorted(net.transitions)
+    if len(nodes) <= 1:
+        return True
+    successors: dict[object, set[object]] = {node: set() for node in nodes}
+    for tid, transition in net.transitions.items():
+        for place in transition.preset:
+            successors[place].add(tid)
+        for place in transition.postset:
+            successors[tid].add(place)
+
+    def reachable(start: object, edges: dict[object, set[object]]) -> set[object]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for target in edges[node]:
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+    start = nodes[0]
+    if reachable(start, successors) != set(nodes):
+        return False
+    reverse: dict[object, set[object]] = {node: set() for node in nodes}
+    for source, targets in successors.items():
+        for target in targets:
+            reverse[target].add(source)
+    return reachable(start, reverse) == set(nodes)
+
+
+def isolated_places(net: PetriNet) -> set[str]:
+    """Places adjacent to no transition."""
+    used: set[str] = set()
+    for transition in net.transitions.values():
+        used |= transition.places()
+    return net.places - used
+
+
+def source_transitions(net: PetriNet) -> list[Transition]:
+    """Transitions with empty preset (always enabled; net is unbounded)."""
+    return [t for _, t in sorted(net.transitions.items()) if not t.preset]
+
+
+def conflict_pairs(net: PetriNet) -> list[tuple[Transition, Transition]]:
+    """Pairs of distinct transitions sharing an input place (structural conflict)."""
+    pairs: list[tuple[Transition, Transition]] = []
+    ordered = [t for _, t in sorted(net.transitions.items())]
+    for index, first in enumerate(ordered):
+        for second in ordered[index + 1 :]:
+            if first.preset & second.preset:
+                pairs.append((first, second))
+    return pairs

@@ -1,0 +1,138 @@
+"""Karp-Miller coverability analysis for (possibly) unbounded nets.
+
+The paper restricts itself to finite bounded nets, but the algebra
+operators are defined on general Petri nets; coverability gives a
+*terminating* boundedness decision procedure so library users get a real
+answer instead of a state-budget timeout.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+#: The Karp-Miller 'unbounded' token count.
+OMEGA = math.inf
+
+ExtendedMarking = tuple[tuple[str, float], ...]
+
+
+def _freeze(counts: dict[str, float]) -> ExtendedMarking:
+    return tuple(sorted((p, c) for p, c in counts.items() if c))
+
+
+def _thaw(marking: ExtendedMarking) -> dict[str, float]:
+    return dict(marking)
+
+
+@dataclass
+class CoverabilityTree:
+    """The Karp-Miller coverability tree of a net.
+
+    ``nodes`` are extended markings (token counts in ``N ∪ {ω}``);
+    ``edges`` are labelled with actions.  ``omega_places`` collects every
+    place that acquires an ω somewhere — exactly the unbounded places.
+    """
+
+    nodes: set[ExtendedMarking] = field(default_factory=set)
+    edges: list[tuple[ExtendedMarking, str, ExtendedMarking]] = field(
+        default_factory=list
+    )
+    omega_places: set[str] = field(default_factory=set)
+
+    def is_bounded(self) -> bool:
+        return not self.omega_places
+
+    def place_bound(self, place: str) -> float:
+        """The maximum token count of ``place`` over the coverability set
+        (``OMEGA`` when unbounded)."""
+        return max((dict(node).get(place, 0) for node in self.nodes), default=0)
+
+
+def coverability_tree(net: PetriNet, max_nodes: int = 200_000) -> CoverabilityTree:
+    """Build the Karp-Miller coverability tree.
+
+    Acceleration: when a new marking strictly covers an ancestor, every
+    strictly larger place count is replaced by ω.  Termination is
+    guaranteed by Dickson's lemma; ``max_nodes`` is a safety valve.
+    """
+    tree = CoverabilityTree()
+    root = _freeze({p: float(c) for p, c in net.initial.items()})
+    tree.nodes.add(root)
+    # Work items carry the ancestor chain for acceleration.
+    queue: deque[tuple[ExtendedMarking, tuple[ExtendedMarking, ...]]] = deque(
+        [(root, ())]
+    )
+    expanded: set[ExtendedMarking] = set()
+    while queue:
+        node, ancestors = queue.popleft()
+        if node in expanded:
+            continue
+        expanded.add(node)
+        counts = _thaw(node)
+        for transition in sorted(net.transitions.values(), key=lambda t: t.tid):
+            if not all(counts.get(p, 0) >= 1 for p in transition.preset):
+                continue
+            successor = dict(counts)
+            for place in transition.preset - transition.postset:
+                if successor[place] is not OMEGA and successor[place] != OMEGA:
+                    successor[place] = successor.get(place, 0) - 1
+            for place in transition.postset - transition.preset:
+                current = successor.get(place, 0)
+                successor[place] = current if current == OMEGA else current + 1
+            # Acceleration against the ancestor chain.
+            chain = ancestors + (node,)
+            for ancestor in chain:
+                older = _thaw(ancestor)
+                if _covers(successor, older) and _strictly_greater(successor, older):
+                    for place in set(successor) | set(older):
+                        if successor.get(place, 0) > older.get(place, 0):
+                            successor[place] = OMEGA
+                            tree.omega_places.add(place)
+            frozen = _freeze(successor)
+            tree.edges.append((node, transition.action, frozen))
+            if frozen not in tree.nodes:
+                if len(tree.nodes) >= max_nodes:
+                    raise RuntimeError(
+                        f"coverability tree exceeded {max_nodes} nodes"
+                    )
+                tree.nodes.add(frozen)
+                queue.append((frozen, chain))
+    return tree
+
+
+def _covers(big: dict[str, float], small: dict[str, float]) -> bool:
+    return all(big.get(place, 0) >= count for place, count in small.items())
+
+
+def _strictly_greater(big: dict[str, float], small: dict[str, float]) -> bool:
+    return _covers(big, small) and any(
+        big.get(place, 0) > small.get(place, 0) for place in set(big) | set(small)
+    )
+
+
+def is_bounded(net: PetriNet, max_nodes: int = 200_000) -> bool:
+    """Terminating boundedness decision via Karp-Miller."""
+    return coverability_tree(net, max_nodes).is_bounded()
+
+
+def unbounded_places(net: PetriNet, max_nodes: int = 200_000) -> set[str]:
+    """The set of places with no finite bound."""
+    return set(coverability_tree(net, max_nodes).omega_places)
+
+
+def place_bounds(net: PetriNet, max_nodes: int = 200_000) -> dict[str, float]:
+    """Per-place bounds over the coverability set (``OMEGA`` if unbounded)."""
+    tree = coverability_tree(net, max_nodes)
+    return {place: tree.place_bound(place) for place in sorted(net.places)}
+
+
+def can_cover(net: PetriNet, target: Marking, max_nodes: int = 200_000) -> bool:
+    """``True`` iff some reachable marking covers ``target`` (coverability)."""
+    tree = coverability_tree(net, max_nodes)
+    goal = {place: float(count) for place, count in target.items()}
+    return any(_covers(_thaw(node), goal) for node in tree.nodes)

@@ -1,0 +1,306 @@
+"""Reachability graphs (the dynamics of Definition 2.2).
+
+The reachability graph ``RG(N)`` has the reachable markings as nodes and
+an edge ``(M, a, M')`` for every transition firing.  The paper's methods
+deliberately *avoid* building this graph for synthesis; here it serves as
+the ground truth against which the net-level algebra is validated, and as
+the substrate for STG state graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet, Transition
+
+
+class UnboundedNetError(Exception):
+    """Raised when reachability exploration detects or suspects unboundedness."""
+
+    def __init__(self, message: str, witness: Marking | None = None):
+        super().__init__(message)
+        self.witness = witness
+
+
+class ReachabilityGraph:
+    """Explicit-state reachability graph of a bounded Petri net.
+
+    Parameters
+    ----------
+    net:
+        The net to explore.
+    max_states:
+        Exploration aborts with :class:`UnboundedNetError` past this many
+        states.  This is a resource guard; use
+        :mod:`repro.petri.coverability` for a genuine unboundedness test.
+    transition_filter:
+        Optional predicate limiting which transitions are followed
+        (used e.g. for guard-aware exploration at the STG layer).
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        max_states: int = 1_000_000,
+        transition_filter: Callable[[Transition, Marking], bool] | None = None,
+    ):
+        self.net = net
+        self.initial = net.initial
+        self.states: set[Marking] = set()
+        #: Edges as ``(source, action, tid, target)`` tuples.
+        self.edges: list[tuple[Marking, str, int, Marking]] = []
+        self._successors: dict[Marking, list[tuple[str, int, Marking]]] = {}
+        self._explore(max_states, transition_filter)
+
+    def _explore(
+        self,
+        max_states: int,
+        transition_filter: Callable[[Transition, Marking], bool] | None,
+    ) -> None:
+        queue: deque[Marking] = deque([self.initial])
+        self.states.add(self.initial)
+        self._successors[self.initial] = []
+        # Unboundedness witness: a strictly covering marking on a path.
+        ancestors: dict[Marking, Marking | None] = {self.initial: None}
+        while queue:
+            marking = queue.popleft()
+            for transition in self.net.enabled_transitions(marking):
+                if transition_filter and not transition_filter(transition, marking):
+                    continue
+                successor = self.net.fire(transition, marking)
+                self.edges.append((marking, transition.action, transition.tid, successor))
+                self._successors[marking].append(
+                    (transition.action, transition.tid, successor)
+                )
+                if successor not in self.states:
+                    if len(self.states) >= max_states:
+                        raise UnboundedNetError(
+                            f"more than {max_states} reachable states in"
+                            f" {self.net.name!r}; net may be unbounded",
+                            witness=successor,
+                        )
+                    self.states.add(successor)
+                    self._successors[successor] = []
+                    ancestors[successor] = marking
+                    # Cheap unboundedness heuristic: strict self-covering
+                    # along the ancestor chain (Karp-Miller condition).
+                    cursor = marking
+                    while cursor is not None:
+                        if successor.covers(cursor) and successor != cursor:
+                            raise UnboundedNetError(
+                                f"net {self.net.name!r} is unbounded:"
+                                f" {successor!r} strictly covers ancestor"
+                                f" {cursor!r}",
+                                witness=successor,
+                            )
+                        cursor = ancestors[cursor]
+                    queue.append(successor)
+
+    # -- queries -----------------------------------------------------------
+
+    def successors(self, marking: Marking) -> list[tuple[str, int, Marking]]:
+        """Outgoing edges of a state as ``(action, tid, target)`` triples."""
+        return self._successors[marking]
+
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def deadlocks(self) -> list[Marking]:
+        """Reachable markings with no enabled transition."""
+        return [m for m in self.states if not self._successors[m]]
+
+    def is_deadlock_free(self) -> bool:
+        return not self.deadlocks()
+
+    def bound(self) -> int:
+        """The maximum token count of any place over all reachable markings."""
+        return max(
+            (count for marking in self.states for count in marking.values()),
+            default=0,
+        )
+
+    def is_safe(self) -> bool:
+        """``True`` iff every reachable marking is safe (1-bounded)."""
+        return self.bound() <= 1
+
+    def fired_tids(self) -> set[int]:
+        """Transition ids that fire on at least one edge."""
+        return {tid for _, _, tid, _ in self.edges}
+
+    def dead_transitions(self) -> list[Transition]:
+        """Transitions that can never fire from any reachable marking (L0)."""
+        fired = self.fired_tids()
+        return [
+            t for tid, t in sorted(self.net.transitions.items()) if tid not in fired
+        ]
+
+    def is_live(self) -> bool:
+        """L4-liveness: from every reachable marking, every transition can
+        eventually fire again.
+
+        Checked by verifying that every transition fires inside every
+        terminal strongly connected component of the reachability graph
+        that is reachable from the initial marking (equivalently: from
+        every state, every transition remains fireable in the future).
+        """
+        if not self.net.transitions:
+            return True
+        # For each state, the set of transitions fireable in its future is
+        # the union over its reachable edge set.  Compute per-SCC.
+        sccs, scc_of = self._condensation()
+        # Transitions firing inside each SCC.
+        fires_in_scc: list[set[int]] = [set() for _ in sccs]
+        scc_successors: list[set[int]] = [set() for _ in sccs]
+        for source, _, tid, target in self.edges:
+            s, t = scc_of[source], scc_of[target]
+            fires_in_scc[s].add(tid)
+            if s != t:
+                scc_successors[s].add(t)
+        # Propagate future-fireable sets backwards over the condensation
+        # (process in reverse topological order).
+        order = self._topological_order(len(sccs), scc_successors)
+        future: list[set[int]] = [set() for _ in sccs]
+        for index in reversed(order):
+            fireable = set(fires_in_scc[index])
+            for successor in scc_successors[index]:
+                fireable |= future[successor]
+            future[index] = fireable
+        all_tids = set(self.net.transitions)
+        return all(future[scc_of[state]] == all_tids for state in self.states)
+
+    def is_reversible(self) -> bool:
+        """``True`` iff the initial marking is reachable from every state."""
+        sccs, scc_of = self._condensation()
+        home = scc_of[self.initial]
+        # Reversible iff every state is in an SCC from which home is
+        # reachable; since everything is reachable *from* the initial
+        # marking, this holds iff the graph is a single SCC or all paths
+        # lead back: check that every SCC can reach home.
+        scc_successors: list[set[int]] = [set() for _ in sccs]
+        for source, _, _, target in self.edges:
+            s, t = scc_of[source], scc_of[target]
+            if s != t:
+                scc_successors[s].add(t)
+        reaches_home = {home}
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(sccs)):
+                if index in reaches_home:
+                    continue
+                if scc_successors[index] & reaches_home:
+                    reaches_home.add(index)
+                    changed = True
+        return all(scc_of[state] in reaches_home for state in self.states)
+
+    def is_strongly_connected(self) -> bool:
+        """``True`` iff the reachability graph is one strongly connected component."""
+        sccs, _ = self._condensation()
+        return len(sccs) <= 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _condensation(self) -> tuple[list[set[Marking]], dict[Marking, int]]:
+        """Tarjan SCCs of the reachability graph (iterative)."""
+        index_counter = 0
+        stack: list[Marking] = []
+        lowlink: dict[Marking, int] = {}
+        index: dict[Marking, int] = {}
+        on_stack: set[Marking] = set()
+        sccs: list[set[Marking]] = []
+        scc_of: dict[Marking, int] = {}
+
+        for root in self.states:
+            if root in index:
+                continue
+            work: list[tuple[Marking, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index[node] = index_counter
+                    lowlink[node] = index_counter
+                    index_counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                successors = self._successors[node]
+                for position in range(child_index, len(successors)):
+                    _, _, successor = successors[position]
+                    if successor not in index:
+                        work.append((node, position + 1))
+                        work.append((successor, 0))
+                        recursed = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index[successor])
+                if recursed:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: set[Marking] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        scc_of[member] = len(sccs)
+                        if member == node:
+                            break
+                    sccs.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return sccs, scc_of
+
+    @staticmethod
+    def _topological_order(count: int, successors: list[set[int]]) -> list[int]:
+        indegree = [0] * count
+        for outs in successors:
+            for target in outs:
+                indegree[target] += 1
+        queue = deque(i for i in range(count) if indegree[i] == 0)
+        order: list[int] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for target in successors[node]:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    queue.append(target)
+        return order
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` (for external analysis)."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for state in self.states:
+            graph.add_node(state)
+        for source, action, tid, target in self.edges:
+            graph.add_edge(source, target, action=action, tid=tid)
+        return graph
+
+
+def firing_sequences(
+    net: PetriNet, max_depth: int, from_marking: Marking | None = None
+) -> Iterable[tuple[str, ...]]:
+    """Yield all firing sequences (as action tuples) up to ``max_depth``.
+
+    The empty sequence is always yielded first; the result enumerates the
+    bounded-depth prefix-closed trace set of Definition 4.1.
+    """
+    start = from_marking if from_marking is not None else net.initial
+    queue: deque[tuple[Marking, tuple[str, ...]]] = deque([(start, ())])
+    yield ()
+    while queue:
+        marking, trace = queue.popleft()
+        if len(trace) >= max_depth:
+            continue
+        for transition in net.enabled_transitions(marking):
+            successor = net.fire(transition, marking)
+            extended = trace + (transition.action,)
+            yield extended
+            queue.append((successor, extended))

@@ -1,0 +1,163 @@
+"""Interactive and random token-game simulation.
+
+A light-weight execution engine for nets and STGs: step through
+enabled transitions, replay recorded traces, and run seeded random
+walks with invariant monitors.  Useful for debugging derived nets and
+for quick statistical exploration where exhaustive reachability is
+unnecessary.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet, Transition
+
+
+class SimulationError(Exception):
+    """Replaying an impossible step or violating a monitor."""
+
+
+@dataclass
+class TokenGame:
+    """A mutable simulation session over an immutable net."""
+
+    net: PetriNet
+    marking: Marking = field(default=None)  # type: ignore[assignment]
+    history: list[tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.marking is None:
+            self.marking = self.net.initial
+
+    # -- stepping ---------------------------------------------------------
+
+    def enabled(self) -> list[Transition]:
+        """Transitions currently enabled, in tid order."""
+        return self.net.enabled_transitions(self.marking)
+
+    def can_fire(self, action: str) -> bool:
+        return any(t.action == action for t in self.enabled())
+
+    def fire_tid(self, tid: int) -> Marking:
+        """Fire a specific transition by id."""
+        transition = self.net.transitions[tid]
+        if not self.net.is_enabled(transition, self.marking):
+            raise SimulationError(f"{transition!r} not enabled in {self.marking!r}")
+        self.marking = self.net.fire(transition, self.marking)
+        self.history.append((tid, transition.action))
+        return self.marking
+
+    def fire(self, action: str) -> Marking:
+        """Fire some enabled transition with the given label (the one
+        with the smallest tid when several qualify)."""
+        for transition in self.enabled():
+            if transition.action == action:
+                return self.fire_tid(transition.tid)
+        raise SimulationError(
+            f"no enabled transition labeled {action!r} in {self.marking!r}"
+        )
+
+    def replay(self, trace: Iterable[str]) -> Marking:
+        """Fire a whole action sequence (raises on the first impossible
+        step)."""
+        for action in trace:
+            self.fire(action)
+        return self.marking
+
+    def undo(self) -> Marking:
+        """Rewind one step (replays the history from the initial
+        marking; simple, correct, O(history))."""
+        if not self.history:
+            raise SimulationError("nothing to undo")
+        target = self.history[:-1]
+        self.marking = self.net.initial
+        self.history = []
+        for tid, _ in target:
+            self.fire_tid(tid)
+        return self.marking
+
+    def reset(self) -> Marking:
+        self.marking = self.net.initial
+        self.history = []
+        return self.marking
+
+    def trace(self) -> tuple[str, ...]:
+        """The action sequence fired so far."""
+        return tuple(action for _, action in self.history)
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a random walk."""
+
+    steps: int
+    trace: tuple[str, ...]
+    final: Marking
+    deadlocked: bool
+    monitor_failures: tuple[str, ...]
+
+
+def random_walk(
+    net: PetriNet,
+    steps: int = 1000,
+    seed: int = 0,
+    monitors: Sequence[tuple[str, Callable[[Marking], bool]]] = (),
+    weights: dict[str, float] | None = None,
+) -> WalkResult:
+    """A seeded random execution with per-marking invariant monitors.
+
+    ``monitors`` are ``(name, predicate)`` pairs evaluated after every
+    step; a failing predicate stops the walk.  ``weights`` bias the
+    choice among enabled transitions by action label (default uniform).
+    """
+    rng = random.Random(seed)
+    game = TokenGame(net)
+    failures: list[str] = []
+    deadlocked = False
+    taken = 0
+    for _ in range(steps):
+        enabled = game.enabled()
+        if not enabled:
+            deadlocked = True
+            break
+        if weights:
+            population = enabled
+            chosen = rng.choices(
+                population,
+                weights=[weights.get(t.action, 1.0) for t in population],
+            )[0]
+        else:
+            chosen = rng.choice(enabled)
+        game.fire_tid(chosen.tid)
+        taken += 1
+        for name, predicate in monitors:
+            if not predicate(game.marking):
+                failures.append(name)
+        if failures:
+            break
+    return WalkResult(
+        steps=taken,
+        trace=game.trace(),
+        final=game.marking,
+        deadlocked=deadlocked,
+        monitor_failures=tuple(failures),
+    )
+
+
+def estimate_action_frequencies(
+    net: PetriNet, steps: int = 10_000, seed: int = 0
+) -> dict[str, float]:
+    """Relative firing frequency per action over a long random walk —
+    a cheap throughput/bias profile of a module."""
+    result = random_walk(net, steps=steps, seed=seed)
+    if not result.trace:
+        return {}
+    counts: dict[str, int] = {}
+    for action in result.trace:
+        counts[action] = counts.get(action, 0) + 1
+    total = len(result.trace)
+    return {action: count / total for action, count in sorted(counts.items())}

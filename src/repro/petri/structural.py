@@ -1,0 +1,300 @@
+"""Structural Petri net theory: incidence matrices, invariants, siphons, traps.
+
+The paper argues (Sections 1, 4, 5) that working at the net level avoids
+state-space explosion; structural techniques are the toolbox that makes
+net-level reasoning effective.  This module provides:
+
+* the incidence matrix and token-conservation equation,
+* minimal-support place and transition invariants (semiflows) via the
+  Farkas/Fourier-Motzkin algorithm, exact over the integers,
+* structural boundedness (a positive place weighting non-increased by
+  any firing),
+* siphons and traps, used for structural liveness reasoning.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+import numpy as np
+
+from repro.petri.net import PetriNet
+
+
+def incidence_matrix(net: PetriNet) -> tuple[list[str], list[int], np.ndarray]:
+    """The incidence matrix ``C`` with ``C[i, j] = post(t_j, p_i) - pre(t_j, p_i)``.
+
+    Returns ``(places, tids, C)`` with rows ordered by sorted place name
+    and columns by sorted transition id.  Self-loop places contribute 0
+    (consume one, produce one), matching the firing rule of Definition 2.2.
+    """
+    places = sorted(net.places)
+    tids = sorted(net.transitions)
+    index = {place: i for i, place in enumerate(places)}
+    matrix = np.zeros((len(places), len(tids)), dtype=np.int64)
+    for column, tid in enumerate(tids):
+        transition = net.transitions[tid]
+        for place in transition.preset - transition.postset:
+            matrix[index[place], column] -= 1
+        for place in transition.postset - transition.preset:
+            matrix[index[place], column] += 1
+    return places, tids, matrix
+
+
+def _minimal_semiflows(matrix: np.ndarray, max_vectors: int = 4096) -> list[np.ndarray]:
+    """Minimal-support non-negative integer solutions of ``x^T . matrix = 0``.
+
+    Classical Farkas algorithm: start from the identity alongside the
+    matrix, eliminate one column at a time by combining rows of opposite
+    sign, keep minimal-support rows.  Exact integer arithmetic throughout.
+    """
+    rows, cols = matrix.shape
+    # Each entry: (coefficients over original rows, residual matrix row).
+    table: list[tuple[np.ndarray, np.ndarray]] = [
+        (np.eye(rows, dtype=object)[i], matrix[i].astype(object)) for i in range(rows)
+    ]
+    for column in range(cols):
+        positive = [entry for entry in table if entry[1][column] > 0]
+        negative = [entry for entry in table if entry[1][column] < 0]
+        zero = [entry for entry in table if entry[1][column] == 0]
+        combined: list[tuple[np.ndarray, np.ndarray]] = list(zero)
+        for coeff_p, row_p in positive:
+            for coeff_n, row_n in negative:
+                weight_p = -row_n[column]
+                weight_n = row_p[column]
+                coeff = coeff_p * weight_p + coeff_n * weight_n
+                gcd = np.gcd.reduce([int(v) for v in coeff if v] or [1])
+                if gcd > 1:
+                    coeff = coeff // gcd
+                residual = (row_p * weight_p + row_n * weight_n) // gcd
+                combined.append((coeff, residual))
+                if len(combined) > max_vectors:
+                    raise RuntimeError(
+                        "semiflow enumeration exceeded the vector budget"
+                    )
+        table = combined
+    # Keep minimal-support, non-zero solutions.
+    solutions = [coeff for coeff, _ in table if any(coeff)]
+    supports = [frozenset(np.nonzero(vector)[0].tolist()) for vector in solutions]
+    minimal: list[np.ndarray] = []
+    seen: set[frozenset[int]] = set()
+    for i, vector in enumerate(solutions):
+        if supports[i] in seen:
+            continue
+        if any(
+            supports[j] < supports[i] for j in range(len(solutions)) if j != i
+        ):
+            continue
+        seen.add(supports[i])
+        minimal.append(vector.astype(np.int64))
+    return minimal
+
+
+def p_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """Minimal-support place invariants (P-semiflows).
+
+    A P-invariant ``x >= 0`` satisfies ``x^T C = 0``: the weighted token
+    count ``x . M`` is constant over all reachable markings.
+    """
+    places, _, matrix = incidence_matrix(net)
+    if not places or matrix.shape[1] == 0:
+        return []
+    vectors = _minimal_semiflows(matrix)
+    return [
+        {places[i]: int(v) for i, v in enumerate(vector) if v}
+        for vector in vectors
+    ]
+
+
+def t_invariants(net: PetriNet) -> list[dict[int, int]]:
+    """Minimal-support transition invariants (T-semiflows).
+
+    A T-invariant ``y >= 0`` satisfies ``C y = 0``: firing each transition
+    ``y[t]`` times reproduces the marking (cyclic behaviour).
+    """
+    _, tids, matrix = incidence_matrix(net)
+    if not tids or matrix.shape[0] == 0:
+        return []
+    vectors = _minimal_semiflows(matrix.T)
+    return [
+        {tids[i]: int(v) for i, v in enumerate(vector) if v} for vector in vectors
+    ]
+
+
+def invariant_value(invariant: dict[str, int], marking) -> int:
+    """The conserved quantity ``x . M`` of a P-invariant in a marking."""
+    return sum(weight * marking[place] for place, weight in invariant.items())
+
+
+def is_covered_by_p_invariants(net: PetriNet) -> bool:
+    """``True`` iff every place has positive weight in some P-invariant.
+
+    Coverage by P-invariants implies structural boundedness.
+    """
+    covered: set[str] = set()
+    for invariant in p_invariants(net):
+        covered.update(invariant)
+    return covered >= net.places
+
+
+def is_structurally_bounded(net: PetriNet) -> bool:
+    """``True`` iff a strictly positive place weighting exists that no
+    firing can increase (``exists x > 0 with x^T C <= 0``).
+
+    Structural boundedness implies boundedness for *every* initial
+    marking.  Solved exactly with Fourier-Motzkin over rationals for the
+    small nets of this domain.
+    """
+    places, _, matrix = incidence_matrix(net)
+    if not places:
+        return True
+    # x^T C <= 0, x >= 1 feasibility via scipy linprog (exact enough at
+    # this scale; certificates are integral for integral C).
+    from scipy.optimize import linprog
+
+    count = len(places)
+    result = linprog(
+        c=np.ones(count),
+        A_ub=matrix.T.astype(float),
+        b_ub=np.zeros(matrix.shape[1]),
+        bounds=[(1, None)] * count,
+        method="highs",
+    )
+    return bool(result.success)
+
+
+def fraction_rank(matrix: np.ndarray) -> int:
+    """Exact rank of an integer matrix over the rationals."""
+    working = [[Fraction(int(v)) for v in row] for row in matrix]
+    rows = len(working)
+    cols = len(working[0]) if rows else 0
+    rank = 0
+    for column in range(cols):
+        pivot_row = next(
+            (r for r in range(rank, rows) if working[r][column] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        working[rank], working[pivot_row] = working[pivot_row], working[rank]
+        pivot = working[rank][column]
+        working[rank] = [v / pivot for v in working[rank]]
+        for r in range(rows):
+            if r != rank and working[r][column] != 0:
+                factor = working[r][column]
+                working[r] = [
+                    v - factor * w for v, w in zip(working[r], working[rank])
+                ]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+# -- siphons and traps -------------------------------------------------------
+
+
+def preset_transitions(net: PetriNet, places: frozenset[str]) -> set[int]:
+    """Transitions producing into any of the given places."""
+    return {
+        tid
+        for tid, transition in net.transitions.items()
+        if transition.postset & places
+    }
+
+
+def postset_transitions(net: PetriNet, places: frozenset[str]) -> set[int]:
+    """Transitions consuming from any of the given places."""
+    return {
+        tid
+        for tid, transition in net.transitions.items()
+        if transition.preset & places
+    }
+
+
+def is_siphon(net: PetriNet, places: frozenset[str]) -> bool:
+    """A siphon's producers are a subset of its consumers.
+
+    Once a siphon is empty it stays empty — empty siphons witness
+    (partial) deadlock.
+    """
+    if not places:
+        return False
+    return preset_transitions(net, places) <= postset_transitions(net, places)
+
+
+def is_trap(net: PetriNet, places: frozenset[str]) -> bool:
+    """A trap's consumers are a subset of its producers.
+
+    Once a trap is marked it stays marked.
+    """
+    if not places:
+        return False
+    return postset_transitions(net, places) <= preset_transitions(net, places)
+
+
+def minimal_siphons(net: PetriNet, max_size: int | None = None) -> list[frozenset[str]]:
+    """All minimal siphons up to ``max_size`` places (exhaustive search).
+
+    Exponential in general — the paper's nets are small; a budget guard
+    raises ``RuntimeError`` on pathological inputs.
+    """
+    return _minimal_place_sets(net, is_siphon, max_size)
+
+
+def minimal_traps(net: PetriNet, max_size: int | None = None) -> list[frozenset[str]]:
+    """All minimal traps up to ``max_size`` places (exhaustive search)."""
+    return _minimal_place_sets(net, is_trap, max_size)
+
+
+def _minimal_place_sets(
+    net: PetriNet, predicate, max_size: int | None, budget: int = 2_000_000
+) -> list[frozenset[str]]:
+    places = sorted(net.places)
+    limit = max_size if max_size is not None else len(places)
+    found: list[frozenset[str]] = []
+    examined = 0
+    for size in range(1, limit + 1):
+        for subset in combinations(places, size):
+            examined += 1
+            if examined > budget:
+                raise RuntimeError("siphon/trap enumeration exceeded budget")
+            candidate = frozenset(subset)
+            if any(existing <= candidate for existing in found):
+                continue
+            if predicate(net, candidate):
+                found.append(candidate)
+    return found
+
+
+def siphon_trap_property(net: PetriNet) -> bool:
+    """Commoner's condition: every minimal siphon contains an initially
+    marked trap.  For free-choice nets this is equivalent to liveness.
+    """
+    marked = net.initial.marked_places()
+    for siphon in minimal_siphons(net):
+        if not _contains_marked_trap(net, siphon, marked):
+            return False
+    return True
+
+
+def _contains_marked_trap(
+    net: PetriNet, siphon: frozenset[str], marked: frozenset[str]
+) -> bool:
+    # The maximal trap inside a set is computed by iteratively removing
+    # places whose consumers are not all producers of the set.
+    current = set(siphon)
+    changed = True
+    while changed and current:
+        changed = False
+        producers = preset_transitions(net, frozenset(current))
+        for place in list(current):
+            consumers = {
+                tid
+                for tid, t in net.transitions.items()
+                if place in t.preset
+            }
+            if not consumers <= producers:
+                current.discard(place)
+                changed = True
+    return bool(current & marked)

@@ -1,0 +1,94 @@
+"""State-coding analysis: USC, CSC and persistency reports.
+
+Thin, documented entry points over
+:class:`~repro.stg.state_graph.StateGraph` — the properties logic
+synthesis needs before next-state extraction can succeed:
+
+* **consistency** — rise/fall alternation per signal (Section 2.2);
+* **USC** (unique state coding) — distinct markings carry distinct
+  binary codes;
+* **CSC** (complete state coding) — equal codes imply equal enabled
+  *output* sets: without CSC no speed-independent logic exists over the
+  given signals;
+* **output persistency** — enabled outputs cannot be disabled by other
+  events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stg.state_graph import StateGraph, StgState, build_state_graph
+from repro.stg.stg import Stg
+
+
+@dataclass(frozen=True)
+class CodingReport:
+    """Summary of all state-coding properties of an STG."""
+
+    states: int
+    consistent: bool
+    usc: bool
+    csc: bool
+    persistent: bool
+    usc_conflicts: int
+    csc_conflicts: int
+    persistency_violations: int
+
+    def synthesizable(self) -> bool:
+        """Ready for next-state extraction and speed-independent logic."""
+        return self.consistent and self.csc and self.persistent
+
+    def __str__(self) -> str:
+        flags = [
+            f"states={self.states}",
+            "consistent" if self.consistent else "INCONSISTENT",
+            "USC" if self.usc else f"USC broken ({self.usc_conflicts})",
+            "CSC" if self.csc else f"CSC broken ({self.csc_conflicts})",
+            "persistent"
+            if self.persistent
+            else f"non-persistent ({self.persistency_violations})",
+        ]
+        return ", ".join(flags)
+
+
+def coding_report(stg: Stg, max_states: int = 200_000) -> CodingReport:
+    """Compute the full coding report of an STG."""
+    graph = build_state_graph(stg, max_states=max_states)
+    return report_from_graph(graph)
+
+
+def report_from_graph(graph: StateGraph) -> CodingReport:
+    usc = graph.usc_violations()
+    csc = graph.csc_violations()
+    persistency = graph.output_persistency_violations()
+    return CodingReport(
+        states=graph.num_states(),
+        consistent=graph.is_consistent(),
+        usc=not usc,
+        csc=not csc,
+        persistent=not persistency,
+        usc_conflicts=len(usc),
+        csc_conflicts=len(csc),
+        persistency_violations=len(persistency),
+    )
+
+
+def usc_conflicts(
+    stg: Stg, max_states: int = 200_000
+) -> list[tuple[StgState, StgState]]:
+    """Pairs of distinct markings sharing a binary code."""
+    return build_state_graph(stg, max_states).usc_violations()
+
+
+def csc_conflicts(
+    stg: Stg, max_states: int = 200_000
+) -> list[tuple[StgState, StgState]]:
+    """USC conflicts whose states additionally disagree on the enabled
+    output events — the pairs a state-signal insertion must separate."""
+    return build_state_graph(stg, max_states).csc_violations()
+
+
+def is_synthesizable(stg: Stg, max_states: int = 200_000) -> bool:
+    """Shorthand: consistent + CSC + output-persistent."""
+    return coding_report(stg, max_states).synthesizable()

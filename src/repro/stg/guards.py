@@ -1,0 +1,216 @@
+"""Boolean guards on arcs (Section 2.2 / 5.1 extension).
+
+A guard is a predicate on *signal levels* attached to an outgoing arc of
+a place; the transition the arc leads to may only fire when the guard
+evaluates to true.  Guards are evaluated over three-valued signal
+encodings ({0, 1, X}): a guard involving an X signal evaluates to
+``None`` (unknown) and blocks the transition — the line must stabilize
+first, exactly the discipline the paper's protocol translator uses on
+its DATA/STROBE lines.
+
+Guard expressions are built from :func:`lit`, ``&``, ``|`` and ``~`` or
+parsed from strings: ``parse_guard("DATA & !STROBE")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Level = int | None  # 0, 1, or None for X
+
+TRUE_: "Guard"
+
+
+class Guard:
+    """Base class of guard expressions (immutable, hashable)."""
+
+    def eval(self, encoding: dict[str, Level]) -> bool | None:
+        """Three-valued evaluation; ``None`` means unknown (X involved)."""
+        raise NotImplementedError
+
+    def signals(self) -> frozenset[str]:
+        """The signals the guard reads."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Guard") -> "Guard":
+        return And(self, other)
+
+    def __or__(self, other: "Guard") -> "Guard":
+        return Or(self, other)
+
+    def __invert__(self) -> "Guard":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(Guard):
+    value: bool
+
+    def eval(self, encoding):
+        return self.value
+
+    def signals(self):
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Lit(Guard):
+    """The level of a signal: true iff the signal is 1."""
+
+    signal: str
+
+    def eval(self, encoding):
+        level = encoding.get(self.signal)
+        if level is None:
+            return None
+        return bool(level)
+
+    def signals(self):
+        return frozenset({self.signal})
+
+    def __str__(self) -> str:
+        return self.signal
+
+
+@dataclass(frozen=True)
+class Not(Guard):
+    operand: Guard
+
+    def eval(self, encoding):
+        value = self.operand.eval(encoding)
+        return None if value is None else not value
+
+    def signals(self):
+        return self.operand.signals()
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+@dataclass(frozen=True)
+class And(Guard):
+    left: Guard
+    right: Guard
+
+    def eval(self, encoding):
+        left = self.left.eval(encoding)
+        right = self.right.eval(encoding)
+        if left is False or right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+
+    def signals(self):
+        return self.left.signals() | self.right.signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Guard):
+    left: Guard
+    right: Guard
+
+    def eval(self, encoding):
+        left = self.left.eval(encoding)
+        right = self.right.eval(encoding)
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    def signals(self):
+        return self.left.signals() | self.right.signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def lit(signal: str) -> Lit:
+    """The guard 'signal is high'."""
+    return Lit(signal)
+
+
+class _Parser:
+    """Recursive-descent parser for ``a & !b | c`` with (), !, &, |."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Guard:
+        expr = self._or()
+        self._skip_spaces()
+        if self.pos != len(self.text):
+            raise ValueError(
+                f"trailing input at {self.pos} in guard {self.text!r}"
+            )
+        return expr
+
+    def _skip_spaces(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_spaces()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _or(self) -> Guard:
+        expr = self._and()
+        while self._peek() == "|":
+            self.pos += 1
+            expr = Or(expr, self._and())
+        return expr
+
+    def _and(self) -> Guard:
+        expr = self._unary()
+        while self._peek() == "&":
+            self.pos += 1
+            expr = And(expr, self._unary())
+        return expr
+
+    def _unary(self) -> Guard:
+        char = self._peek()
+        if char == "!":
+            self.pos += 1
+            return Not(self._unary())
+        if char == "(":
+            self.pos += 1
+            expr = self._or()
+            if self._peek() != ")":
+                raise ValueError(f"missing ')' in guard {self.text!r}")
+            self.pos += 1
+            return expr
+        return self._atom()
+
+    def _atom(self) -> Guard:
+        self._skip_spaces()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        token = self.text[start : self.pos]
+        if not token:
+            raise ValueError(f"expected a signal name at {start} in {self.text!r}")
+        if token == "0":
+            return FALSE
+        if token == "1":
+            return TRUE
+        return Lit(token)
+
+
+def parse_guard(text: str) -> Guard:
+    """Parse a guard expression: signals, ``!``, ``&``, ``|``, parens,
+    constants ``0``/``1``."""
+    return _Parser(text).parse()

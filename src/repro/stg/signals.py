@@ -1,0 +1,131 @@
+"""Signal-transition actions of STGs (Definition 2.3 and the [9] extensions).
+
+The classical STG labels are ``s+`` (rising) and ``s-`` (falling) plus
+the dummy ``eps``.  The generalized model of Vanbekbergen et al. [9],
+which the paper adopts for its case study, adds *toggle*, *stable*,
+*unstable* and *don't care* transitions.  Suffix notation used here:
+
+========  =============  ==========================================
+suffix    kind           encoding semantics (three-valued {0,1,X})
+========  =============  ==========================================
+``s+``    RISE           value must be 0 (or X), becomes 1
+``s-``    FALL           value must be 1 (or X), becomes 0
+``s~``    TOGGLE         0 -> 1, 1 -> 0, X stays X
+``s=``    STABLE         X branches to 0 and to 1; 0/1 unchanged
+``s#``    UNSTABLE       value becomes X (may change arbitrarily)
+``s*``    DONTCARE       no constraint, value unchanged
+========  =============  ==========================================
+
+(The paper prints *stable* as ``s`` and *don't care* as ``x``; single
+letters collide with signal names in a textual format, hence ``=`` and
+``*``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.petri.net import EPSILON
+
+
+class EdgeKind(Enum):
+    """The kind of a signal transition."""
+
+    RISE = "+"
+    FALL = "-"
+    TOGGLE = "~"
+    STABLE = "="
+    UNSTABLE = "#"
+    DONTCARE = "*"
+
+
+_SUFFIXES = {kind.value: kind for kind in EdgeKind}
+
+
+@dataclass(frozen=True)
+class SignalEvent:
+    """A parsed signal-transition label: signal name plus edge kind."""
+
+    signal: str
+    kind: EdgeKind
+
+    def __str__(self) -> str:
+        return f"{self.signal}{self.kind.value}"
+
+    @property
+    def action(self) -> str:
+        """The net-level action label of this event."""
+        return str(self)
+
+
+def is_signal_action(action: str) -> bool:
+    """``True`` iff the label parses as a signal transition (not eps,
+    not an abstract channel event)."""
+    return (
+        action != EPSILON
+        and len(action) >= 2
+        and action[-1] in _SUFFIXES
+        and not action[:-1].endswith(("!", "?"))
+    )
+
+
+def parse_event(action: str) -> SignalEvent:
+    """Parse ``a+`` / ``req-`` / ``d~`` ... into a :class:`SignalEvent`."""
+    if not is_signal_action(action):
+        raise ValueError(f"{action!r} is not a signal-transition label")
+    return SignalEvent(action[:-1], _SUFFIXES[action[-1]])
+
+
+def event(signal: str, kind: EdgeKind | str) -> str:
+    """Build the action label for a signal event: ``event('a', '+') == 'a+'``."""
+    if isinstance(kind, str):
+        kind = _SUFFIXES[kind]
+    return f"{signal}{kind.value}"
+
+
+def rise(signal: str) -> str:
+    """``s+``."""
+    return event(signal, EdgeKind.RISE)
+
+
+def fall(signal: str) -> str:
+    """``s-``."""
+    return event(signal, EdgeKind.FALL)
+
+
+def toggle(signal: str) -> str:
+    """``s~`` — the transition-signaling event used by the case study."""
+    return event(signal, EdgeKind.TOGGLE)
+
+
+def stable(signal: str) -> str:
+    """``s=`` — the line settles to a definite (but unspecified) level."""
+    return event(signal, EdgeKind.STABLE)
+
+
+def unstable(signal: str) -> str:
+    """``s#`` — the line may change arbitrarily from here on."""
+    return event(signal, EdgeKind.UNSTABLE)
+
+
+def dont_care(signal: str) -> str:
+    """``s*``."""
+    return event(signal, EdgeKind.DONTCARE)
+
+
+def signal_of(action: str) -> str | None:
+    """The signal a label refers to, or ``None`` for eps/channel labels."""
+    if is_signal_action(action):
+        return action[:-1]
+    return None
+
+
+def signals_of_net_actions(actions) -> set[str]:
+    """All signal names occurring in a set of action labels."""
+    found = set()
+    for action in actions:
+        signal = signal_of(action)
+        if signal is not None:
+            found.add(signal)
+    return found

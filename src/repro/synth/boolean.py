@@ -1,0 +1,161 @@
+"""Two-level boolean minimization (Quine-McCluskey with don't-cares).
+
+The logic-synthesis substrate: next-state functions extracted from STG
+state graphs are minimized into sum-of-products covers, from which
+complex-gate or C-element implementations are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over ``n`` ordered variables.
+
+    ``mask`` has bit i set when variable i is cared about; ``value``
+    holds the required level of each cared-about variable.
+    """
+
+    n: int
+    mask: int
+    value: int
+
+    def __post_init__(self):
+        if self.value & ~self.mask:
+            raise ValueError("value bits outside the mask")
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & self.mask) == self.value
+
+    def literals(self) -> int:
+        return bin(self.mask).count("1")
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        parts = []
+        for i, name in enumerate(names):
+            if self.mask >> i & 1:
+                parts.append(name if self.value >> i & 1 else f"!{name}")
+        return " & ".join(parts) if parts else "1"
+
+    def evaluate(self, assignment: int) -> bool:
+        return self.covers(assignment)
+
+
+@dataclass(frozen=True)
+class SumOfProducts:
+    """A minimized cover: OR of :class:`Cube` terms."""
+
+    n: int
+    cubes: tuple[Cube, ...]
+
+    def evaluate(self, assignment: int) -> bool:
+        return any(cube.covers(assignment) for cube in self.cubes)
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        if not self.cubes:
+            return "0"
+        terms = [cube.to_expression(names) for cube in self.cubes]
+        if terms == ["1"]:
+            return "1"
+        return " | ".join(terms)
+
+    def literal_count(self) -> int:
+        return sum(cube.literals() for cube in self.cubes)
+
+
+def _combine(a: Cube, b: Cube) -> Cube | None:
+    """Merge two cubes differing in exactly one cared-about bit."""
+    if a.mask != b.mask:
+        return None
+    diff = a.value ^ b.value
+    if diff and (diff & (diff - 1)) == 0:
+        return Cube(a.n, a.mask & ~diff, a.value & ~diff)
+    return None
+
+
+def prime_implicants(
+    n: int, on_set: Iterable[int], dc_set: Iterable[int] = ()
+) -> list[Cube]:
+    """All prime implicants of the function via iterated merging."""
+    full_mask = (1 << n) - 1
+    current = {Cube(n, full_mask, m) for m in set(on_set) | set(dc_set)}
+    primes: set[Cube] = set()
+    while current:
+        merged: set[Cube] = set()
+        used: set[Cube] = set()
+        ordered = sorted(current, key=lambda c: (c.mask, c.value))
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                combined = _combine(a, b)
+                if combined is not None:
+                    merged.add(combined)
+                    used.add(a)
+                    used.add(b)
+        primes |= current - used
+        current = merged
+    return sorted(primes, key=lambda c: (c.mask, c.value))
+
+
+def _greedy_cover(on_set: list[int], primes: list[Cube]) -> list[Cube]:
+    """Essential primes first, then greedy set cover of the rest."""
+    remaining = set(on_set)
+    chosen: list[Cube] = []
+    # Essential primes.
+    for minterm in list(remaining):
+        covering = [p for p in primes if p.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for cube in chosen:
+        remaining -= {m for m in remaining if cube.covers(m)}
+    # Greedy for the rest: widest coverage, fewest literals.
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (
+                len([m for m in remaining if p.covers(m)]),
+                -p.literals(),
+            ),
+        )
+        covered = {m for m in remaining if best.covers(m)}
+        if not covered:
+            raise RuntimeError("cover construction failed (uncoverable on-set)")
+        chosen.append(best)
+        remaining -= covered
+    return chosen
+
+
+def minimize(
+    n: int, on_set: Iterable[int], dc_set: Iterable[int] = ()
+) -> SumOfProducts:
+    """Quine-McCluskey: minimal (heuristically) sum-of-products cover.
+
+    ``on_set``/``dc_set`` are minterm integers over ``n`` variables
+    (bit i of a minterm is variable i's value).
+    """
+    on_list = sorted(set(on_set))
+    if not on_list:
+        return SumOfProducts(n, ())
+    dc = set(dc_set) - set(on_list)
+    if len(on_list) + len(dc) == 2**n:
+        return SumOfProducts(n, (Cube(n, 0, 0),))  # constant 1
+    primes = prime_implicants(n, on_list, dc)
+    cover = _greedy_cover(on_list, primes)
+    # Deterministic order for reproducible output.
+    return SumOfProducts(
+        n, tuple(sorted(set(cover), key=lambda c: (c.mask, c.value)))
+    )
+
+
+def truth_table(sop: SumOfProducts) -> list[bool]:
+    """The full truth table (index = minterm)."""
+    return [sop.evaluate(m) for m in range(2**sop.n)]
+
+
+def equivalent_on(
+    f: SumOfProducts, g: SumOfProducts, care_set: Iterable[int]
+) -> bool:
+    """``True`` iff the two covers agree on every minterm in ``care_set``."""
+    return all(f.evaluate(m) == g.evaluate(m) for m in care_set)

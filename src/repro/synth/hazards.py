@@ -1,0 +1,155 @@
+"""Speed-independence (hazard) checks for synthesized implementations.
+
+Matching the excitation function (checked by
+:func:`repro.synth.implementation.verify_implementation`) is necessary
+but not sufficient for a hazard-free speed-independent circuit; this
+module adds the classical cover conditions:
+
+* **monotonic cover** for complex gates: while an output stays excited
+  to rise, the cube that turned it on must stay on (a cube that drops
+  and another that picks up can glitch in a real OR gate);
+* **set/reset exclusiveness** for C-element implementations: the set
+  and reset networks must never be active simultaneously in any
+  reachable code (a drive fight otherwise).
+
+Both checks run over the binary encoded state graph of the STG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stg.signals import is_signal_action, parse_event
+from repro.stg.state_graph import StateGraph, build_state_graph
+from repro.stg.stg import Stg
+from repro.synth.boolean import Cube, SumOfProducts
+from repro.synth.implementation import CElementImplementation, GateImplementation
+from repro.synth.nextstate import CodingError
+
+
+@dataclass(frozen=True)
+class HazardViolation:
+    """A potential glitch: which signal, which kind, and where."""
+
+    signal: str
+    kind: str  # "monotonic-cover" | "set-reset-conflict"
+    detail: str
+
+
+def _minterm_of(encoding: tuple) -> int:
+    value = 0
+    for index, level in enumerate(encoding):
+        if level is None:
+            raise CodingError("hazard analysis requires binary encodings")
+        value |= level << index
+    return value
+
+
+def _covering_cubes(sop: SumOfProducts, minterm: int) -> frozenset[Cube]:
+    return frozenset(cube for cube in sop.cubes if cube.covers(minterm))
+
+
+def monotonic_cover_violations(
+    stg: Stg,
+    implementation: GateImplementation,
+    max_states: int = 200_000,
+) -> list[HazardViolation]:
+    """Check the monotonic cover condition on every output.
+
+    For every state-graph edge ``state -x-> state'`` where output ``s``
+    is excited to rise in both states (i.e. the excitation persists
+    across an unrelated transition), some cube that covered ``state``
+    must still cover ``state'``.  If the covering switches entirely to
+    different cubes, the OR stage of the gate can glitch.
+    """
+    graph = build_state_graph(stg, max_states=max_states)
+    excitation = _excitation_map(graph)
+    violations: list[HazardViolation] = []
+    for signal, function in implementation.functions.items():
+        index = graph.signals.index(signal)
+        for source, action, _, target in graph.edges:
+            changed = (
+                is_signal_action(action)
+                and parse_event(action).signal == signal
+            )
+            if changed:
+                continue
+            rising_before = (signal, "rise") in excitation.get(source, ())
+            rising_after = (signal, "rise") in excitation.get(target, ())
+            if not (rising_before and rising_after):
+                continue
+            before = _covering_cubes(function, _minterm_of(source.encoding))
+            after = _covering_cubes(function, _minterm_of(target.encoding))
+            if before and after and not (before & after):
+                violations.append(
+                    HazardViolation(
+                        signal,
+                        "monotonic-cover",
+                        f"cube handover across {action} while {signal}+ is"
+                        f" pending ({source!r} -> {target!r})",
+                    )
+                )
+    return violations
+
+
+def _excitation_map(graph: StateGraph) -> dict:
+    """Per state, the set of (signal, 'rise'|'fall') excitations."""
+    excitation: dict = {}
+    for source, action, _, _ in graph.edges:
+        if not is_signal_action(action):
+            continue
+        event = parse_event(action)
+        direction = {
+            "+": "rise",
+            "-": "fall",
+        }.get(event.kind.value)
+        if direction is None:
+            continue
+        excitation.setdefault(source, set()).add((event.signal, direction))
+    return excitation
+
+
+def set_reset_conflicts(
+    stg: Stg,
+    implementation: CElementImplementation,
+    max_states: int = 200_000,
+) -> list[HazardViolation]:
+    """The set and reset networks of a C-element output must never both
+    evaluate true in a reachable code."""
+    graph = build_state_graph(stg, max_states=max_states)
+    violations: list[HazardViolation] = []
+    for signal in implementation.set_functions:
+        set_fn = implementation.set_functions[signal]
+        reset_fn = implementation.reset_functions[signal]
+        seen: set[int] = set()
+        for state in graph.states:
+            minterm = _minterm_of(state.encoding)
+            if minterm in seen:
+                continue
+            seen.add(minterm)
+            if set_fn.evaluate(minterm) and reset_fn.evaluate(minterm):
+                violations.append(
+                    HazardViolation(
+                        signal,
+                        "set-reset-conflict",
+                        f"S and R both active in code {minterm:b}",
+                    )
+                )
+    return violations
+
+
+def is_speed_independent(
+    stg: Stg,
+    implementation: GateImplementation,
+    max_states: int = 200_000,
+) -> bool:
+    """Convenience: excitation match + monotonic covers + output
+    persistency of the specification itself."""
+    from repro.synth.implementation import verify_implementation
+
+    if not verify_implementation(stg, implementation, max_states).ok:
+        return False
+    graph = build_state_graph(stg, max_states=max_states)
+    if graph.output_persistency_violations():
+        return False
+    return not monotonic_cover_violations(stg, implementation, max_states)

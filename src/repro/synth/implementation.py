@@ -1,0 +1,155 @@
+"""Speed-independent implementations from next-state functions.
+
+Two implementation styles:
+
+* **complex gate** — one atomic gate per output computing the minimized
+  next-state function ``F_s`` (output feeds back as an input);
+* **standard C-element** — per output a set network ``S_s`` (cover of
+  the excitation-to-1 region) and reset network ``R_s`` (excitation to
+  0) driving a Muller C-element; this is the classical architecture for
+  STG synthesis.
+
+Both are validated against the specification state graph:
+``F_s(code)`` must equal the next value of ``s`` in every reachable
+state (the correctness criterion of state-graph based synthesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stg.state_graph import build_state_graph
+from repro.stg.stg import Stg
+from repro.synth.boolean import SumOfProducts, minimize
+from repro.synth.nextstate import (
+    NextStateTable,
+    next_state_tables,
+    tables_from_graph,
+)
+
+
+@dataclass(frozen=True)
+class GateImplementation:
+    """A complex-gate circuit: one minimized function per output."""
+
+    variables: tuple[str, ...]
+    functions: dict[str, SumOfProducts]
+
+    def expression(self, signal: str) -> str:
+        return self.functions[signal].to_expression(self.variables)
+
+    def netlist(self) -> str:
+        lines = [
+            f"{signal} = {self.expression(signal)}"
+            for signal in sorted(self.functions)
+        ]
+        return "\n".join(lines)
+
+    def literal_count(self) -> int:
+        return sum(f.literal_count() for f in self.functions.values())
+
+
+@dataclass(frozen=True)
+class CElementImplementation:
+    """A standard C-element circuit: set/reset covers per output.
+
+    The output holds its value unless exactly one of S/R is active:
+    ``s' = S | (s & !R)`` with the invariant that S and R are never
+    active together on reachable codes.
+    """
+
+    variables: tuple[str, ...]
+    set_functions: dict[str, SumOfProducts]
+    reset_functions: dict[str, SumOfProducts]
+
+    def netlist(self) -> str:
+        lines = []
+        for signal in sorted(self.set_functions):
+            lines.append(
+                f"set({signal})   = "
+                f"{self.set_functions[signal].to_expression(self.variables)}"
+            )
+            lines.append(
+                f"reset({signal}) = "
+                f"{self.reset_functions[signal].to_expression(self.variables)}"
+            )
+        return "\n".join(lines)
+
+
+def synthesize(stg: Stg, max_states: int = 200_000) -> GateImplementation:
+    """Complex-gate synthesis of every non-input signal."""
+    tables = next_state_tables(stg, max_states=max_states)
+    return implementation_from_tables(tables)
+
+
+def implementation_from_tables(
+    tables: dict[str, NextStateTable]
+) -> GateImplementation:
+    functions: dict[str, SumOfProducts] = {}
+    variables: tuple[str, ...] = ()
+    for signal, table in tables.items():
+        variables = table.variables
+        functions[signal] = minimize(
+            len(table.variables), table.on_set, table.dc_set()
+        )
+    return GateImplementation(variables, functions)
+
+
+def synthesize_c_elements(
+    stg: Stg, max_states: int = 200_000
+) -> CElementImplementation:
+    """Standard C-element synthesis: separate set and reset covers.
+
+    Set region: codes where the signal is 0 and excited to rise.
+    Reset region: codes where the signal is 1 and excited to fall.
+    Hold region is everything else reachable; unreachable codes are
+    don't cares for both.
+    """
+    graph = build_state_graph(stg, max_states=max_states)
+    tables = tables_from_graph(graph)
+    set_functions: dict[str, SumOfProducts] = {}
+    reset_functions: dict[str, SumOfProducts] = {}
+    variables: tuple[str, ...] = ()
+    for signal, table in tables.items():
+        variables = table.variables
+        index = table.variables.index(signal)
+        rising = {m for m in table.on_set if not (m >> index) & 1}
+        falling = {m for m in table.off_set if (m >> index) & 1}
+        care = set(table.on_set) | set(table.off_set)
+        universe = set(range(2 ** len(table.variables)))
+        dc = universe - care
+        set_functions[signal] = minimize(
+            len(table.variables), rising, dc
+        )
+        reset_functions[signal] = minimize(
+            len(table.variables), falling, dc
+        )
+    return CElementImplementation(variables, set_functions, reset_functions)
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of checking an implementation against its STG."""
+
+    ok: bool
+    mismatches: tuple[tuple[str, int], ...]  # (signal, minterm)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_implementation(
+    stg: Stg, implementation: GateImplementation, max_states: int = 200_000
+) -> VerificationResult:
+    """Check ``F_s(code) == next value of s`` on every reachable code."""
+    tables = next_state_tables(stg, max_states=max_states)
+    mismatches: list[tuple[str, int]] = []
+    for signal, table in tables.items():
+        function = implementation.functions[signal]
+        for minterm in table.on_set:
+            if not function.evaluate(minterm):
+                mismatches.append((signal, minterm))
+        for minterm in table.off_set:
+            if function.evaluate(minterm):
+                mismatches.append((signal, minterm))
+    return VerificationResult(not mismatches, tuple(mismatches))

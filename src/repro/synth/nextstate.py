@@ -1,0 +1,121 @@
+"""Next-state function extraction from encoded state graphs.
+
+The classical STG synthesis step (Chu [3]): for every non-input signal,
+derive the excitation function over the binary signal encodings —
+``F_s(code) = 1`` iff in (every) state with that code the signal is 1
+and stays 1, or is 0 and is excited to rise.  Requires a consistent
+state assignment and complete state coding (CSC); violations are
+reported as :class:`CodingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stg.signals import EdgeKind, is_signal_action, parse_event
+from repro.stg.state_graph import StateGraph, StgState, build_state_graph
+from repro.stg.stg import Stg
+
+
+class CodingError(Exception):
+    """The state graph does not support next-state function extraction
+    (inconsistent assignment, X values, or a CSC violation)."""
+
+
+@dataclass(frozen=True)
+class NextStateTable:
+    """On/off/don't-care minterm sets for one signal.
+
+    Minterms are integers over the signal ordering ``variables`` (bit i
+    is ``variables[i]``'s level).
+    """
+
+    signal: str
+    variables: tuple[str, ...]
+    on_set: frozenset[int]
+    off_set: frozenset[int]
+
+    def dc_set(self) -> frozenset[int]:
+        universe = set(range(2 ** len(self.variables)))
+        return frozenset(universe - set(self.on_set) - set(self.off_set))
+
+
+def _encoding_to_minterm(encoding: tuple, variables_count: int) -> int:
+    minterm = 0
+    for i, value in enumerate(encoding):
+        if value is None:
+            raise CodingError(
+                "state graph contains X-valued encodings; resolve all"
+                " unstable signals before synthesis"
+            )
+        minterm |= value << i
+    return minterm
+
+
+def _excited_to(graph: StateGraph, state: StgState, signal: str) -> EdgeKind | None:
+    """The pending edge kind on ``signal`` in ``state``, if any."""
+    for source, action, _, _ in graph.edges:
+        if source != state or not is_signal_action(action):
+            continue
+        parsed = parse_event(action)
+        if parsed.signal == signal:
+            return parsed.kind
+    return None
+
+
+def next_state_tables(
+    stg: Stg, max_states: int = 200_000
+) -> dict[str, NextStateTable]:
+    """Extract the next-state table of every non-input signal.
+
+    Raises :class:`CodingError` on inconsistent assignment or CSC
+    conflicts (the same code requiring both levels of a signal).
+    """
+    graph = build_state_graph(stg, max_states=max_states)
+    return tables_from_graph(graph)
+
+
+def tables_from_graph(graph: StateGraph) -> dict[str, NextStateTable]:
+    stg = graph.stg
+    if not graph.is_consistent():
+        first = graph.violations[0]
+        raise CodingError(
+            f"inconsistent state assignment: {first.action} — {first.reason}"
+        )
+    variables = graph.signals
+    tables: dict[str, NextStateTable] = {}
+    for signal in sorted(stg.outputs | stg.internals):
+        index = variables.index(signal)
+        on: set[int] = set()
+        off: set[int] = set()
+        for state in graph.states:
+            minterm = _encoding_to_minterm(state.encoding, len(variables))
+            excitation = _excited_to(graph, state, signal)
+            value = state.encoding[index]
+            if excitation is EdgeKind.TOGGLE:
+                raise CodingError(
+                    f"toggle transitions on {signal!r} have no level-based"
+                    " next-state function; expand to rise/fall first"
+                )
+            if value == 1 and excitation is not EdgeKind.FALL:
+                target = on
+            elif value == 0 and excitation is not EdgeKind.RISE:
+                target = off
+            elif value == 0 and excitation is EdgeKind.RISE:
+                target = on
+            else:  # value 1, falling
+                target = off
+            target.add(minterm)
+        conflict = on & off
+        if conflict:
+            raise CodingError(
+                f"CSC violation for signal {signal!r}: code(s)"
+                f" {sorted(conflict)} require both levels"
+            )
+        tables[signal] = NextStateTable(
+            signal=signal,
+            variables=variables,
+            on_set=frozenset(on),
+            off_set=frozenset(off),
+        )
+    return tables

@@ -1,0 +1,79 @@
+"""Structural net isomorphism (place-renaming equivalence).
+
+Two nets are isomorphic when a bijection on places maps one onto the
+other, preserving transitions (with labels), arcs and the initial
+marking.  Used to compare derived nets against hand-built references up
+to the fresh names the algebra generates.  Implemented via networkx'
+VF2 on the bipartite place/transition graph.
+"""
+
+from __future__ import annotations
+
+from repro.petri.net import PetriNet
+
+
+def _bipartite(net: PetriNet):
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for place in net.places:
+        graph.add_node(
+            ("p", place), kind="place", tokens=net.initial[place]
+        )
+    for tid, transition in net.transitions.items():
+        graph.add_node(("t", tid), kind="transition", label=transition.action)
+        for place in transition.preset:
+            graph.add_edge(("p", place), ("t", tid))
+        for place in transition.postset:
+            graph.add_edge(("t", tid), ("p", place))
+    return graph
+
+
+def isomorphic(net1: PetriNet, net2: PetriNet) -> bool:
+    """``True`` iff the nets are identical up to place renaming and
+    transition re-identification (labels must match exactly)."""
+    if len(net1.places) != len(net2.places):
+        return False
+    if len(net1.transitions) != len(net2.transitions):
+        return False
+    if sorted(t.action for t in net1.transitions.values()) != sorted(
+        t.action for t in net2.transitions.values()
+    ):
+        return False
+    import networkx as nx
+    from networkx.algorithms.isomorphism import DiGraphMatcher
+
+    def node_match(a, b):
+        if a["kind"] != b["kind"]:
+            return False
+        if a["kind"] == "place":
+            return a["tokens"] == b["tokens"]
+        return a["label"] == b["label"]
+
+    matcher = DiGraphMatcher(
+        _bipartite(net1), _bipartite(net2), node_match=node_match
+    )
+    return matcher.is_isomorphic()
+
+
+def place_bijection(net1: PetriNet, net2: PetriNet) -> dict[str, str] | None:
+    """A witnessing place bijection if the nets are isomorphic."""
+    from networkx.algorithms.isomorphism import DiGraphMatcher
+
+    def node_match(a, b):
+        if a["kind"] != b["kind"]:
+            return False
+        if a["kind"] == "place":
+            return a["tokens"] == b["tokens"]
+        return a["label"] == b["label"]
+
+    matcher = DiGraphMatcher(
+        _bipartite(net1), _bipartite(net2), node_match=node_match
+    )
+    if not matcher.is_isomorphic():
+        return None
+    return {
+        node[1]: image[1]
+        for node, image in matcher.mapping.items()
+        if node[0] == "p"
+    }

@@ -1,0 +1,273 @@
+"""Exact trace-language comparison for bounded nets.
+
+``L(N)`` of a bounded net is a prefix-closed regular language: the
+reachability graph is a finite automaton in which *every* state is
+accepting.  This module converts nets to DFAs (with epsilon-closure over
+silent labels), minimizes them, and decides language equality and
+containment — the exact form of the paper's Theorems 4.5 and 4.7 and of
+Theorem 5.1's containment claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.reachability import ReachabilityGraph
+
+
+@dataclass(frozen=True)
+class Dfa:
+    """A total DFA over ``alphabet``.
+
+    ``transitions[state][symbol]`` is always defined; ``sink`` is the
+    unique non-accepting trap state (prefix-closed languages need exactly
+    one).  Every non-sink state is accepting.
+    """
+
+    alphabet: frozenset[str]
+    num_states: int
+    start: int
+    sink: int
+    transitions: tuple[tuple[int, ...], ...]  # [state][symbol_index]
+    symbols: tuple[str, ...]  # index -> symbol
+
+    def symbol_index(self, symbol: str) -> int:
+        return self.symbols.index(symbol)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state = self.start
+        for symbol in word:
+            if symbol not in self.alphabet:
+                return False
+            state = self.transitions[state][self.symbols.index(symbol)]
+            if state == self.sink:
+                return False
+        return True
+
+    def num_live_states(self) -> int:
+        return self.num_states - 1
+
+
+def dfa_of_net(
+    net: PetriNet,
+    silent: Iterable[str] = (EPSILON,),
+    alphabet: Iterable[str] | None = None,
+    max_states: int = 1_000_000,
+) -> Dfa:
+    """The minimal DFA of the visible trace language of a bounded net.
+
+    ``silent`` labels are erased by epsilon-closure during subset
+    construction.  ``alphabet`` defaults to the net's alphabet minus the
+    silent labels; supplying a larger alphabet lets two nets be compared
+    over a common symbol set.
+    """
+    graph = ReachabilityGraph(net, max_states=max_states)
+    silent_set = set(silent)
+    if alphabet is None:
+        visible = frozenset(net.actions - silent_set)
+    else:
+        visible = frozenset(set(alphabet) - silent_set)
+    symbols = tuple(sorted(visible))
+    symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+
+    # Epsilon-closure over the reachability graph.
+    def closure(states: frozenset) -> frozenset:
+        seen = set(states)
+        queue = deque(states)
+        while queue:
+            marking = queue.popleft()
+            for action, _, target in graph.successors(marking):
+                if action in silent_set and target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return frozenset(seen)
+
+    start = closure(frozenset({graph.initial}))
+    subset_index: dict[frozenset, int] = {start: 0}
+    table: list[list[int | None]] = [[None] * len(symbols)]
+    queue = deque([start])
+    while queue:
+        subset = queue.popleft()
+        row = table[subset_index[subset]]
+        moves: dict[str, set] = {}
+        for marking in subset:
+            for action, _, target in graph.successors(marking):
+                if action in silent_set:
+                    continue
+                moves.setdefault(action, set()).add(target)
+        for action, targets in moves.items():
+            if action not in symbol_index:
+                # A transition label outside the requested alphabet: the
+                # word is not comparable — treat as outside the language.
+                continue
+            successor = closure(frozenset(targets))
+            if successor not in subset_index:
+                subset_index[successor] = len(table)
+                table.append([None] * len(symbols))
+                queue.append(successor)
+            row[symbol_index[action]] = subset_index[successor]
+
+    sink = len(table)
+    total = [
+        tuple(sink if cell is None else cell for cell in row) for row in table
+    ]
+    total.append(tuple(sink for _ in symbols))
+    dfa = Dfa(
+        alphabet=visible,
+        num_states=len(total),
+        start=0,
+        sink=sink,
+        transitions=tuple(total),
+        symbols=symbols,
+    )
+    return minimize(dfa)
+
+
+def minimize(dfa: Dfa) -> Dfa:
+    """Moore partition-refinement minimization (all non-sink states accept)."""
+    # Initial partition: {sink}, {everything else}.
+    block_of = [0 if state != dfa.sink else 1 for state in range(dfa.num_states)]
+    num_blocks = 2
+    changed = True
+    while changed:
+        changed = False
+        signature: dict[tuple, int] = {}
+        new_block_of = [0] * dfa.num_states
+        next_block = 0
+        for state in range(dfa.num_states):
+            key = (
+                block_of[state],
+                tuple(block_of[t] for t in dfa.transitions[state]),
+            )
+            if key not in signature:
+                signature[key] = next_block
+                next_block += 1
+            new_block_of[state] = signature[key]
+        if next_block != num_blocks:
+            changed = True
+            num_blocks = next_block
+            block_of = new_block_of
+    representatives: dict[int, int] = {}
+    for state in range(dfa.num_states):
+        representatives.setdefault(block_of[state], state)
+    transitions = []
+    for block in range(num_blocks):
+        state = representatives[block]
+        transitions.append(
+            tuple(block_of[t] for t in dfa.transitions[state])
+        )
+    return Dfa(
+        alphabet=dfa.alphabet,
+        num_states=num_blocks,
+        start=block_of[dfa.start],
+        sink=block_of[dfa.sink],
+        transitions=tuple(transitions),
+        symbols=dfa.symbols,
+    )
+
+
+def _aligned(d1: Dfa, d2: Dfa) -> tuple[Dfa, Dfa]:
+    if d1.alphabet != d2.alphabet:
+        raise ValueError(
+            f"alphabet mismatch: {sorted(d1.alphabet)} vs {sorted(d2.alphabet)}"
+        )
+    return d1, d2
+
+
+def dfa_equal(d1: Dfa, d2: Dfa) -> bool:
+    """Language equality by synchronous product walk (Hopcroft-Karp style)."""
+    d1, d2 = _aligned(d1, d2)
+    seen = {(d1.start, d2.start)}
+    queue = deque([(d1.start, d2.start)])
+    while queue:
+        s1, s2 = queue.popleft()
+        if (s1 == d1.sink) != (s2 == d2.sink):
+            return False
+        for index in range(len(d1.symbols)):
+            pair = (d1.transitions[s1][index], d2.transitions[s2][index])
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    return True
+
+
+def dfa_contained(d1: Dfa, d2: Dfa) -> bool:
+    """``True`` iff ``L(d1) <= L(d2)``."""
+    d1, d2 = _aligned(d1, d2)
+    seen = {(d1.start, d2.start)}
+    queue = deque([(d1.start, d2.start)])
+    while queue:
+        s1, s2 = queue.popleft()
+        if s1 != d1.sink and s2 == d2.sink:
+            return False
+        for index in range(len(d1.symbols)):
+            pair = (d1.transitions[s1][index], d2.transitions[s2][index])
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    return True
+
+
+def languages_equal(
+    net1: PetriNet,
+    net2: PetriNet,
+    silent: Iterable[str] = (EPSILON,),
+    max_states: int = 1_000_000,
+) -> bool:
+    """Exact visible-trace-language equality of two bounded nets."""
+    common = (net1.actions | net2.actions) - set(silent)
+    d1 = dfa_of_net(net1, silent, common, max_states)
+    d2 = dfa_of_net(net2, silent, common, max_states)
+    return dfa_equal(d1, d2)
+
+
+def language_contained(
+    net1: PetriNet,
+    net2: PetriNet,
+    silent: Iterable[str] = (EPSILON,),
+    max_states: int = 1_000_000,
+) -> bool:
+    """Exact visible-trace containment ``L(net1) <= L(net2)``."""
+    common = (net1.actions | net2.actions) - set(silent)
+    d1 = dfa_of_net(net1, silent, common, max_states)
+    d2 = dfa_of_net(net2, silent, common, max_states)
+    return dfa_contained(d1, d2)
+
+
+def distinguishing_trace(
+    net1: PetriNet,
+    net2: PetriNet,
+    silent: Iterable[str] = (EPSILON,),
+    max_states: int = 1_000_000,
+) -> tuple[str, ...] | None:
+    """A shortest trace in exactly one of the two languages, or ``None``.
+
+    Useful diagnostics when an equivalence check fails.
+    """
+    common = (net1.actions | net2.actions) - set(silent)
+    d1 = dfa_of_net(net1, silent, common, max_states)
+    d2 = dfa_of_net(net2, silent, common, max_states)
+    start = (d1.start, d2.start)
+    parents: dict[tuple[int, int], tuple[tuple[int, int], str] | None] = {
+        start: None
+    }
+    queue = deque([start])
+    while queue:
+        pair = queue.popleft()
+        s1, s2 = pair
+        if (s1 == d1.sink) != (s2 == d2.sink):
+            trace: list[str] = []
+            cursor = pair
+            while parents[cursor] is not None:
+                cursor, symbol = parents[cursor]
+                trace.append(symbol)
+            return tuple(reversed(trace))
+        for index, symbol in enumerate(d1.symbols):
+            successor = (d1.transitions[s1][index], d2.transitions[s2][index])
+            if successor not in parents:
+                parents[successor] = (pair, symbol)
+                queue.append(successor)
+    return None

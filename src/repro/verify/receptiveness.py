@@ -1,0 +1,327 @@
+"""Receptiveness verification of composed modules (Section 5.3).
+
+Inputs of a module are controlled by its environment; the module must be
+*receptive*: whenever the environment produces an input event, the
+module must be ready to synchronize with it.  The rendez-vous
+composition masks such failures (the fused transition simply does not
+fire), so after composing we check Proposition 5.5:
+
+    A failure can occur iff there exists a marking of ``N1 || N2`` in
+    which all input places of the *producer's* part of a synchronization
+    transition are marked but not all places of the *consumer's* part.
+
+Proposition 5.5 is stated for a single common transition.  With several
+transitions per label (the cross product of Definition 4.7), the check
+generalizes per *producer* transition: a failure needs a reachable
+marking where some producer transition is ready while **no** consumer
+transition of the same action is — pairings that are individually
+unready are only the dead cross-product duplicates the paper removes
+(Section 5.2), not failures.  By Proposition 5.6 this is sound and
+complete for the existence of at least one failure (later failures may
+be masked by the first).
+
+For live-safe strongly connected marked graphs, Theorem 5.7 promises a
+polynomial check: we use the classical marked-graph reachability
+characterisation (a marking is reachable iff it agrees with the initial
+marking on the token count of every directed place-cycle, i.e. iff
+``M = M0 + C.sigma`` is solvable with ``M >= 0``) and solve the
+resulting linear feasibility problem instead of enumerating states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet, disjoint_pair
+from repro.stg.signals import signal_of
+from repro.stg.stg import Stg, signal_actions
+
+
+@dataclass(frozen=True)
+class SyncObligation:
+    """One receptiveness obligation: a producer transition of a
+    synchronized action, together with every same-action consumer
+    alternative in the partner module."""
+
+    action: str
+    producer: str
+    consumer: str
+    producer_preset: frozenset[str]
+    consumer_presets: tuple[frozenset[str], ...]
+
+
+@dataclass(frozen=True)
+class ReceptivenessFailure:
+    """A Proposition 5.5 witness: the producer is ready to emit but no
+    consumer alternative is ready to accept."""
+
+    obligation: SyncObligation
+    marking: Marking
+
+    def __str__(self) -> str:
+        return (
+            f"{self.obligation.producer} can emit"
+            f" {self.obligation.action!r} but {self.obligation.consumer}"
+            f" is not ready to accept it"
+        )
+
+
+@dataclass
+class ReceptivenessReport:
+    """Outcome of a receptiveness check."""
+
+    composite: Stg
+    obligations: list[SyncObligation]
+    failures: list[ReceptivenessFailure]
+    method: str
+
+    def is_receptive(self) -> bool:
+        return not self.failures
+
+    def failing_actions(self) -> list[str]:
+        return sorted({failure.obligation.action for failure in self.failures})
+
+    def __str__(self) -> str:
+        if self.is_receptive():
+            return (
+                f"receptive: {len(self.obligations)} synchronization"
+                f" obligations checked ({self.method})"
+            )
+        lines = [
+            f"NOT receptive ({len(self.failures)} failures, {self.method}):"
+        ]
+        lines += [f"  - {failure}" for failure in self.failures]
+        return "\n".join(lines)
+
+
+def compose_with_obligations(
+    stg1: Stg, stg2: Stg
+) -> tuple[Stg, list[SyncObligation]]:
+    """Circuit-algebra composition that records, for every producer
+    transition of a synchronized action, the consumer alternatives."""
+    common_outputs = (stg1.outputs | stg1.internals) & (
+        stg2.outputs | stg2.internals
+    )
+    if common_outputs:
+        raise ValueError(
+            f"common output signals are not allowed: {sorted(common_outputs)}"
+        )
+    n1, n2 = disjoint_pair(stg1.net, stg2.net)
+    common_signals = stg1.signals() & stg2.signals()
+    sync_actions = signal_actions(n1.actions | n2.actions, common_signals)
+    sync_actions |= {
+        a
+        for a in n1.actions & n2.actions
+        if a != EPSILON and signal_of(a) is None
+    }
+    net = PetriNet(
+        f"({stg1.name}||{stg2.name})",
+        n1.actions | n2.actions,
+        n1.places | n2.places,
+        n1.initial.add(
+            place for place, count in n2.initial.items() for _ in range(count)
+        ),
+    )
+    for source in (n1, n2):
+        for _, transition in sorted(source.transitions.items()):
+            if transition.action not in sync_actions:
+                net.add_transition(
+                    transition.preset, transition.action, transition.postset
+                )
+    obligations: list[SyncObligation] = []
+    for action in sorted(sync_actions):
+        signal = signal_of(action)
+        if signal is not None:
+            first_is_producer = signal in (stg1.outputs | stg1.internals)
+        else:
+            # Channel rendez-vous after CIP relabeling: treat stg1 as the
+            # producer by convention (the direction does not affect the
+            # fused structure, only failure attribution).
+            first_is_producer = True
+        parts1 = n1.transitions_with_action(action)
+        parts2 = n2.transitions_with_action(action)
+        for t1 in parts1:
+            for t2 in parts2:
+                net.add_transition(
+                    t1.preset | t2.preset, action, t1.postset | t2.postset
+                )
+        producer_parts, consumer_parts = (
+            (parts1, parts2) if first_is_producer else (parts2, parts1)
+        )
+        producer_name, consumer_name = (
+            (stg1.name, stg2.name)
+            if first_is_producer
+            else (stg2.name, stg1.name)
+        )
+        for part in producer_parts:
+            obligations.append(
+                SyncObligation(
+                    action=action,
+                    producer=producer_name,
+                    consumer=consumer_name,
+                    producer_preset=part.preset,
+                    consumer_presets=tuple(t.preset for t in consumer_parts),
+                )
+            )
+    outputs = stg1.outputs | stg2.outputs
+    inputs = (stg1.inputs | stg2.inputs) - outputs
+    internals = stg1.internals | stg2.internals
+    values = dict(stg1.initial_values)
+    values.update(stg2.initial_values)
+    composite = Stg(net, inputs, outputs, internals, values)
+    return composite, obligations
+
+
+def _reachability_failures(
+    composite: Stg,
+    obligations: list[SyncObligation],
+    max_states: int,
+) -> list[ReceptivenessFailure]:
+    from repro.petri.reachability import ReachabilityGraph
+
+    graph = ReachabilityGraph(composite.net, max_states=max_states)
+    failures: list[ReceptivenessFailure] = []
+    for obligation in obligations:
+        for marking in graph.states:
+            if not all(marking[p] > 0 for p in obligation.producer_preset):
+                continue
+            if any(
+                all(marking[p] > 0 for p in preset)
+                for preset in obligation.consumer_presets
+            ):
+                continue
+            failures.append(ReceptivenessFailure(obligation, marking))
+            break  # one witness per obligation
+    return failures
+
+
+def _marked_graph_failures(
+    composite: Stg, obligations: list[SyncObligation]
+) -> list[ReceptivenessFailure]:
+    """Theorem 5.7's polynomial path: linear feasibility of a failure
+    marking under the marked-graph reachability characterisation
+    ``M = M0 + C.sigma, M >= 0``.
+
+    For each obligation we ask for a reachable marking where the
+    producer preset is fully marked while every consumer alternative
+    misses at least one place; the per-consumer choice of missing place
+    is enumerated (consumer alternatives are few in practice)."""
+    from scipy.optimize import linprog
+
+    from repro.petri.structural import incidence_matrix
+
+    places, _, matrix = incidence_matrix(composite.net)
+    index = {place: i for i, place in enumerate(places)}
+    m0 = np.array(
+        [composite.net.initial[place] for place in places], dtype=float
+    )
+    num_places, num_transitions = matrix.shape
+    failures: list[ReceptivenessFailure] = []
+    for obligation in obligations:
+        candidate_misses = [
+            sorted(preset - obligation.producer_preset)
+            for preset in obligation.consumer_presets
+        ]
+        if any(not misses for misses in candidate_misses):
+            # Some consumer's preset is inside the producer's: it is
+            # ready whenever the producer is; no failure possible.
+            continue
+        witness: Marking | None = None
+        for choice in product(*candidate_misses):
+            a_ub: list[np.ndarray] = []
+            b_ub: list[float] = []
+            for row in range(num_places):
+                a_ub.append(-matrix[row])  # M0 + C sigma >= 0
+                b_ub.append(m0[row])
+            for place in obligation.producer_preset:
+                row = index[place]
+                a_ub.append(-matrix[row])
+                b_ub.append(m0[row] - 1.0)  # marked
+            for place in set(choice):
+                row = index[place]
+                a_ub.append(matrix[row])
+                b_ub.append(-m0[row])  # empty
+            result = linprog(
+                c=np.zeros(num_transitions),
+                A_ub=np.array(a_ub, dtype=float),
+                b_ub=np.array(b_ub, dtype=float),
+                bounds=[(0, None)] * num_transitions,
+                method="highs",
+            )
+            if result.success:
+                vector = m0 + matrix @ result.x
+                witness = Marking(
+                    {
+                        place: int(round(max(0.0, vector[index[place]])))
+                        for place in places
+                    }
+                )
+                break
+        if witness is not None:
+            failures.append(ReceptivenessFailure(obligation, witness))
+    return failures
+
+
+def check_receptiveness(
+    stg1: Stg,
+    stg2: Stg,
+    method: str = "auto",
+    max_states: int = 1_000_000,
+) -> ReceptivenessReport:
+    """Check Propositions 5.5/5.6 on the composition of two modules.
+
+    ``method``:
+
+    * ``"reachability"`` — exhaustive over the composed state space
+      (exact for any bounded net);
+    * ``"structural"`` — the Theorem 5.7 polynomial check, valid for
+      live marked-graph compositions;
+    * ``"auto"`` — structural when the preconditions hold, otherwise
+      reachability.
+    """
+    composite, obligations = compose_with_obligations(stg1, stg2)
+    if method == "auto":
+        from repro.petri.classify import is_marked_graph, marked_graph_is_live
+
+        structural_ok = is_marked_graph(composite.net) and marked_graph_is_live(
+            composite.net
+        )
+        method = "structural" if structural_ok else "reachability"
+    if method == "structural":
+        failures = _marked_graph_failures(composite, obligations)
+    elif method == "reachability":
+        failures = _reachability_failures(composite, obligations, max_states)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return ReceptivenessReport(composite, obligations, failures, method)
+
+
+def check_receptiveness_with_hiding(
+    stg1: Stg,
+    stg2: Stg,
+    max_states: int = 1_000_000,
+) -> ReceptivenessReport:
+    """The Section 5.3 refinement: apply ``hide'`` (relabel-to-epsilon)
+    to each module's private signals before composing, keeping the
+    net structure (and hence the Prop 5.5 check) intact while shrinking
+    the visible alphabet.
+
+    Receptiveness must NOT be checked on fully *contracted* modules —
+    contraction forgets whether synchronization transitions are reached
+    via internal transitions; ``hide'`` keeps dummy transitions instead.
+    """
+    from repro.stg.stg import hide_signals_to_epsilon
+
+    private1 = stg1.signals() - stg2.signals()
+    private2 = stg2.signals() - stg1.signals()
+    reduced1 = hide_signals_to_epsilon(stg1, private1)
+    reduced2 = hide_signals_to_epsilon(stg2, private2)
+    reduced1.net.name = stg1.name
+    reduced2.net.name = stg2.name
+    return check_receptiveness(
+        reduced1, reduced2, method="reachability", max_states=max_states
+    )

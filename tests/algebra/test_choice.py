@@ -1,0 +1,138 @@
+"""Tests for root unwinding and choice (Defs 4.5-4.6, Prop 4.4, Fig 1)."""
+
+import pytest
+
+from repro.algebra.choice import choice, root_unwinding
+from repro.algebra.operators import sequence_net
+from repro.models.paper_figures import fig1_left, fig1_naive_choice, fig1_right
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.traces import bounded_language
+from repro.verify.language import languages_equal
+
+
+class TestRootUnwinding:
+    def test_language_preserved(self):
+        net = fig1_left()
+        unwound, _ = root_unwinding(net)
+        assert languages_equal(net, unwound)
+
+    def test_original_initial_places_unmarked(self):
+        net = fig1_left()
+        unwound, eta = root_unwinding(net)
+        assert unwound.initial.marked_places() == set(eta)
+        for copy, original in eta.items():
+            assert unwound.initial[original] == 0
+            assert unwound.initial[copy] == net.initial[original]
+
+    def test_initial_transitions_duplicated(self):
+        net = fig1_left()
+        unwound, _ = root_unwinding(net)
+        # 'a' was initially enabled -> duplicated; 'b' was not.
+        assert len(unwound.transitions_with_action("a")) == 2
+        assert len(unwound.transitions_with_action("b")) == 1
+
+    def test_loop_does_not_reenter_root(self):
+        """After a.b the token is on the *original* place; the duplicated
+        root copy is never re-marked."""
+        unwound, eta = root_unwinding(fig1_left())
+        language = bounded_language(unwound, 6)
+        assert ("a", "b", "a", "b") in language
+
+    def test_joint_preset_duplication(self):
+        """A preset of two initial places yields one variant per
+        non-empty subset of copies (see the generalization note)."""
+        net = PetriNet()
+        net.add_transition({"x", "y"}, "go", {"z"})
+        net.set_initial(Marking({"x": 1, "y": 1}))
+        unwound, _ = root_unwinding(net)
+        assert len(unwound.transitions_with_action("go")) == 4
+        assert languages_equal(net, unwound)
+
+    def test_mixed_preset_variant_keeps_language(self):
+        """The counterexample to the printed Def 4.5: a self-loop 'a' on
+        p0 followed by 'b' consuming both initial places.  The trace a.b
+        requires the mixed original/copy variant of 'b'."""
+        net = PetriNet()
+        net.add_transition({"p0"}, "a", {"p0"})
+        net.add_transition({"p0", "p1"}, "b", {"p0"})
+        net.set_initial(Marking({"p0": 1, "p1": 1}))
+        unwound, _ = root_unwinding(net)
+        assert languages_equal(net, unwound)
+        combined = choice(net, fig1_right())
+        depth = 4
+        assert bounded_language(combined, depth) == bounded_language(
+            net, depth
+        ) | bounded_language(fig1_right(), depth)
+
+    def test_unsafe_marking_rejected(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.set_initial(Marking({"p": 2}))
+        with pytest.raises(ValueError):
+            root_unwinding(net)
+
+
+class TestChoiceProposition44:
+    def test_union_of_languages_simple(self):
+        left = sequence_net(["a", "b"], name="L")
+        right = sequence_net(["c", "d"], name="R")
+        combined = choice(left, right)
+        depth = 4
+        assert bounded_language(combined, depth) == bounded_language(
+            left, depth
+        ) | bounded_language(right, depth)
+
+    def test_union_of_languages_cyclic_operands(self):
+        """The Figure 1 case: both operands are loops through their
+        initial places."""
+        left, right = fig1_left(), fig1_right()
+        combined = choice(left, right)
+        depth = 6
+        assert bounded_language(combined, depth) == bounded_language(
+            left, depth
+        ) | bounded_language(right, depth)
+
+    def test_naive_choice_is_wrong(self):
+        """The construction Figure 1 warns against admits a.b.c, which is
+        in neither operand's language — root unwinding excludes it."""
+        naive = fig1_naive_choice()
+        assert ("a", "b", "c") in bounded_language(naive, 3)
+        correct = choice(fig1_left(), fig1_right())
+        assert ("a", "b", "c") not in bounded_language(correct, 3)
+
+    def test_choice_with_shared_labels(self):
+        left = sequence_net(["a", "x"], name="L")
+        right = sequence_net(["a", "y"], name="R")
+        combined = choice(left, right)
+        language = bounded_language(combined, 2)
+        assert ("a", "x") in language
+        assert ("a", "y") in language
+
+    def test_choice_is_commutative_up_to_language(self):
+        left, right = fig1_left(), fig1_right()
+        assert languages_equal(choice(left, right), choice(right, left))
+
+    def test_choice_with_nil_is_identity_on_language(self):
+        from repro.algebra.operators import nil
+
+        net = sequence_net(["a", "b"])
+        assert languages_equal(choice(net, nil()), net)
+
+    def test_choice_of_identical_nets(self):
+        net = fig1_left()
+        assert languages_equal(choice(net, net.copy()), net)
+
+    def test_concurrent_initial_transitions_stay_concurrent(self):
+        """A choice operand with two concurrent initially-enabled
+        transitions must retain the concurrency inside the chosen branch."""
+        left = PetriNet("conc")
+        left.add_transition({"x"}, "a", {"x2"})
+        left.add_transition({"y"}, "b", {"y2"})
+        left.set_initial(Marking({"x": 1, "y": 1}))
+        right = sequence_net(["c"], name="R")
+        combined = choice(left, right)
+        depth = 3
+        assert bounded_language(combined, depth) == bounded_language(
+            left, depth
+        ) | bounded_language(right, depth)

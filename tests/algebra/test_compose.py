@@ -1,0 +1,152 @@
+"""Tests for parallel composition (Def 4.7, Thm 4.5, Props 5.2-5.4, Fig 2)."""
+
+from repro.algebra.compose import parallel, parallel_many
+from repro.algebra.operators import sequence_net
+from repro.models.paper_figures import fig2_left, fig2_right
+from repro.petri.analysis import analyze, is_live
+from repro.petri.classify import is_marked_graph
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.traces import (
+    bounded_language,
+    parallel_compose_languages,
+)
+from repro.verify.language import languages_equal
+
+
+def assert_theorem_45(left: PetriNet, right: PetriNet, depth: int) -> None:
+    """Bounded-depth form of Theorem 4.5: L(N1||N2) = L(N1)||L(N2)."""
+    composed = parallel(left, right)
+    direct = bounded_language(composed, depth)
+    via_traces = parallel_compose_languages(
+        bounded_language(left, depth),
+        bounded_language(right, depth),
+        left.actions,
+        right.actions,
+        max_length=depth,
+    )
+    assert direct == via_traces
+
+
+class TestTheorem45:
+    def test_fig2_example(self):
+        assert_theorem_45(fig2_left(), fig2_right(), depth=6)
+
+    def test_disjoint_alphabets_full_shuffle(self):
+        assert_theorem_45(
+            sequence_net(["a", "b"], name="L"),
+            sequence_net(["x", "y"], name="R"),
+            depth=4,
+        )
+
+    def test_identical_alphabets_lockstep(self):
+        assert_theorem_45(
+            sequence_net(["a", "b"], name="L"),
+            sequence_net(["a", "b"], name="R"),
+            depth=4,
+        )
+
+    def test_incompatible_orders_deadlock(self):
+        """a.b composed with b.a over common {a, b} can do nothing."""
+        left = sequence_net(["a", "b"], name="L")
+        right = sequence_net(["b", "a"], name="R")
+        composed = parallel(left, right)
+        assert bounded_language(composed, 5) == {()}
+
+    def test_multiple_transitions_same_label_all_pairs_fused(self):
+        left = PetriNet("L")
+        left.add_transition({"p"}, "a", {"q1"})
+        left.add_transition({"p"}, "a", {"q2"})
+        left.set_initial(Marking({"p": 1}))
+        right = sequence_net(["a"], name="R")
+        composed = parallel(left, right)
+        assert len(composed.transitions_with_action("a")) == 2
+        assert_theorem_45(left, right, depth=3)
+
+
+class TestStructure:
+    def test_fig2_composed_structure(self):
+        """Fig 2: places are the disjoint union; 'a' transitions are fused
+        pairwise (2 left x 2 right = 4), others kept."""
+        composed = parallel(fig2_left(), fig2_right())
+        assert len(composed.places) == 2 + 4
+        # fused 'a': 1x2=2 ; kept: b, c, d, e.
+        assert len(composed.transitions_with_action("a")) == 2
+        assert len(composed.transitions) == 2 + 4
+
+    def test_alphabet_is_union(self):
+        composed = parallel(fig2_left(), fig2_right())
+        assert composed.actions == {"a", "b", "c", "d", "e"}
+
+    def test_initial_marking_is_union(self):
+        composed = parallel(fig2_left(), fig2_right())
+        assert composed.initial.total() == 2
+
+    def test_common_label_without_partner_transition_disappears(self):
+        """A label in both alphabets but with transitions only on one side
+        can never synchronize: no transition remains."""
+        left = sequence_net(["a"], name="L")
+        right = PetriNet("R", actions={"a"})
+        right.add_place("r", tokens=1)
+        composed = parallel(left, right)
+        assert not composed.transitions_with_action("a")
+
+    def test_synchronize_on_override(self):
+        """Restricting the synchronization set interleaves the rest."""
+        left = sequence_net(["a", "s"], name="L")
+        right = sequence_net(["a", "s"], name="R")
+        composed = parallel(left, right, synchronize_on={"s"})
+        language = bounded_language(composed, 2)
+        assert ("a", "a") in language  # two private 'a's interleave
+
+    def test_guards_remain_attached(self):
+        left = PetriNet("L")
+        t = left.add_transition({"p"}, "s", {"q"})
+        left.set_guard("p", t.tid, "G1")
+        left.set_initial(Marking({"p": 1}))
+        right = sequence_net(["s"], name="R")
+        composed = parallel(left, right)
+        fused = composed.transitions_with_action("s")[0]
+        assert composed.guard_of("p", fused.tid) == "G1"
+
+
+class TestClosureProperties:
+    def test_proposition_52_safety_closed(self):
+        composed = parallel(fig2_left(), fig2_right())
+        assert analyze(composed).safe
+
+    def test_proposition_53_liveness_not_closed(self):
+        """Both operands live, composition deadlocked: (a.b)* and (b.a)*
+        each wait for the other's first action."""
+        left = sequence_net(["a", "b"], cyclic=True, name="L")
+        right = sequence_net(["b", "a"], cyclic=True, name="R")
+        assert is_live(left) and is_live(right)
+        composed = parallel(left, right)
+        assert is_live(composed) is False
+        assert bounded_language(composed, 4) == {()}
+
+    def test_proposition_54_marked_graphs_closed_under_parallel(self):
+        left = sequence_net(["a", "x"], cyclic=True, name="L")
+        right = sequence_net(["a", "y"], cyclic=True, name="R")
+        assert is_marked_graph(left) and is_marked_graph(right)
+        assert is_marked_graph(parallel(left, right))
+
+    def test_composition_is_associative_up_to_language(self):
+        a = sequence_net(["x", "s"], name="A")
+        b = sequence_net(["s", "y"], name="B")
+        c = sequence_net(["y", "z"], name="C")
+        assert languages_equal(
+            parallel(parallel(a, b), c), parallel(a, parallel(b, c))
+        )
+
+    def test_composition_is_commutative_up_to_language(self):
+        assert languages_equal(
+            parallel(fig2_left(), fig2_right()),
+            parallel(fig2_right(), fig2_left()),
+        )
+
+    def test_parallel_many(self):
+        nets = [sequence_net([c], name=c.upper()) for c in "abc"]
+        composed = parallel_many(nets)
+        assert composed.actions == {"a", "b", "c"}
+        assert ("c", "b", "a") in bounded_language(composed, 3)

@@ -1,0 +1,109 @@
+"""Tests for dead-transition removal (Section 5.2 cleanup)."""
+
+import pytest
+
+from repro.algebra.compose import parallel
+from repro.algebra.dead import (
+    dead_transition_ids,
+    fireable_transitions_marked_graph,
+    remove_dead_transitions,
+    remove_unreachable_places,
+    trim,
+)
+from repro.algebra.operators import sequence_net
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.verify.language import languages_equal
+
+
+def net_with_dead_branch() -> PetriNet:
+    net = PetriNet("half_dead")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.add_transition({"never"}, "z", {"zz"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+class TestMarkedGraphFixpoint:
+    def test_all_fireable_in_marked_cycle(self):
+        net = sequence_net(["a", "b"], cyclic=True)
+        assert fireable_transitions_marked_graph(net) == {0, 1}
+
+    def test_token_free_cycle_is_dead(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "b", {"p0"})
+        net.add_transition({"q0"}, "c", {"q1"})
+        net.add_transition({"q1"}, "d", {"q0"})
+        net.set_initial(Marking({"p0": 1}))
+        assert fireable_transitions_marked_graph(net) == {0, 1}
+
+    def test_rejects_non_marked_graph(self):
+        net = PetriNet()
+        net.add_transition({"s"}, "a", {"x"})
+        net.add_transition({"s"}, "b", {"y"})
+        with pytest.raises(ValueError):
+            fireable_transitions_marked_graph(net)
+
+    def test_fixpoint_agrees_with_reachability(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "b", {"p2"})
+        net.add_transition({"p2"}, "c", {"p0"})
+        net.set_initial(Marking({"p1": 1}))
+        from repro.petri.reachability import ReachabilityGraph
+
+        fired = ReachabilityGraph(net).fired_tids()
+        assert fireable_transitions_marked_graph(net) == fired
+
+
+class TestRemoval:
+    def test_dead_ids(self):
+        assert dead_transition_ids(net_with_dead_branch()) == {2}
+
+    def test_removal_preserves_language(self):
+        net = net_with_dead_branch()
+        cleaned = remove_dead_transitions(net)
+        assert len(cleaned.transitions) == 2
+        assert languages_equal(net, cleaned)
+
+    def test_unreachable_places_dropped(self):
+        net = net_with_dead_branch()
+        cleaned = remove_unreachable_places(net)
+        assert "never" not in cleaned.places
+        assert "zz" not in cleaned.places
+        assert languages_equal(net, cleaned)
+
+    def test_trim_after_composition(self):
+        """Composing (a.b)* with a one-shot a leaves the loop's second
+        'a' iteration dead-ended but keeps language equality."""
+        left = sequence_net(["a", "b"], cyclic=True, name="L")
+        right = sequence_net(["a"], name="R")
+        composed = parallel(left, right)
+        cleaned = trim(composed)
+        assert languages_equal(composed, cleaned)
+        assert len(cleaned.transitions) <= len(composed.transitions)
+
+    def test_trim_on_clean_net_is_identity_like(self):
+        net = sequence_net(["a", "b"], cyclic=True)
+        cleaned = trim(net)
+        assert cleaned.stats() == net.stats()
+        assert languages_equal(net, cleaned)
+
+    def test_synchronization_cross_product_cleanup(self):
+        """Fused synchronization duplicates that can never fire are
+        removed (the Section 5.2 motivation)."""
+        left = PetriNet("L")
+        left.add_transition({"p"}, "s", {"p2"})
+        left.add_transition({"p2"}, "x", {"p"})
+        left.set_initial(Marking({"p": 1}))
+        right = PetriNet("R")
+        right.add_transition({"q"}, "s", {"q2"})
+        right.add_transition({"q3"}, "s", {"q4"})  # never enabled
+        right.add_transition({"q2"}, "y", {"q"})
+        right.set_initial(Marking({"q": 1}))
+        composed = parallel(left, right)
+        assert len(composed.transitions_with_action("s")) == 2
+        cleaned = remove_dead_transitions(composed)
+        assert len(cleaned.transitions_with_action("s")) == 1

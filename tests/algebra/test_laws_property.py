@@ -1,0 +1,148 @@
+"""Property-based validation of the algebra's laws on random nets.
+
+Each property is the exact statement of a proposition or theorem from
+Section 4 of the paper, checked on randomly generated nets via exact
+(DFA-based) or bounded-depth language comparison.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.algebra.choice import choice, root_unwinding
+from repro.algebra.compose import parallel
+from repro.algebra.hide import hide_transition
+from repro.algebra.operators import prefix, rename
+from repro.petri.net import EPSILON
+from repro.petri.traces import (
+    bounded_language,
+    parallel_compose_languages,
+    rename_language,
+)
+from repro.verify.language import distinguishing_trace, languages_equal
+
+from tests.strategies import bounded_nets, hidable_transition_ids, safe_initial_nets
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(net=safe_initial_nets(), action=st.sampled_from(["x", "a"]))
+def test_proposition_42_prefix_language(net, action):
+    """L(a.N) = {eps} | {a}.L(N) at bounded depth."""
+    depth = 4
+    prefixed = prefix(net, action)
+    expected = {()} | {
+        (action,) + trace for trace in bounded_language(net, depth - 1)
+    }
+    assert bounded_language(prefixed, depth) == expected
+
+
+@RELAXED
+@given(net=bounded_nets(), source=st.sampled_from(["a", "b"]))
+def test_proposition_43_rename_homomorphism(net, source):
+    """L(rename(N, b->c)) = rename(L(N), b->c)."""
+    depth = 4
+    renamed = rename(net, {source: "zz"})
+    assert bounded_language(renamed, depth) == rename_language(
+        bounded_language(net, depth), {source: "zz"}
+    )
+
+
+@RELAXED
+@given(net=safe_initial_nets())
+def test_root_unwinding_preserves_language(net):
+    unwound, _ = root_unwinding(net)
+    assert languages_equal(net, unwound, max_states=20_000)
+
+
+@RELAXED
+@given(left=safe_initial_nets(max_transitions=3), right=safe_initial_nets(max_transitions=3))
+def test_proposition_44_choice_is_language_union(left, right):
+    """L(N1 + N2) = L(N1) | L(N2) at bounded depth."""
+    depth = 4
+    right = right.renamed_places({p: f"r_{p}" for p in right.places})
+    combined = choice(left, right)
+    assert bounded_language(combined, depth) == bounded_language(
+        left, depth
+    ) | bounded_language(right, depth)
+
+
+@RELAXED
+@given(left=bounded_nets(max_transitions=3), right=bounded_nets(max_transitions=3))
+def test_theorem_45_parallel_composition(left, right):
+    """L(N1 || N2) = L(N1) || L(N2) at bounded depth."""
+    depth = 4
+    right = right.renamed_places({p: f"r_{p}" for p in right.places})
+    composed = parallel(left, right)
+    direct = bounded_language(composed, depth)
+    via_traces = parallel_compose_languages(
+        bounded_language(left, depth),
+        bounded_language(right, depth),
+        left.actions,
+        right.actions,
+        max_length=depth,
+    )
+    assert direct == via_traces
+
+
+@RELAXED
+@given(net=bounded_nets(), fast_path=st.booleans())
+def test_theorem_47_hide_is_trace_projection(net, fast_path):
+    """L(hide(N, t)) equals L(N) with the hidden transition silent —
+    exact DFA comparison, one supported transition contracted."""
+    candidates = hidable_transition_ids(net, "u")
+    assume(candidates)
+    tid = candidates[0]
+    # Rename the single contracted transition to a unique label so only
+    # it is treated as silent on the reference side.
+    marker = "__hidden__"
+    reference = net.copy()
+    old = reference.transitions[tid]
+    reference.remove_transition(tid)
+    reference.add_transition(old.preset, marker, old.postset, tid=tid)
+    reference.actions.add(marker)
+    contracted = hide_transition(reference, tid, fast_path=fast_path)
+    assert languages_equal(
+        contracted, reference, silent={marker, EPSILON}, max_states=50_000
+    ), distinguishing_trace(
+        contracted, reference, silent={marker, EPSILON}, max_states=50_000
+    )
+
+
+@RELAXED
+@given(net=bounded_nets(max_transitions=4))
+def test_hide_to_epsilon_matches_contraction(net):
+    """hide' (relabel to eps) and hide (contraction) have the same
+    visible language whenever contraction is applicable."""
+    from repro.algebra.hide import hide, hide_to_epsilon
+
+    candidates = hidable_transition_ids(net, "u")
+    all_u = [t.tid for t in net.transitions_with_action("u")]
+    assume(all_u and set(all_u) == set(candidates))
+    # Multiple hidden transitions may interact after the first
+    # contraction; restrict to the single-transition case, which is what
+    # the pointwise law governs.
+    assume(len(all_u) == 1)
+    assert languages_equal(
+        hide(net, "u"), hide_to_epsilon(net, "u"), max_states=50_000
+    )
+
+
+@RELAXED
+@given(left=bounded_nets(max_transitions=3), right=bounded_nets(max_transitions=3))
+def test_parallel_commutative(left, right):
+    right = right.renamed_places({p: f"r_{p}" for p in right.places})
+    assert languages_equal(
+        parallel(left, right), parallel(right, left), max_states=50_000
+    )
+
+
+@RELAXED
+@given(net=safe_initial_nets(max_transitions=3))
+def test_choice_idempotent_on_language(net):
+    """L(N + N) = L(N)."""
+    other = net.renamed_places({p: f"r_{p}" for p in net.places})
+    assert languages_equal(choice(net, other), net, max_states=50_000)

@@ -1,0 +1,131 @@
+"""Tests for nil, prefix and rename (Definitions 4.2-4.4, Props 4.1-4.3)."""
+
+import pytest
+
+from repro.algebra.operators import nil, prefix, rename, sequence_net
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.traces import bounded_language, rename_language
+
+
+class TestNil:
+    def test_proposition_41_no_nonempty_traces(self):
+        assert bounded_language(nil(), 5) == {()}
+
+    def test_nil_is_a_single_marked_place(self):
+        net = nil()
+        assert len(net.places) == 1
+        assert not net.transitions
+        assert net.initial.total() == 1
+
+
+class TestPrefix:
+    def test_proposition_42_language(self):
+        """L(a.N) = {eps, a} | {a}.L(N)."""
+        inner = sequence_net(["b", "c"])
+        prefixed = prefix(inner, "a")
+        expected = {()} | {
+            ("a",) + trace for trace in bounded_language(inner, 4)
+        }
+        assert bounded_language(prefixed, 5) == expected
+
+    def test_prefix_of_nil(self):
+        assert bounded_language(prefix(nil(), "a"), 3) == {(), ("a",)}
+
+    def test_prefix_restores_all_initial_places(self):
+        net = PetriNet()
+        net.add_transition({"x", "y"}, "go", {"z"})
+        net.set_initial(Marking({"x": 1, "y": 1}))
+        prefixed = prefix(net, "a")
+        assert bounded_language(prefixed, 2) == {(), ("a",), ("a", "go")}
+
+    def test_unsafe_marking_rejected_by_default(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "b", {"q"})
+        net.set_initial(Marking({"p": 2}))
+        with pytest.raises(ValueError):
+            prefix(net, "a")
+
+    def test_generalized_prefix_keeps_multiplicity(self):
+        """The sentinel construction preserves a 2-token initial marking:
+        after 'a', 'b' can fire twice."""
+        net = PetriNet()
+        net.add_transition({"p"}, "b", {"q"})
+        net.set_initial(Marking({"p": 2}))
+        prefixed = prefix(net, "a", allow_unsafe=True)
+        language = bounded_language(prefixed, 3)
+        assert ("a", "b", "b") in language
+        assert ("b",) not in language
+
+    def test_generalized_prefix_blocks_chained_firing(self):
+        """Transitions only reachable after an initial transition are
+        still blocked transitively before 'a' fires."""
+        net = PetriNet()
+        net.add_transition({"p"}, "b", {"q"})
+        net.add_transition({"q"}, "c", {"p"})
+        net.set_initial(Marking({"p": 2}))
+        prefixed = prefix(net, "a", allow_unsafe=True)
+        language = bounded_language(prefixed, 4)
+        assert ("a", "b", "c", "b") in language
+        assert all(trace[0] == "a" for trace in language if trace)
+
+    def test_prefix_name_records_operator(self):
+        assert prefix(nil("N"), "a").name == "a.N"
+
+
+class TestRename:
+    def test_proposition_43_language_homomorphism(self):
+        net = sequence_net(["a", "b", "a"])
+        renamed = rename(net, {"a": "x"})
+        assert bounded_language(renamed, 4) == rename_language(
+            bounded_language(net, 4), {"a": "x"}
+        )
+
+    def test_rename_updates_alphabet(self):
+        net = sequence_net(["a", "b"])
+        renamed = rename(net, {"a": "x"})
+        assert renamed.actions == {"x", "b"}
+
+    def test_rename_set_of_labels(self):
+        net = sequence_net(["a", "b", "c"])
+        renamed = rename(net, {"a": "x", "c": "x"})
+        assert bounded_language(renamed, 3) == {
+            (),
+            ("x",),
+            ("x", "b"),
+            ("x", "b", "x"),
+        }
+
+    def test_rename_can_merge_labels(self):
+        """Renaming b->a creates genuine nondeterminism on 'a'."""
+        net = PetriNet()
+        net.add_transition({"s"}, "a", {"t1"})
+        net.add_transition({"s"}, "b", {"t2"})
+        net.set_initial(Marking({"s": 1}))
+        renamed = rename(net, {"b": "a"})
+        assert bounded_language(renamed, 1) == {(), ("a",)}
+        assert len(renamed.transitions_with_action("a")) == 2
+
+    def test_rename_preserves_guards(self):
+        net = PetriNet()
+        t = net.add_transition({"p"}, "a", {"q"})
+        net.set_guard("p", t.tid, "G")
+        renamed = rename(net, {"a": "x"})
+        assert renamed.guard_of("p", t.tid) == "G"
+
+    def test_identity_rename_is_noop_on_language(self):
+        net = sequence_net(["a", "b"])
+        assert bounded_language(rename(net, {}), 3) == bounded_language(net, 3)
+
+
+class TestSequenceNet:
+    def test_acyclic_sequence(self):
+        net = sequence_net(["a", "b"])
+        assert bounded_language(net, 3) == {(), ("a",), ("a", "b")}
+
+    def test_cyclic_sequence_loops(self):
+        net = sequence_net(["a", "b"], cyclic=True)
+        assert ("a", "b", "a") in bounded_language(net, 3)
+
+    def test_empty_sequence_is_nil_like(self):
+        assert bounded_language(sequence_net([]), 3) == {()}

@@ -1,0 +1,128 @@
+"""Tests for behaviour-preserving reductions (all checked against exact
+DFA language equivalence)."""
+
+from repro.algebra.reductions import (
+    contract_epsilon_transitions,
+    fuse_series_places,
+    reduce,
+    remove_noop_transitions,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.verify.language import languages_equal
+
+
+def eps_padded_cycle() -> PetriNet:
+    net = PetriNet("padded")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, EPSILON, {"p2"})
+    net.add_transition({"p2"}, "b", {"p3"})
+    net.add_transition({"p3"}, EPSILON, {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+class TestNoopRemoval:
+    def test_noop_dropped(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.add_transition({"p"}, EPSILON, {"p"})
+        net.set_initial(Marking({"p": 1}))
+        cleaned = remove_noop_transitions(net)
+        assert len(cleaned.transitions) == 1
+        assert languages_equal(net, cleaned)
+
+    def test_visible_selfloop_kept(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"p"})
+        net.set_initial(Marking({"p": 1}))
+        assert len(remove_noop_transitions(net).transitions) == 1
+
+
+class TestEpsilonContraction:
+    def test_series_epsilons_removed(self):
+        net = eps_padded_cycle()
+        cleaned = contract_epsilon_transitions(net)
+        assert not cleaned.transitions_with_action(EPSILON)
+        assert languages_equal(net, cleaned)
+        assert len(cleaned.places) == 2
+
+    def test_epsilon_in_choice_contracted_correctly(self):
+        """eps competing with a visible action: contraction must keep
+        the choice semantics (the committed branch)."""
+        net = PetriNet()
+        net.add_transition({"s"}, EPSILON, {"t1"})
+        net.add_transition({"s"}, "a", {"t2"})
+        net.add_transition({"t1"}, "b", {"s"})
+        net.set_initial(Marking({"s": 1}))
+        cleaned = contract_epsilon_transitions(net)
+        assert not cleaned.transitions_with_action(EPSILON)
+        assert languages_equal(net, cleaned)
+
+    def test_self_looping_epsilon_left_alone(self):
+        net = PetriNet()
+        net.add_transition({"p", "s"}, EPSILON, {"q", "s"})
+        net.add_transition({"q"}, "a", {"p"})
+        net.set_initial(Marking({"p": 1, "s": 1}))
+        cleaned = contract_epsilon_transitions(net)
+        assert cleaned.transitions_with_action(EPSILON)
+        assert languages_equal(net, cleaned)
+
+    def test_fork_epsilon_left_alone(self):
+        """eps forks (1 -> n places) are structural and kept."""
+        net = PetriNet()
+        net.add_transition({"s"}, EPSILON, {"x", "y"})
+        net.add_transition({"x"}, "a", {"x2"})
+        net.add_transition({"y"}, "b", {"y2"})
+        net.set_initial(Marking({"s": 1}))
+        cleaned = contract_epsilon_transitions(net)
+        assert languages_equal(net, cleaned)
+
+
+class TestFuseSeries:
+    def test_expansion_chains_shrink(self):
+        from repro.core.expansion import expand_transition
+
+        net = PetriNet()
+        t = net.add_transition({"p"}, "c!", {"q"})
+        net.add_transition({"q"}, "z+", {"p"})
+        net.set_initial(Marking({"p": 1}))
+        expanded = expand_transition(
+            net, t.tid, [["r+"], ["a+"], ["r-"], ["a-"]]
+        )
+        fused = fuse_series_places(expanded)
+        assert languages_equal(expanded, fused)
+        assert len(fused.places) <= len(expanded.places)
+
+
+class TestReduceFixpoint:
+    def test_reduce_is_idempotent(self):
+        net = eps_padded_cycle()
+        once = reduce(net)
+        twice = reduce(once)
+        assert once.stats() == twice.stats()
+
+    def test_reduce_preserves_language(self):
+        net = eps_padded_cycle()
+        assert languages_equal(net, reduce(net))
+
+    def test_reduce_cleans_derived_net(self):
+        """Reducing a composition-with-dead-branches output."""
+        from repro.algebra.compose import parallel
+        from repro.algebra.operators import sequence_net
+
+        left = sequence_net(["a", "b"], cyclic=True, name="L")
+        right = sequence_net(["a"], name="R")
+        composed = parallel(left, right)
+        reduced = reduce(composed)
+        assert languages_equal(composed, reduced)
+        assert len(reduced.transitions) <= len(composed.transitions)
+
+    def test_reduce_on_simplified_translator_keeps_language(self):
+        """End-to-end: the Figure 9(b) derived net reduces cleanly."""
+        from repro.models.protocol_translator import simplified_translator
+
+        derived = simplified_translator()
+        reduced = reduce(derived.net)
+        assert languages_equal(derived.net, reduced)
+        assert len(reduced.places) <= len(derived.net.places)

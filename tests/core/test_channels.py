@@ -1,0 +1,103 @@
+"""Tests for channel actions and delay-insensitive encodings."""
+
+import pytest
+
+from repro.core.channels import (
+    Encoding,
+    dual_rail,
+    is_channel_action,
+    m_of_n,
+    matching_action,
+    one_hot,
+    parse_channel_action,
+    receive,
+    send,
+)
+
+
+class TestActions:
+    def test_send_receive_labels(self):
+        assert send("c") == "c!"
+        assert receive("c") == "c?"
+        assert send("c", "v1") == "c!v1"
+        assert receive("c", "v1") == "c?v1"
+
+    def test_is_channel_action(self):
+        assert is_channel_action("c!")
+        assert is_channel_action("c?v")
+        assert not is_channel_action("a+")
+        assert not is_channel_action("eps")
+        assert not is_channel_action("!x")
+
+    def test_parse(self):
+        assert parse_channel_action("c!v1") == ("c", "!", "v1")
+        assert parse_channel_action("chan?") == ("chan", "?", "")
+
+    def test_parse_rejects_non_channel(self):
+        with pytest.raises(ValueError):
+            parse_channel_action("a+")
+
+    def test_matching_action(self):
+        assert matching_action("c!v") == "c?v"
+        assert matching_action("c?") == "c!"
+
+
+class TestEncoding:
+    def test_sperner_condition(self):
+        """The paper: 'an encoding is correct when no encoding covers
+        another'."""
+        good = Encoding.of({"a": {"w1"}, "b": {"w2"}})
+        assert good.is_valid()
+        bad = Encoding.of({"a": {"w1"}, "b": {"w1", "w2"}})
+        assert not bad.is_valid()
+        assert bad.covering_pairs() == [("a", "b")]
+
+    def test_duplicate_codes_invalid(self):
+        assert not Encoding.of({"a": {"w"}, "b": {"w"}}).is_valid()
+
+    def test_decode(self):
+        encoding = one_hot("c", ["x", "y"])
+        assert encoding.decode({"c_x"}) == "x"
+        assert encoding.decode({"c_x", "c_y"}) is None
+
+    def test_wires_union(self):
+        encoding = one_hot("c", ["x", "y"])
+        assert encoding.wires() == {"c_x", "c_y"}
+
+
+class TestStandardEncodings:
+    def test_dual_rail_is_valid(self):
+        encoding = dual_rail("d", 2)
+        assert encoding.is_valid()
+        assert len(encoding.values()) == 4
+        # 2 bits -> 4 wires, each code uses exactly 2.
+        assert len(encoding.wires()) == 4
+        assert all(len(code) == 2 for _, code in encoding.codes)
+
+    def test_dual_rail_codes(self):
+        encoding = dual_rail("d", 1)
+        assert encoding.code_of("0") == {"d_b0f"}
+        assert encoding.code_of("1") == {"d_b0t"}
+
+    def test_one_hot_valid(self):
+        assert one_hot("c", ["a", "b", "c"]).is_valid()
+
+    def test_m_of_n_counts(self):
+        """The paper's point: m-of-n codes need fewer wires than dual
+        rail (2-of-4 carries 6 values on 4 wires; dual rail would need
+        6 wires for 3 bits... the antichain property holds)."""
+        encoding = m_of_n("c", 2, 4)
+        assert encoding.is_valid()
+        assert len(encoding.values()) == 6
+        assert len(encoding.wires()) == 4
+
+    def test_m_of_n_validation(self):
+        with pytest.raises(ValueError):
+            m_of_n("c", 0, 3)
+        with pytest.raises(ValueError):
+            m_of_n("c", 4, 3)
+
+    def test_1_of_n_equals_one_hot_shape(self):
+        encoding = m_of_n("c", 1, 3)
+        assert len(encoding.values()) == 3
+        assert all(len(code) == 1 for _, code in encoding.codes)

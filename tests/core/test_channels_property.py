@@ -1,0 +1,105 @@
+"""Property-based tests for encodings and the marking algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channels import Encoding, dual_rail, m_of_n
+from repro.petri.marking import Marking
+
+RELAXED = settings(max_examples=150, deadline=None)
+
+WIRES = ["w0", "w1", "w2", "w3"]
+
+codes = st.dictionaries(
+    st.sampled_from(["u", "v", "x", "y"]),
+    st.frozensets(st.sampled_from(WIRES), min_size=1, max_size=3),
+    min_size=1,
+    max_size=4,
+)
+
+
+@RELAXED
+@given(mapping=codes)
+def test_validity_matches_bruteforce_antichain(mapping):
+    """Encoding.is_valid() agrees with a direct antichain check."""
+    encoding = Encoding.of(mapping)
+    values = list(mapping)
+    brute = True
+    for i, first in enumerate(values):
+        for second in values[i + 1 :]:
+            a, b = mapping[first], mapping[second]
+            if a <= b or b <= a:
+                brute = False
+    assert encoding.is_valid() == brute
+
+
+@RELAXED
+@given(mapping=codes)
+def test_decode_roundtrip_for_valid_encodings(mapping):
+    encoding = Encoding.of(mapping)
+    if not encoding.is_valid():
+        return
+    for value, code in mapping.items():
+        assert encoding.decode(set(code)) == value
+
+
+@RELAXED
+@given(bits=st.integers(1, 4))
+def test_dual_rail_always_valid(bits):
+    encoding = dual_rail("c", bits)
+    assert encoding.is_valid()
+    assert len(encoding.values()) == 2**bits
+    assert len(encoding.wires()) == 2 * bits
+
+
+@RELAXED
+@given(n=st.integers(1, 5), m=st.integers(1, 5))
+def test_m_of_n_always_valid(n, m):
+    if m > n:
+        return
+    encoding = m_of_n("c", m, n)
+    assert encoding.is_valid()
+    import math
+
+    assert len(encoding.values()) == math.comb(n, m)
+
+
+# -- marking algebra ---------------------------------------------------------
+
+markings = st.dictionaries(
+    st.sampled_from(["p", "q", "r"]), st.integers(0, 3), max_size=3
+).map(Marking)
+
+place_lists = st.lists(st.sampled_from(["p", "q", "r"]), max_size=3)
+
+
+@RELAXED
+@given(marking=markings, places=place_lists)
+def test_add_remove_inverse(marking, places):
+    assert marking.add(places).remove(places) == marking
+
+
+@RELAXED
+@given(marking=markings, places=place_lists)
+def test_add_increases_total(marking, places):
+    assert marking.add(places).total() == marking.total() + len(places)
+
+
+@RELAXED
+@given(first=markings, second=markings)
+def test_covers_is_a_partial_order(first, second):
+    assert first.covers(first)
+    if first.covers(second) and second.covers(first):
+        assert first == second
+
+
+@RELAXED
+@given(marking=markings)
+def test_rename_identity(marking):
+    assert marking.rename({}) == marking
+
+
+@RELAXED
+@given(marking=markings)
+def test_restrict_then_total(marking):
+    kept = marking.restrict(["p"])
+    assert kept.total() == marking["p"]

@@ -1,0 +1,108 @@
+"""Tests for the CIP graph model (Definition 3.1)."""
+
+import pytest
+
+from repro.core.channels import receive, send
+from repro.core.cip import Cip
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.traces import bounded_language
+from repro.stg.stg import Stg
+
+
+def producer_module() -> Stg:
+    net = PetriNet("producer")
+    net.add_transition({"p0"}, send("ch", "v"), {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return Stg(net)
+
+
+def consumer_module() -> Stg:
+    net = PetriNet("consumer")
+    net.add_transition({"q0"}, receive("ch", "v"), {"q1"})
+    net.add_transition({"q1"}, "done+", {"q0"})
+    net.set_initial(Marking({"q0": 1}))
+    return Stg(net, outputs={"done"})
+
+
+def build() -> Cip:
+    cip = Cip("demo")
+    cip.add_module("prod", producer_module())
+    cip.add_module("cons", consumer_module())
+    cip.add_channel("ch", "prod", "cons", values=("v",))
+    return cip
+
+
+class TestConstruction:
+    def test_duplicate_module_rejected(self):
+        cip = build()
+        with pytest.raises(ValueError):
+            cip.add_module("prod", producer_module())
+
+    def test_channel_requires_known_modules(self):
+        cip = build()
+        with pytest.raises(ValueError):
+            cip.add_channel("ch2", "prod", "ghost")
+
+    def test_wire_requires_known_modules(self):
+        cip = build()
+        with pytest.raises(ValueError):
+            cip.add_wire("w", "ghost")
+
+    def test_stats(self):
+        stats = build().stats()
+        assert stats["modules"] == 2
+        assert stats["channels"] == 1
+
+
+class TestValidation:
+    def test_valid_cip_passes(self):
+        build().validate()
+
+    def test_send_in_wrong_module_rejected(self):
+        cip = build()
+        cip.modules["cons"].net.add_transition({"q0"}, send("ch", "v"), {"q1"})
+        with pytest.raises(ValueError, match="direction"):
+            cip.validate()
+
+    def test_undeclared_channel_rejected(self):
+        cip = build()
+        cip.modules["prod"].net.add_transition({"p0"}, send("ghost"), {"p0"})
+        with pytest.raises(ValueError, match="undeclared channel"):
+            cip.validate()
+
+    def test_undeclared_value_rejected(self):
+        cip = build()
+        cip.modules["prod"].net.add_transition({"p0"}, send("ch", "zz"), {"p0"})
+        with pytest.raises(ValueError, match="value"):
+            cip.validate()
+
+    def test_wire_must_be_output_of_driver(self):
+        cip = build()
+        cip.add_wire("done", "prod", "cons")
+        with pytest.raises(ValueError, match="not an output"):
+            cip.validate()
+
+    def test_two_drivers_rejected(self):
+        cip = build()
+        cip.modules["prod"].outputs.add("done")
+        with pytest.raises(ValueError, match="driven by both"):
+            cip.validate()
+
+
+class TestComposition:
+    def test_rendez_vous_synchronizes_channel(self):
+        composed = build().compose_all()
+        language = bounded_language(composed.net, 2)
+        # The send and receive fuse: one 'ch!v' event, then 'done+'.
+        assert (send("ch", "v"),) in language
+        assert (send("ch", "v"), "done+") in language
+        # Two sends in a row impossible: the consumer must cycle first.
+        assert (send("ch", "v"), send("ch", "v")) not in language
+
+    def test_channel_actions_listed(self):
+        assert build().channel_actions() == {send("ch", "v"), receive("ch", "v")}
+
+    def test_empty_cip_rejected(self):
+        with pytest.raises(ValueError):
+            Cip().compose_all()

@@ -1,0 +1,85 @@
+"""Tests for the circuit-algebra wrapper (Section 5.1 equations)."""
+
+import pytest
+
+from repro.core.circuit import (
+    Circuit,
+    circuit,
+    compose,
+    compose_many,
+    hide,
+    interface,
+)
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+def tiny(name: str, action: str, inputs=(), outputs=()) -> Circuit:
+    net = PetriNet(name)
+    net.add_transition({f"{name}_p"}, action, {f"{name}_q"})
+    net.set_initial(Marking({f"{name}_p": 1}))
+    return circuit(net, inputs=inputs, outputs=outputs)
+
+
+class TestEquations:
+    def test_compose_io_equation(self):
+        """C1||C2 = (I1|I2 \\ (O1|O2), O1|O2, N1||N2)."""
+        composed = compose(four_phase_master(), four_phase_slave())
+        assert composed.outputs == {"r", "a"}
+        assert composed.inputs == set()
+
+    def test_compose_keeps_unmatched_inputs(self):
+        left = tiny("L", "x+", inputs={"x"})
+        right = tiny("R", "y+", outputs={"y"})
+        composed = compose(left, right)
+        assert composed.inputs == {"x"}
+        assert composed.outputs == {"y"}
+
+    def test_hide_io_equation(self):
+        """hide(C, A) = (I, O\\A, hide(N, A)) for A within O."""
+        composed = compose(four_phase_master(), four_phase_slave())
+        hidden = hide(composed, {"a"})
+        assert hidden.outputs == {"r"}
+        assert hidden.inputs == set()
+
+    def test_hide_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            hide(four_phase_master(), {"a"})  # a is an input of master
+
+    def test_interface(self):
+        inputs, outputs = interface(four_phase_master())
+        assert inputs == {"a"}
+        assert outputs == {"r"}
+
+    def test_interface_counts_internals_as_outputs(self):
+        module = four_phase_master()
+        module.outputs.discard("r")
+        module.internals.add("r")
+        _, outputs = interface(module)
+        assert "r" in outputs
+
+
+class TestComposeMany:
+    def test_left_associated_chain(self):
+        chain = compose_many(
+            [
+                tiny("A", "s+", outputs={"s"}),
+                tiny("B", "s+", inputs={"s"}),
+                tiny("C", "t+", outputs={"t"}),
+            ]
+        )
+        assert chain.outputs == {"s", "t"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose_many([])
+
+    def test_single_is_identity(self):
+        module = four_phase_master()
+        assert compose_many([module]) is module
+
+    def test_circuit_alias(self):
+        from repro.stg.stg import Stg
+
+        assert Circuit is Stg

@@ -1,0 +1,261 @@
+"""Tests for abstract-event expansion (Section 3)."""
+
+import pytest
+
+from repro.core.channels import dual_rail, one_hot, receive, send
+from repro.core.cip import ChannelSpec, Cip
+from repro.core.expansion import (
+    channel_wires,
+    expand_cip,
+    expand_module,
+    expand_transition,
+    four_phase_stages,
+    two_phase_stages,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.traces import bounded_language, observable_language
+from repro.stg.stg import Stg, compose
+from repro.verify.language import languages_equal
+
+
+class TestStages:
+    def test_four_phase_single_wire(self):
+        assert four_phase_stages(["r"], "a") == [
+            ["r+"],
+            ["a+"],
+            ["r-"],
+            ["a-"],
+        ]
+
+    def test_four_phase_coded(self):
+        """The paper's data expansion: (.., r_j+, ..) -> a+ -> (..) -> a-."""
+        stages = four_phase_stages(["w1", "w2"], "a")
+        assert stages[0] == ["w1+", "w2+"]
+        assert stages[1] == ["a+"]
+        assert stages[2] == ["w1-", "w2-"]
+
+    def test_two_phase(self):
+        assert two_phase_stages(["r"], "a") == [["r~"], ["a~"]]
+
+
+class TestExpandTransition:
+    def test_sequence_replaces_transition(self):
+        net = PetriNet()
+        t = net.add_transition({"p"}, "c!", {"q"})
+        net.set_initial(Marking({"p": 1}))
+        expanded = expand_transition(net, t.tid, [["r+"], ["a+"], ["r-"], ["a-"]])
+        assert not expanded.transitions_with_action("c!")
+        assert bounded_language(expanded, 4) == {
+            (),
+            ("r+",),
+            ("r+", "a+"),
+            ("r+", "a+", "r-"),
+            ("r+", "a+", "r-", "a-"),
+        }
+
+    def test_concurrent_stage_interleaves(self):
+        net = PetriNet()
+        t = net.add_transition({"p"}, "c!", {"q"})
+        net.set_initial(Marking({"p": 1}))
+        expanded = expand_transition(net, t.tid, [["w1+", "w2+"], ["a+"]])
+        language = observable_language(bounded_language(expanded, 5))
+        assert ("w1+", "w2+", "a+") in language
+        assert ("w2+", "w1+", "a+") in language
+        # a+ only after both rises.
+        assert ("w1+", "a+") not in language
+
+    def test_empty_stages_rejected(self):
+        net = PetriNet()
+        t = net.add_transition({"p"}, "c!", {"q"})
+        with pytest.raises(ValueError):
+            expand_transition(net, t.tid, [])
+
+    def test_original_pre_post_preserved(self):
+        """The expansion chain starts at the old preset and ends at the
+        old postset, keeping the surrounding structure intact."""
+        net = PetriNet()
+        net.add_transition({"s"}, "x+", {"p"})
+        t = net.add_transition({"p"}, "c!", {"q"})
+        net.add_transition({"q"}, "y+", {"s"})
+        net.set_initial(Marking({"s": 1}))
+        expanded = expand_transition(net, t.tid, [["r~"], ["a~"]])
+        language = observable_language(bounded_language(expanded, 4))
+        assert ("x+", "r~", "a~", "y+") in language
+
+
+class TestChannelWires:
+    def test_bare_channel(self):
+        spec = ChannelSpec("c", "s", "r")
+        codes, ack = channel_wires(spec)
+        assert codes == {"": ["c_r"]}
+        assert ack == "c_a"
+
+    def test_valued_channel_default_one_hot(self):
+        spec = ChannelSpec("c", "s", "r", values=("x", "y"))
+        codes, _ = channel_wires(spec)
+        assert codes == {"x": ["c_x"], "y": ["c_y"]}
+
+    def test_invalid_encoding_rejected(self):
+        from repro.core.channels import Encoding
+
+        spec = ChannelSpec("c", "s", "r", values=("x", "y"))
+        bad = Encoding.of({"x": {"w1"}, "y": {"w1", "w2"}})
+        with pytest.raises(ValueError, match="antichain"):
+            channel_wires(spec, bad)
+
+    def test_missing_codes_rejected(self):
+        spec = ChannelSpec("c", "s", "r", values=("x", "y"))
+        with pytest.raises(ValueError, match="lacks codes"):
+            channel_wires(spec, one_hot("c", ["x"]))
+
+
+def sync_pair() -> tuple[Stg, Stg, ChannelSpec]:
+    sender_net = PetriNet("tx")
+    sender_net.add_transition({"p0"}, send("c"), {"p1"})
+    sender_net.add_transition({"p1"}, "t+", {"p0"})
+    sender_net.set_initial(Marking({"p0": 1}))
+    tx = Stg(sender_net, outputs={"t"})
+    receiver_net = PetriNet("rx")
+    receiver_net.add_transition({"q0"}, receive("c"), {"q1"})
+    receiver_net.add_transition({"q1"}, "u+", {"q0"})
+    receiver_net.set_initial(Marking({"q0": 1}))
+    rx = Stg(receiver_net, outputs={"u"})
+    return tx, rx, ChannelSpec("c", "tx", "rx")
+
+
+class TestExpandModule:
+    def test_sender_io_direction(self):
+        tx, _, spec = sync_pair()
+        expanded = expand_module(tx, spec, "sender")
+        assert "c_r" in expanded.outputs
+        assert "c_a" in expanded.inputs
+
+    def test_receiver_io_direction(self):
+        _, rx, spec = sync_pair()
+        expanded = expand_module(rx, spec, "receiver")
+        assert "c_r" in expanded.inputs
+        assert "c_a" in expanded.outputs
+
+    def test_expansion_preserves_rendez_vous(self):
+        """Composing the two expanded modules yields the full 4-phase
+        handshake exactly where the abstract rendez-vous was."""
+        tx, rx, spec = sync_pair()
+        composed = compose(
+            expand_module(tx, spec, "sender"),
+            expand_module(rx, spec, "receiver"),
+        )
+        language = observable_language(bounded_language(composed.net, 6))
+        assert ("c_r+", "c_a+", "c_r-", "c_a-", "t+", "u+") in language or (
+            "c_r+",
+            "c_a+",
+            "c_r-",
+            "c_a-",
+            "u+",
+            "t+",
+        ) in language
+
+    def test_two_phase_protocol(self):
+        tx, rx, spec = sync_pair()
+        composed = compose(
+            expand_module(tx, spec, "sender", protocol="two_phase"),
+            expand_module(rx, spec, "receiver", protocol="two_phase"),
+        )
+        language = observable_language(bounded_language(composed.net, 4))
+        assert ("c_r~", "c_a~") in {t[:2] for t in language if len(t) >= 2}
+
+    def test_early_ack_protocol(self):
+        """four_phase_early: the ack pulse completes before the request
+        falls; the rendez-vous still composes deadlock-free."""
+        from repro.petri.reachability import ReachabilityGraph
+
+        tx, rx, spec = sync_pair()
+        composed = compose(
+            expand_module(tx, spec, "sender", protocol="four_phase_early"),
+            expand_module(rx, spec, "receiver", protocol="four_phase_early"),
+        )
+        graph = ReachabilityGraph(composed.net)
+        assert graph.is_deadlock_free()
+        language = observable_language(bounded_language(composed.net, 4))
+        assert ("c_r+", "c_a+", "c_a-", "c_r-") in language
+
+    def test_early_ack_valued_receiver(self):
+        from repro.petri.reachability import ReachabilityGraph
+
+        net = PetriNet("rx")
+        net.add_transition({"q0"}, receive("c"), {"q0"})
+        net.set_initial(Marking({"q0": 1}))
+        rx = Stg(net)
+        tx_net = PetriNet("tx")
+        tx_net.add_transition({"p0"}, send("c", "x"), {"p0"})
+        tx_net.set_initial(Marking({"p0": 1}))
+        tx = Stg(tx_net)
+        spec = ChannelSpec("c", "tx", "rx", values=("x", "y"))
+        composed = compose(
+            expand_module(tx, spec, "sender", protocol="four_phase_early"),
+            expand_module(rx, spec, "receiver", protocol="four_phase_early"),
+        )
+        assert ReachabilityGraph(composed.net).is_deadlock_free()
+
+    def test_generic_receive_expands_to_value_choice(self):
+        net = PetriNet("rx")
+        net.add_transition({"q0"}, receive("c"), {"q1"})
+        net.set_initial(Marking({"q0": 1}))
+        rx = Stg(net)
+        spec = ChannelSpec("c", "tx", "rx", values=("x", "y"))
+        expanded = expand_module(rx, spec, "receiver")
+        language = observable_language(bounded_language(expanded.net, 2))
+        assert ("c_x+",) in language
+        assert ("c_y+",) in language
+
+    def test_dual_rail_data_expansion(self):
+        net = PetriNet("tx")
+        net.add_transition({"p0"}, send("d", "10"), {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        tx = Stg(net)
+        spec = ChannelSpec("d", "tx", "rx", values=("10",))
+        encoding = dual_rail("d", 2)
+        expanded = expand_module(tx, spec, "sender", encoding=encoding)
+        language = observable_language(bounded_language(expanded.net, 3))
+        rises = {frozenset(t) for t in language if len(t) == 2}
+        assert frozenset({"d_b0f+", "d_b1t+"}) in rises  # code of '10'
+
+
+class TestExpandCip:
+    def test_channels_become_wires(self):
+        tx, rx, _ = sync_pair()
+        cip = Cip("demo")
+        cip.add_module("tx", tx)
+        cip.add_module("rx", rx)
+        cip.add_channel("c", "tx", "rx")
+        expanded = expand_cip(cip)
+        assert not expanded.channels
+        assert {"c_r", "c_a"} <= set(expanded.wires)
+        expanded.validate()
+
+    def test_expanded_composition_equals_abstract_composition(self):
+        """The expansion is an implementation of the rendez-vous: hiding
+        the handshake wires from the expanded composition gives back the
+        abstract composition with the channel event erased."""
+        from repro.stg.stg import hide_signals
+
+        tx, rx, _ = sync_pair()
+        cip = Cip("demo")
+        cip.add_module("tx", tx)
+        cip.add_module("rx", rx)
+        cip.add_channel("c", "tx", "rx")
+        abstract = cip.compose_all()
+        concrete = expand_cip(cip).compose_all()
+        hidden_concrete = hide_signals(
+            Stg(
+                concrete.net,
+                inputs=concrete.inputs,
+                outputs=concrete.outputs | {"c_r", "c_a"} - concrete.inputs,
+                internals=concrete.internals,
+            ),
+            {"c_r", "c_a"},
+        )
+        from repro.algebra.hide import hide
+
+        abstract_hidden = hide(abstract.net, send("c"))
+        assert languages_equal(hidden_concrete.net, abstract_hidden)

@@ -1,0 +1,167 @@
+"""Tests for the .g (astg) reader/writer."""
+
+import pytest
+
+from repro.io.astg import AstgFormatError, parse_astg, write_astg
+from repro.models.library import four_phase_master, muller_c_element
+from repro.petri.net import EPSILON
+from repro.verify.language import languages_equal
+
+SIMPLE = """
+.model handshake
+.inputs a
+.outputs r
+.graph
+p0 r+
+r+ p1
+p1 a+
+a+ p2
+p2 r-
+r- p3
+p3 a-
+a- p0
+.marking { p0 }
+.end
+"""
+
+IMPLICIT = """
+.model chain
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+"""
+
+
+class TestParse:
+    def test_simple_model(self):
+        stg = parse_astg(SIMPLE)
+        assert stg.name == "handshake"
+        assert stg.inputs == {"a"}
+        assert stg.outputs == {"r"}
+        assert len(stg.net.places) == 4
+        assert len(stg.net.transitions) == 4
+        assert stg.net.initial["p0"] == 1
+
+    def test_implicit_places(self):
+        stg = parse_astg(IMPLICIT)
+        assert len(stg.net.transitions) == 4
+        # 4 transition-to-transition arcs -> 4 implicit places.
+        assert len(stg.net.places) == 4
+        assert stg.net.initial.total() == 1
+
+    def test_comments_and_blank_lines(self):
+        stg = parse_astg("# header\n" + SIMPLE + "\n# trailer\n")
+        assert stg.name == "handshake"
+
+    def test_dummy_events(self):
+        text = """
+.model d
+.outputs z
+.dummy e1
+.graph
+p0 e1
+e1 p1
+p1 z+
+z+ p0
+.marking { p0 }
+.end
+"""
+        stg = parse_astg(text)
+        assert stg.net.transitions_with_action(EPSILON)
+
+    def test_instance_notation(self):
+        text = """
+.model twice
+.outputs z
+.graph
+p0 z+
+z+ p1
+p1 z-
+z- p2
+p2 z+/2
+z+/2 p3
+p3 z-/2
+z-/2 p0
+.marking { p0 }
+.end
+"""
+        stg = parse_astg(text)
+        assert len(stg.net.transitions_with_action("z+")) == 2
+
+    def test_marking_with_counts(self):
+        text = SIMPLE.replace("{ p0 }", "{ p0=2 }")
+        assert parse_astg(text).net.initial["p0"] == 2
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AstgFormatError):
+            parse_astg(".bogus x\n")
+
+    def test_line_outside_graph_rejected(self):
+        with pytest.raises(AstgFormatError):
+            parse_astg("p0 p1\n")
+
+    def test_marking_can_declare_isolated_place(self):
+        """A marked place with no arcs only appears in the marking; it
+        is declared there (needed for round-tripping nets with isolated
+        marked places, e.g. the nil process)."""
+        stg = parse_astg(SIMPLE.replace("{ p0 }", "{ nowhere }"))
+        assert "nowhere" in stg.net.places
+        assert stg.net.initial["nowhere"] == 1
+
+    def test_marking_naming_a_transition_rejected(self):
+        with pytest.raises(AstgFormatError):
+            parse_astg(SIMPLE.replace("{ p0 }", "{ r+ }"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "stg_factory", [four_phase_master, muller_c_element]
+    )
+    def test_language_preserved(self, stg_factory):
+        original = stg_factory()
+        reparsed = parse_astg(write_astg(original))
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert languages_equal(original.net, reparsed.net)
+
+    def test_epsilon_round_trip(self):
+        from repro.petri.marking import Marking
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("withdummy")
+        net.add_transition({"p0"}, EPSILON, {"p1"})
+        net.add_transition({"p1"}, "z+", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        original = Stg(net, outputs={"z"})
+        reparsed = parse_astg(write_astg(original))
+        assert languages_equal(original.net, reparsed.net)
+
+    def test_multi_instance_round_trip(self):
+        from repro.petri.marking import Marking
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("multi")
+        net.add_transition({"p0"}, "z+", {"p1"})
+        net.add_transition({"p1"}, "z-", {"p2"})
+        net.add_transition({"p2"}, "z+", {"p3"})
+        net.add_transition({"p3"}, "z-", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        original = Stg(net, outputs={"z"})
+        reparsed = parse_astg(write_astg(original))
+        assert languages_equal(original.net, reparsed.net)
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.io.astg import load_astg, save_astg
+
+        path = tmp_path / "m.g"
+        save_astg(four_phase_master(), str(path))
+        loaded = load_astg(str(path))
+        assert loaded.name == "master"

@@ -1,0 +1,82 @@
+"""Tests for JSON round-trips and DOT export."""
+
+import json
+
+import pytest
+
+from repro.io.dot import cip_to_dot, net_to_dot, stg_to_dot
+from repro.io.json_io import dumps, load, loads, save
+from repro.models.library import four_phase_master, mutex_arbiter
+from repro.models.protocol_translator import translator
+from repro.verify.language import languages_equal
+
+
+class TestJson:
+    def test_round_trip_simple(self):
+        original = four_phase_master()
+        restored = loads(dumps(original))
+        assert restored.inputs == original.inputs
+        assert restored.outputs == original.outputs
+        assert restored.net.initial == original.net.initial
+        assert languages_equal(original.net, restored.net)
+
+    def test_round_trip_with_guards_and_x_values(self):
+        original = translator()
+        restored = loads(dumps(original))
+        assert restored.initial_values["DATA"] is None
+        assert len(restored.net.input_guards) == len(
+            original.net.input_guards
+        )
+        assert restored.net.stats() == original.net.stats()
+
+    def test_guard_survives_semantically(self):
+        from repro.stg.state_graph import build_state_graph
+
+        original = translator()
+        restored = loads(dumps(original))
+        assert (
+            build_state_graph(original).num_states()
+            == build_state_graph(restored).num_states()
+        )
+
+    def test_output_is_valid_json(self):
+        data = json.loads(dumps(four_phase_master()))
+        assert data["net"]["name"] == "master"
+
+    def test_version_check(self):
+        data = json.loads(dumps(four_phase_master()))
+        data["net"]["version"] = 99
+        with pytest.raises(ValueError):
+            loads(json.dumps(data))
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        save(four_phase_master(), str(path))
+        assert load(str(path)).name == "master"
+
+
+class TestDot:
+    def test_net_dot_mentions_places_and_transitions(self):
+        text = net_to_dot(four_phase_master().net)
+        assert "digraph" in text
+        assert '"p_m0"' in text
+        assert "r+" in text
+
+    def test_stg_dot_marks_inputs_dashed(self):
+        text = stg_to_dot(four_phase_master())
+        assert "style=dashed" in text  # a+ / a- are inputs
+
+    def test_guards_appear_as_edge_labels(self):
+        text = stg_to_dot(translator())
+        assert "STROBE" in text and "DATA" in text
+
+    def test_tokens_rendered(self):
+        text = net_to_dot(mutex_arbiter().net)
+        assert "●" in text
+
+    def test_cip_block_diagram(self):
+        from repro.models.protocol_translator import build_cip
+
+        text = cip_to_dot(build_cip())
+        assert '"sender" -> "translator"' in text
+        assert '"translator" -> "receiver"' in text

@@ -1,0 +1,72 @@
+"""Property-based round-trip tests for the serialization formats."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.io.astg import parse_astg, write_astg
+from repro.io.json_io import dumps, loads
+from repro.stg.stg import Stg
+from repro.verify.language import languages_equal
+
+from tests.strategies import bounded_nets
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+def as_stg(net) -> Stg:
+    """Wrap a random net as an STG with rise-labeled actions so the .g
+    format (which requires signal events) can express it."""
+    from repro.algebra.operators import rename
+
+    mapping = {action: f"{action}+" for action in net.used_actions()}
+    renamed = rename(net, mapping)
+    signals = {action for action in net.used_actions()}
+    return Stg(renamed, outputs=signals)
+
+
+@RELAXED
+@given(net=bounded_nets())
+def test_astg_roundtrip_preserves_language(net):
+    original = as_stg(net)
+    reparsed = parse_astg(write_astg(original))
+    assert reparsed.inputs == original.inputs
+    assert reparsed.outputs == original.outputs
+    assert languages_equal(original.net, reparsed.net, max_states=20_000)
+
+
+@RELAXED
+@given(net=bounded_nets())
+def test_astg_roundtrip_preserves_marking_total(net):
+    original = as_stg(net)
+    reparsed = parse_astg(write_astg(original))
+    assert reparsed.net.initial.total() == original.net.initial.total()
+
+
+@RELAXED
+@given(net=bounded_nets())
+def test_json_roundtrip_is_exact(net):
+    original = as_stg(net)
+    restored = loads(dumps(original))
+    assert restored.net.places == original.net.places
+    assert restored.net.initial == original.net.initial
+    assert {
+        (t.preset, t.action, t.postset)
+        for t in restored.net.transitions.values()
+    } == {
+        (t.preset, t.action, t.postset)
+        for t in original.net.transitions.values()
+    }
+
+
+@RELAXED
+@given(net=bounded_nets())
+def test_json_then_astg_chain(net):
+    """The two formats compose: JSON -> Stg -> .g -> Stg keeps the
+    language."""
+    original = as_stg(net)
+    via_json = loads(dumps(original))
+    via_both = parse_astg(write_astg(via_json))
+    assert languages_equal(original.net, via_both.net, max_states=20_000)

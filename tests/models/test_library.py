@@ -1,0 +1,158 @@
+"""Tests for the asynchronous module library."""
+
+from repro.models.library import (
+    four_phase_master,
+    four_phase_slave,
+    muller_c_element,
+    mutex_arbiter,
+    pipeline,
+    toggle_element,
+    two_phase_buffer_stage,
+)
+from repro.petri.analysis import analyze
+from repro.petri.classify import classify, is_marked_graph
+from repro.petri.traces import bounded_language, observable_language
+from repro.stg.state_graph import build_state_graph
+from repro.stg.stg import compose
+from repro.verify.receptiveness import check_receptiveness
+
+
+class TestHandshakes:
+    def test_master_slave_compose_receptively(self):
+        report = check_receptiveness(four_phase_master(), four_phase_slave())
+        assert report.is_receptive()
+
+    def test_composition_is_live_safe(self):
+        composite = compose(four_phase_master(), four_phase_slave())
+        props = analyze(composite.net)
+        assert props.live and props.safe
+
+    def test_custom_wire_names(self):
+        master = four_phase_master(req="req1", ack="ack1", name="m1")
+        assert master.outputs == {"req1"}
+        assert [t.action for t in master.net.transitions.values()][0] == "req1+"
+
+
+class TestCElement:
+    def test_consistent_and_csc(self):
+        graph = build_state_graph(muller_c_element())
+        assert graph.is_consistent()
+        assert graph.has_csc()
+
+    def test_c_rises_only_after_both_inputs(self):
+        language = bounded_language(muller_c_element().net, 3)
+        assert ("x+", "y+", "c+") in language
+        assert ("x+", "c+") not in language
+
+
+class TestToggle:
+    def test_outputs_alternate(self):
+        language = bounded_language(toggle_element().net, 4)
+        assert ("t~", "q0~", "t~", "q1~") in language
+        assert ("t~", "q1~") not in language
+
+
+class TestArbiter:
+    def test_is_a_general_net(self):
+        """The paper's Section 5.1 argument: arbiters are not free
+        choice (nor asymmetric choice)."""
+        flags = classify(mutex_arbiter().net)
+        assert not flags.free_choice
+        assert not flags.extended_free_choice
+        assert flags.most_specific() == "general"
+
+    def test_mutual_exclusion_invariant(self):
+        from repro.petri.reachability import ReachabilityGraph
+
+        graph = ReachabilityGraph(mutex_arbiter().net)
+        for marking in graph.states:
+            assert marking["crit1"] + marking["crit2"] <= 1
+
+    def test_grants_are_serializable(self):
+        language = observable_language(
+            bounded_language(mutex_arbiter().net, 6)
+        )
+        assert ("r1+", "g1+", "r1-", "g1-") in {
+            tuple(a for a in t if a.startswith(("r1", "g1"))) for t in language
+        }
+
+    def test_arbiter_mutex_place_invariant(self):
+        from repro.petri.structural import p_invariants
+
+        invariants = p_invariants(mutex_arbiter().net)
+        assert any("mutex" in inv and "crit1" in inv and "crit2" in inv for inv in invariants)
+
+
+class TestControlElements:
+    def test_merge_fires_on_either_input(self):
+        from repro.models.library import merge_element
+        from repro.petri.traces import bounded_language
+
+        merge = merge_element()
+        language = bounded_language(merge.net, 2)
+        assert ("m0~", "z~") in language
+        assert ("m1~", "z~") in language
+        assert ("m0~", "m1~") not in language  # one at a time
+
+    def test_call_routes_ack_to_caller(self):
+        from repro.models.library import call_element
+        from repro.petri.traces import bounded_language
+
+        call = call_element()
+        language = bounded_language(call.net, 4)
+        assert ("r0~", "sr~", "sa~", "a0~") in language
+        assert ("r1~", "sr~", "sa~", "a1~") in language
+        # The wrong-client ack never happens.
+        assert ("r0~", "sr~", "sa~", "a1~") not in language
+
+    def test_call_composes_with_shared_subroutine(self):
+        from repro.models.library import call_element
+        from repro.petri.analysis import analyze
+        from repro.stg.stg import compose
+        from repro.petri.marking import Marking as M
+        from repro.petri.net import PetriNet as PN
+        from repro.stg.stg import Stg as S
+
+        sub = PN("sub")
+        sub.add_transition({"s"}, "sr~", {"t"})
+        sub.add_transition({"t"}, "sa~", {"s"})
+        sub.set_initial(M({"s": 1}))
+        system = compose(call_element(), S(sub, inputs={"sr"}, outputs={"sa"}))
+        assert analyze(system.net).deadlock_free
+
+    def test_decision_wait_joins(self):
+        from repro.models.library import decision_wait
+        from repro.petri.traces import bounded_language
+
+        dw = decision_wait()
+        language = bounded_language(dw.net, 3)
+        assert ("dr~", "dc~", "dw~") in language
+        assert ("dc~", "dr~", "dw~") in language
+        assert ("dr~", "dw~") not in language
+
+    def test_merge_is_state_machine(self):
+        from repro.models.library import merge_element
+        from repro.petri.classify import is_state_machine
+
+        assert is_state_machine(merge_element().net)
+
+
+class TestPipeline:
+    def test_stage_is_marked_graph_after_init(self):
+        stage = two_phase_buffer_stage("d0", "k0", "d1", "k1", "stage")
+        assert is_marked_graph(stage.net)
+
+    def test_pipeline_composes(self):
+        from repro.core.circuit import compose_many
+
+        stages = pipeline(3)
+        composite = compose_many(stages)
+        assert composite.inputs == {"d0", "k3"}
+        assert {"k0", "d3"} <= composite.outputs
+        props = analyze(composite.net)
+        assert props.live
+
+    def test_pipeline_stage_receptiveness(self):
+        stages = pipeline(2)
+        report = check_receptiveness(stages[0], stages[1])
+        assert report.is_receptive()

@@ -1,0 +1,74 @@
+"""Tests for the Figure 1-3 example nets."""
+
+from repro.models.paper_figures import (
+    FIG3_HIDDEN_LABEL,
+    fig1_left,
+    fig1_naive_choice,
+    fig1_right,
+    fig2_left,
+    fig2_right,
+    fig3_general,
+    fig3_marked_graph,
+    fig3_simple_chain,
+)
+from repro.petri.analysis import analyze
+from repro.petri.classify import is_marked_graph, marked_graph_is_live_safe
+from repro.petri.traces import bounded_language
+
+
+class TestFig1:
+    def test_left_is_a_loop(self):
+        assert ("a", "b", "a") in bounded_language(fig1_left(), 3)
+
+    def test_naive_choice_mixes_branches(self):
+        language = bounded_language(fig1_naive_choice(), 4)
+        assert ("a", "b", "c") in language
+
+    def test_operands_are_live_safe(self):
+        for net in (fig1_left(), fig1_right()):
+            props = analyze(net)
+            assert props.live and props.safe
+
+
+class TestFig2:
+    def test_left_language_shape(self):
+        language = bounded_language(fig2_left(), 3)
+        assert ("a", "c", "b") in language
+        assert ("a", "b") not in language
+
+    def test_right_alternates_a(self):
+        language = bounded_language(fig2_right(), 4)
+        assert ("a", "d", "a", "e") in language
+        assert ("a", "a") not in language
+
+    def test_both_live_safe(self):
+        for net in (fig2_left(), fig2_right()):
+            props = analyze(net)
+            assert props.live and props.safe
+
+
+class TestFig3:
+    def test_general_net_is_bounded(self):
+        assert analyze(fig3_general()).bounded
+
+    def test_general_net_has_all_roles(self):
+        net = fig3_general()
+        hidden = net.transitions_with_action(FIG3_HIDDEN_LABEL)[0]
+        assert hidden.preset == {"p1", "p2"}
+        assert hidden.postset == {"q1", "q2"}
+        # conflicts on the preset
+        assert len(net.consumers("p1")) == 2
+        # other producers of the postset
+        assert len(net.producers("q1")) == 2
+
+    def test_marked_graph_variant_is_live_safe_mg(self):
+        net = fig3_marked_graph()
+        assert is_marked_graph(net)
+        assert marked_graph_is_live_safe(net)
+
+    def test_simple_chain_qualifies_for_fast_path(self):
+        from repro.algebra.hide import _collapsible
+
+        net = fig3_simple_chain()
+        hidden = net.transitions_with_action(FIG3_HIDDEN_LABEL)[0]
+        assert _collapsible(net, hidden)

@@ -1,0 +1,114 @@
+"""Tests for behavioural property analysis."""
+
+import pytest
+
+from repro.petri.analysis import (
+    analyze,
+    conflict_pairs,
+    dead_transitions,
+    is_bounded,
+    is_live,
+    is_live_safe,
+    is_safe,
+    is_structurally_strongly_connected,
+    isolated_places,
+    source_transitions,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+def cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+class TestAnalyze:
+    def test_cycle_summary(self):
+        props = analyze(cycle())
+        assert props.bounded and props.safe and props.live
+        assert props.deadlock_free and props.reversible
+        assert props.states == 2
+        assert props.dead_transition_ids == ()
+
+    def test_str_rendering_mentions_key_flags(self):
+        text = str(analyze(cycle()))
+        assert "safe" in text and "live" in text
+
+    def test_dead_transitions_in_summary(self):
+        net = cycle()
+        net.add_transition({"nowhere"}, "z", {"p0"})
+        assert analyze(net).dead_transition_ids == (2,)
+
+
+class TestPredicates:
+    def test_is_bounded_true_false(self):
+        assert is_bounded(cycle())
+        unbounded = PetriNet()
+        unbounded.add_transition({"p"}, "a", {"p", "q"})
+        unbounded.set_initial(Marking({"p": 1}))
+        assert not is_bounded(unbounded)
+
+    def test_is_safe(self):
+        assert is_safe(cycle())
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.set_initial(Marking({"p": 2}))
+        assert not is_safe(net)
+
+    def test_is_live_safe(self):
+        assert is_live_safe(cycle())
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.set_initial(Marking({"p": 1}))
+        assert not is_live_safe(net)
+
+    def test_dead_transitions(self):
+        net = cycle()
+        net.add_transition({"nowhere"}, "z", {"p0"})
+        assert [t.action for t in dead_transitions(net)] == ["z"]
+
+
+class TestStructural:
+    def test_cycle_strongly_connected(self):
+        assert is_structurally_strongly_connected(cycle())
+
+    def test_linear_chain_not_strongly_connected(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        assert not is_structurally_strongly_connected(net)
+
+    def test_single_place_counts_as_strongly_connected(self):
+        net = PetriNet()
+        net.add_place("p")
+        assert is_structurally_strongly_connected(net)
+
+    def test_disconnected_components_detected(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"p2"})
+        net.add_transition({"p2"}, "b", {"p"})
+        net.add_transition({"q"}, "c", {"q2"})
+        net.add_transition({"q2"}, "d", {"q"})
+        assert not is_structurally_strongly_connected(net)
+
+    def test_isolated_places(self):
+        net = cycle()
+        net.add_place("floating")
+        assert isolated_places(net) == {"floating"}
+
+    def test_source_transitions(self):
+        net = PetriNet()
+        net.add_transition(set(), "spawn", {"p"})
+        assert [t.action for t in source_transitions(net)] == ["spawn"]
+
+    def test_conflict_pairs(self):
+        net = PetriNet()
+        net.add_transition({"s"}, "a", {"x"})
+        net.add_transition({"s"}, "b", {"y"})
+        net.add_transition({"z"}, "c", {"s"})
+        pairs = conflict_pairs(net)
+        assert len(pairs) == 1
+        assert {pairs[0][0].action, pairs[0][1].action} == {"a", "b"}

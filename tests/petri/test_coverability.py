@@ -1,0 +1,83 @@
+"""Tests for Karp-Miller coverability analysis."""
+
+from repro.petri.coverability import (
+    OMEGA,
+    can_cover,
+    coverability_tree,
+    is_bounded,
+    place_bounds,
+    unbounded_places,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+def producer() -> PetriNet:
+    """p self-regenerates and pumps tokens into q: q is unbounded."""
+    net = PetriNet("producer")
+    net.add_transition({"p"}, "make", {"p", "q"})
+    net.set_initial(Marking({"p": 1}))
+    return net
+
+
+def cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+class TestBoundedness:
+    def test_cycle_is_bounded(self):
+        assert is_bounded(cycle())
+
+    def test_producer_is_unbounded(self):
+        assert not is_bounded(producer())
+
+    def test_unbounded_places_identified(self):
+        assert unbounded_places(producer()) == {"q"}
+
+    def test_producer_consumer_unbounded_buffer(self):
+        net = PetriNet()
+        net.add_transition({"idle"}, "produce", {"idle", "buffer"})
+        net.add_transition({"buffer"}, "consume", set())
+        net.set_initial(Marking({"idle": 1}))
+        assert unbounded_places(net) == {"buffer"}
+
+    def test_deadlocked_net_is_bounded(self):
+        net = PetriNet()
+        net.add_place("p", tokens=3)
+        assert is_bounded(net)
+
+
+class TestBounds:
+    def test_place_bounds_of_cycle(self):
+        assert place_bounds(cycle()) == {"p0": 1, "p1": 1}
+
+    def test_omega_bound_reported(self):
+        bounds = place_bounds(producer())
+        assert bounds["q"] == OMEGA
+        assert bounds["p"] == 1
+
+    def test_two_token_bound(self):
+        net = PetriNet()
+        net.add_transition({"a"}, "x", {"b"})
+        net.set_initial(Marking({"a": 2}))
+        assert place_bounds(net) == {"a": 2, "b": 2}
+
+
+class TestCoverability:
+    def test_can_cover_reachable_marking(self):
+        assert can_cover(cycle(), Marking({"p1": 1}))
+
+    def test_cannot_cover_two_tokens_in_safe_net(self):
+        assert not can_cover(cycle(), Marking({"p0": 2}))
+
+    def test_can_cover_arbitrary_count_in_unbounded_place(self):
+        assert can_cover(producer(), Marking({"q": 50}))
+
+    def test_tree_structure(self):
+        tree = coverability_tree(cycle())
+        assert len(tree.nodes) == 2
+        assert tree.is_bounded()

@@ -1,0 +1,71 @@
+"""Unit tests for markings (Definition 2.2 token arithmetic)."""
+
+import pytest
+
+from repro.petri.marking import Marking
+
+
+class TestConstruction:
+    def test_zero_counts_are_normalized_away(self):
+        assert Marking({"p": 0, "q": 1}) == Marking({"q": 1})
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"p": -1})
+
+    def test_from_places_counts_duplicates(self):
+        marking = Marking.from_places(["p", "p", "q"])
+        assert marking["p"] == 2
+        assert marking["q"] == 1
+
+    def test_missing_place_reads_zero(self):
+        assert Marking({"p": 1})["absent"] == 0
+
+    def test_equal_markings_hash_equal(self):
+        assert hash(Marking({"p": 1, "q": 0})) == hash(Marking({"p": 1}))
+
+    def test_mapping_interface(self):
+        marking = Marking({"p": 2, "q": 1})
+        assert set(marking) == {"p", "q"}
+        assert len(marking) == 2
+        assert "p" in marking and "r" not in marking
+
+    def test_equality_against_plain_dict(self):
+        assert Marking({"p": 1}) == {"p": 1}
+
+
+class TestAlgebra:
+    def test_add_and_remove_roundtrip(self):
+        marking = Marking({"p": 1})
+        assert marking.add(["q"]).remove(["q"]) == marking
+
+    def test_remove_from_empty_place_raises(self):
+        with pytest.raises(ValueError):
+            Marking({}).remove(["p"])
+
+    def test_covers_is_pointwise(self):
+        big = Marking({"p": 2, "q": 1})
+        small = Marking({"p": 1})
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(big)
+
+    def test_total_and_marked_places(self):
+        marking = Marking({"p": 2, "q": 1})
+        assert marking.total() == 3
+        assert marking.marked_places() == {"p", "q"}
+
+    def test_is_safe(self):
+        assert Marking({"p": 1, "q": 1}).is_safe()
+        assert not Marking({"p": 2}).is_safe()
+
+    def test_restrict(self):
+        marking = Marking({"p": 1, "q": 2})
+        assert marking.restrict(["q", "r"]) == Marking({"q": 2})
+
+    def test_rename_merges_counts(self):
+        marking = Marking({"p": 1, "q": 2})
+        assert marking.rename({"p": "m", "q": "m"}) == Marking({"m": 3})
+
+    def test_rename_keeps_unlisted(self):
+        assert Marking({"p": 1}).rename({}) == Marking({"p": 1})

@@ -1,0 +1,171 @@
+"""Unit tests for the labeled Petri net structure (Definition 2.1)."""
+
+import pytest
+
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet, disjoint_pair
+
+
+def simple_cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+class TestConstruction:
+    def test_places_created_implicitly(self):
+        net = PetriNet()
+        net.add_transition({"x"}, "a", {"y"})
+        assert net.places == {"x", "y"}
+
+    def test_alphabet_extended_by_labels(self):
+        net = PetriNet(actions={"z"})
+        net.add_transition({"x"}, "a", {"y"})
+        assert net.actions == {"z", "a"}
+
+    def test_explicit_tid_collision_rejected(self):
+        net = PetriNet()
+        net.add_transition({"x"}, "a", {"y"}, tid=5)
+        with pytest.raises(ValueError):
+            net.add_transition({"x"}, "b", {"y"}, tid=5)
+
+    def test_auto_tids_skip_used_ids(self):
+        net = PetriNet()
+        net.add_transition({"x"}, "a", {"y"}, tid=0)
+        second = net.add_transition({"x"}, "b", {"y"})
+        assert second.tid != 0
+
+    def test_remove_place_requires_isolation(self):
+        net = simple_cycle()
+        with pytest.raises(ValueError):
+            net.remove_place("p0")
+        net.remove_transition(0)
+        net.remove_transition(1)
+        net.remove_place("p1")
+        assert "p1" not in net.places
+
+    def test_validate_passes_on_wellformed_net(self):
+        simple_cycle().validate()
+
+    def test_validate_rejects_foreign_label(self):
+        net = simple_cycle()
+        net.actions.discard("a")
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_add_place_with_tokens(self):
+        net = PetriNet()
+        net.add_place("p", tokens=2)
+        assert net.initial["p"] == 2
+
+
+class TestDynamics:
+    def test_enabled_requires_all_preset_tokens(self):
+        net = PetriNet()
+        t = net.add_transition({"x", "y"}, "a", {"z"})
+        assert not net.is_enabled(t, Marking({"x": 1}))
+        assert net.is_enabled(t, Marking({"x": 1, "y": 1}))
+
+    def test_fire_moves_tokens(self):
+        net = simple_cycle()
+        t = net.transitions[0]
+        assert net.fire(t, net.initial) == Marking({"p1": 1})
+
+    def test_fire_disabled_raises(self):
+        net = simple_cycle()
+        with pytest.raises(ValueError):
+            net.fire(net.transitions[1], net.initial)
+
+    def test_self_loop_place_needs_token_but_keeps_it(self):
+        net = PetriNet()
+        t = net.add_transition({"x", "loop"}, "a", {"y", "loop"})
+        assert not net.is_enabled(t, Marking({"x": 1}))
+        after = net.fire(t, Marking({"x": 1, "loop": 1}))
+        assert after == Marking({"y": 1, "loop": 1})
+
+    def test_enabled_transitions_ordered_by_tid(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "b", {"q"}, tid=7)
+        net.add_transition({"p"}, "a", {"q"}, tid=3)
+        order = [t.tid for t in net.enabled_transitions(Marking({"p": 1}))]
+        assert order == [3, 7]
+
+    def test_epsilon_is_an_ordinary_label(self):
+        net = PetriNet()
+        net.add_transition({"p"}, EPSILON, {"q"})
+        assert EPSILON in net.actions
+
+
+class TestQueries:
+    def test_consumers_and_producers(self):
+        net = simple_cycle()
+        assert [t.action for t in net.consumers("p0")] == ["a"]
+        assert [t.action for t in net.producers("p0")] == ["b"]
+
+    def test_transitions_with_action(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.add_transition({"q"}, "a", {"p"})
+        net.add_transition({"p"}, "b", {"q"})
+        assert len(net.transitions_with_action("a")) == 2
+
+    def test_arcs_counts_both_directions(self):
+        net = PetriNet()
+        net.add_transition({"x", "y"}, "a", {"z"})
+        assert net.arcs() == 3
+
+    def test_stats(self):
+        stats = simple_cycle().stats()
+        assert stats == {"places": 2, "transitions": 2, "arcs": 4, "tokens": 1}
+
+
+class TestCopyRename:
+    def test_copy_is_independent(self):
+        net = simple_cycle()
+        clone = net.copy()
+        clone.add_transition({"p0"}, "c", {"p1"})
+        assert len(net.transitions) == 2
+        assert len(clone.transitions) == 3
+
+    def test_renamed_places_updates_everything(self):
+        net = simple_cycle()
+        renamed = net.renamed_places({"p0": "start"})
+        renamed.validate()
+        assert renamed.initial == Marking({"start": 1})
+        assert renamed.transitions[0].preset == {"start"}
+
+    def test_renamed_places_rejects_merges(self):
+        net = simple_cycle()
+        with pytest.raises(ValueError):
+            net.renamed_places({"p0": "p1"})
+
+    def test_prefixed_places(self):
+        net = simple_cycle().prefixed_places("X.")
+        assert net.places == {"X.p0", "X.p1"}
+
+    def test_with_fresh_tids(self):
+        net = simple_cycle().with_fresh_tids(10)
+        assert sorted(net.transitions) == [10, 11]
+        net.validate()
+
+    def test_guards_survive_renaming(self):
+        net = simple_cycle()
+        net.set_guard("p0", 0, "guard-object")
+        renamed = net.renamed_places({"p0": "start"})
+        assert renamed.guard_of("start", 0) == "guard-object"
+
+
+class TestDisjointPair:
+    def test_colliding_places_are_prefixed(self):
+        left, right = disjoint_pair(simple_cycle(), simple_cycle())
+        assert not (left.places & right.places)
+        assert not (set(left.transitions) & set(right.transitions))
+
+    def test_disjoint_nets_left_untouched(self):
+        one = simple_cycle()
+        other = simple_cycle().renamed_places({"p0": "q0", "p1": "q1"})
+        left, right = disjoint_pair(one, other)
+        assert left.places == {"p0", "p1"}
+        assert right.places == {"q0", "q1"}

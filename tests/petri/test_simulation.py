@@ -1,0 +1,132 @@
+"""Tests for the token-game simulator and random walks."""
+
+import pytest
+
+from repro.models.library import mutex_arbiter
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.simulation import (
+    SimulationError,
+    TokenGame,
+    estimate_action_frequencies,
+    random_walk,
+)
+
+
+def cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+class TestTokenGame:
+    def test_initial_state(self):
+        game = TokenGame(cycle())
+        assert game.marking == Marking({"p0": 1})
+        assert [t.action for t in game.enabled()] == ["a"]
+
+    def test_fire_by_action(self):
+        game = TokenGame(cycle())
+        game.fire("a")
+        assert game.marking == Marking({"p1": 1})
+        assert game.trace() == ("a",)
+
+    def test_fire_disabled_raises(self):
+        game = TokenGame(cycle())
+        with pytest.raises(SimulationError):
+            game.fire("b")
+
+    def test_fire_tid_checks_enabling(self):
+        game = TokenGame(cycle())
+        with pytest.raises(SimulationError):
+            game.fire_tid(1)
+
+    def test_replay(self):
+        game = TokenGame(cycle())
+        game.replay(["a", "b", "a"])
+        assert game.marking == Marking({"p1": 1})
+        assert game.trace() == ("a", "b", "a")
+
+    def test_undo(self):
+        game = TokenGame(cycle())
+        game.replay(["a", "b"])
+        game.undo()
+        assert game.marking == Marking({"p1": 1})
+        assert game.trace() == ("a",)
+
+    def test_undo_empty_history_raises(self):
+        with pytest.raises(SimulationError):
+            TokenGame(cycle()).undo()
+
+    def test_reset(self):
+        game = TokenGame(cycle())
+        game.replay(["a", "b", "a"])
+        game.reset()
+        assert game.marking == Marking({"p0": 1})
+        assert game.trace() == ()
+
+    def test_can_fire(self):
+        game = TokenGame(cycle())
+        assert game.can_fire("a")
+        assert not game.can_fire("b")
+
+    def test_ambiguous_label_takes_lowest_tid(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"x"}, tid=5)
+        net.add_transition({"p"}, "a", {"y"}, tid=3)
+        net.set_initial(Marking({"p": 1}))
+        game = TokenGame(net)
+        game.fire("a")
+        assert game.marking == Marking({"y": 1})
+
+
+class TestRandomWalk:
+    def test_walk_is_deterministic_per_seed(self):
+        first = random_walk(cycle(), steps=50, seed=42)
+        second = random_walk(cycle(), steps=50, seed=42)
+        assert first.trace == second.trace
+
+    def test_deadlock_reported(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.set_initial(Marking({"p": 1}))
+        result = random_walk(net, steps=10)
+        assert result.deadlocked
+        assert result.steps == 1
+
+    def test_monitor_failure_stops_walk(self):
+        result = random_walk(
+            cycle(),
+            steps=100,
+            monitors=[("never-p1", lambda m: m["p1"] == 0)],
+        )
+        assert result.monitor_failures == ("never-p1",)
+        assert result.steps == 1
+
+    def test_mutual_exclusion_monitor_holds(self):
+        result = random_walk(
+            mutex_arbiter().net,
+            steps=2000,
+            seed=7,
+            monitors=[("mutex", lambda m: m["crit1"] + m["crit2"] <= 1)],
+        )
+        assert result.monitor_failures == ()
+        assert result.steps == 2000
+
+    def test_weights_bias_choice(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "hot", {"p"})
+        net.add_transition({"p"}, "cold", {"p"})
+        net.set_initial(Marking({"p": 1}))
+        freq = estimate_action_frequencies(net, steps=2000, seed=1)
+        assert 0.4 < freq["hot"] < 0.6  # uniform by default
+        biased = random_walk(net, steps=2000, seed=1, weights={"hot": 9.0})
+        hot = sum(1 for a in biased.trace if a == "hot") / len(biased.trace)
+        assert hot > 0.8
+
+    def test_frequency_profile_of_cycle(self):
+        freq = estimate_action_frequencies(cycle(), steps=999, seed=3)
+        assert set(freq) == {"a", "b"}
+        assert abs(freq["a"] - freq["b"]) < 0.01

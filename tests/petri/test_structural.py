@@ -1,0 +1,155 @@
+"""Tests for structural theory: invariants, siphons, traps, boundedness."""
+
+import numpy as np
+import pytest
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.reachability import ReachabilityGraph
+from repro.petri.structural import (
+    fraction_rank,
+    incidence_matrix,
+    invariant_value,
+    is_covered_by_p_invariants,
+    is_siphon,
+    is_structurally_bounded,
+    is_trap,
+    minimal_siphons,
+    minimal_traps,
+    p_invariants,
+    siphon_trap_property,
+    t_invariants,
+)
+
+
+def cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+def fork_join() -> PetriNet:
+    net = PetriNet("fork_join")
+    net.add_transition({"s"}, "fork", {"l", "r"})
+    net.add_transition({"l", "r"}, "join", {"s"})
+    net.set_initial(Marking({"s": 1}))
+    return net
+
+
+class TestIncidence:
+    def test_cycle_matrix(self):
+        places, tids, matrix = incidence_matrix(cycle())
+        assert places == ["p0", "p1"]
+        assert tids == [0, 1]
+        assert matrix.tolist() == [[-1, 1], [1, -1]]
+
+    def test_self_loop_contributes_zero(self):
+        net = PetriNet()
+        net.add_transition({"p", "loop"}, "a", {"q", "loop"})
+        places, _, matrix = incidence_matrix(net)
+        row = matrix[places.index("loop")]
+        assert row.tolist() == [0]
+
+    def test_state_equation_consistency(self):
+        """M' = M0 + C.count holds along any firing sequence."""
+        net = fork_join()
+        places, tids, matrix = incidence_matrix(net)
+        graph = ReachabilityGraph(net)
+        # fire fork once from initial marking.
+        t = net.transitions[0]
+        after = net.fire(t, net.initial)
+        m0 = np.array([net.initial[p] for p in places])
+        count = np.zeros(len(tids), dtype=np.int64)
+        count[tids.index(0)] = 1
+        predicted = m0 + matrix @ count
+        assert predicted.tolist() == [after[p] for p in places]
+
+
+class TestInvariants:
+    def test_cycle_p_invariant(self):
+        invariants = p_invariants(cycle())
+        assert invariants == [{"p0": 1, "p1": 1}]
+
+    def test_fork_join_minimal_invariants(self):
+        """s+l and s+r are each conserved (their sum 2s+l+r is a valid
+        but non-minimal invariant and must not be reported)."""
+        invariants = p_invariants(fork_join())
+        assert {"s": 1, "l": 1} in invariants
+        assert {"s": 1, "r": 1} in invariants
+        assert {"s": 2, "l": 1, "r": 1} not in invariants
+
+    def test_invariant_value_constant_over_reachable_states(self):
+        net = fork_join()
+        invariants = p_invariants(net)
+        graph = ReachabilityGraph(net)
+        for invariant in invariants:
+            values = {invariant_value(invariant, m) for m in graph.states}
+            assert len(values) == 1
+
+    def test_cycle_t_invariant(self):
+        invariants = t_invariants(cycle())
+        assert invariants == [{0: 1, 1: 1}]
+
+    def test_acyclic_net_has_no_t_invariant(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        assert t_invariants(net) == []
+
+    def test_coverage_by_p_invariants(self):
+        assert is_covered_by_p_invariants(cycle())
+        producer = PetriNet()
+        producer.add_transition({"p"}, "a", {"p", "q"})
+        assert not is_covered_by_p_invariants(producer)
+
+
+class TestStructuralBoundedness:
+    def test_conservative_net_structurally_bounded(self):
+        assert is_structurally_bounded(cycle())
+        assert is_structurally_bounded(fork_join())
+
+    def test_producer_not_structurally_bounded(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"p", "q"})
+        assert not is_structurally_bounded(net)
+
+
+class TestRank:
+    def test_fraction_rank(self):
+        assert fraction_rank(np.array([[1, 2], [2, 4]])) == 1
+        assert fraction_rank(np.array([[1, 0], [0, 1]])) == 2
+
+
+class TestSiphonsTraps:
+    def test_cycle_place_set_is_siphon_and_trap(self):
+        net = cycle()
+        both = frozenset({"p0", "p1"})
+        assert is_siphon(net, both)
+        assert is_trap(net, both)
+
+    def test_empty_set_is_neither(self):
+        assert not is_siphon(cycle(), frozenset())
+        assert not is_trap(cycle(), frozenset())
+
+    def test_sink_place_is_trap_not_siphon(self):
+        net = PetriNet()
+        net.add_transition({"p"}, "a", {"q"})
+        net.set_initial(Marking({"p": 1}))
+        assert is_trap(net, frozenset({"q"}))
+        assert not is_siphon(net, frozenset({"q"}))
+        assert is_siphon(net, frozenset({"p"}))
+
+    def test_minimal_siphons_of_cycle(self):
+        assert minimal_siphons(cycle()) == [frozenset({"p0", "p1"})]
+
+    def test_minimal_traps_of_cycle(self):
+        assert minimal_traps(cycle()) == [frozenset({"p0", "p1"})]
+
+    def test_commoner_condition_on_live_free_choice_net(self):
+        assert siphon_trap_property(cycle())
+
+    def test_commoner_condition_fails_on_token_free_cycle(self):
+        net = cycle()
+        net.set_initial(Marking({}))
+        assert not siphon_trap_property(net)

@@ -1,0 +1,131 @@
+"""Tests for trace semantics (Definitions 4.1, 4.8, 4.9)."""
+
+from repro.models.paper_figures import fig2_left, fig2_right
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.traces import (
+    bounded_language,
+    hide_language,
+    is_prefix_closed,
+    observable,
+    observable_language,
+    parallel_compose_languages,
+    parallel_compose_traces,
+    prefix_closure,
+    project_language,
+    project_trace,
+    rename_language,
+    synchronizable,
+)
+
+
+class TestBoundedLanguage:
+    def test_contains_empty_trace(self):
+        assert () in bounded_language(fig2_left(), 0)
+
+    def test_depth_one_of_fig2_left(self):
+        assert bounded_language(fig2_left(), 1) == {(), ("a",), ("b",)}
+
+    def test_prefix_closed(self):
+        assert is_prefix_closed(bounded_language(fig2_left(), 4))
+
+    def test_deadlocked_net_has_only_empty_trace(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        assert bounded_language(net, 5) == {()}
+
+
+class TestProjectionHideRename:
+    def test_project_trace(self):
+        assert project_trace(("a", "b", "a", "c"), {"a", "c"}) == ("a", "a", "c")
+
+    def test_project_language(self):
+        language = {("a", "b"), ("b",)}
+        assert project_language(language, {"a"}) == {("a",), ()}
+
+    def test_hide_is_projection_onto_complement(self):
+        language = {("a", "b"), ("b", "c")}
+        assert hide_language(language, "b") == {("a",), ("c",)}
+
+    def test_hide_multiple_actions(self):
+        language = {("a", "b", "c")}
+        assert hide_language(language, {"a", "c"}) == {("b",)}
+
+    def test_hide_with_explicit_alphabet(self):
+        assert hide_language({()}, "a", alphabet={"a", "b"}) == {()}
+
+    def test_rename_language(self):
+        assert rename_language({("a", "b")}, {"a": "x"}) == {("x", "b")}
+
+    def test_observable_drops_epsilon(self):
+        assert observable(("a", EPSILON, "b", EPSILON)) == ("a", "b")
+        assert observable_language({(EPSILON,)}) == {()}
+
+
+class TestTraceComposition:
+    def test_paper_example_non_synchronizable(self):
+        """The paper's example: a.b.c || c.a.b is empty when all symbols
+        are common."""
+        alphabet = {"a", "b", "c"}
+        assert not synchronizable(("a", "b", "c"), ("c", "a", "b"), alphabet, alphabet)
+
+    def test_identical_common_traces_synchronize(self):
+        alphabet = {"a", "b"}
+        result = parallel_compose_traces(("a", "b"), ("a", "b"), alphabet, alphabet)
+        assert result == {("a", "b")}
+
+    def test_disjoint_alphabets_give_all_shuffles(self):
+        result = parallel_compose_traces(("a",), ("x", "y"), {"a"}, {"x", "y"})
+        assert result == {("a", "x", "y"), ("x", "a", "y"), ("x", "y", "a")}
+
+    def test_partial_synchronization(self):
+        # common symbol 's'; private 'a' left, 'x' right.
+        result = parallel_compose_traces(
+            ("a", "s"), ("x", "s"), {"a", "s"}, {"x", "s"}
+        )
+        assert result == {("a", "x", "s"), ("x", "a", "s")}
+
+    def test_max_length_truncation(self):
+        result = parallel_compose_traces(("a",), ("x",), {"a"}, {"x"}, max_length=1)
+        assert result == frozenset()
+        result = parallel_compose_traces(("a",), ("a",), {"a"}, {"a"}, max_length=1)
+        assert result == {("a",)}
+
+    def test_empty_traces_compose_to_empty_trace(self):
+        assert parallel_compose_traces((), (), {"a"}, {"b"}) == {()}
+
+    def test_language_composition_is_prefix_closed(self):
+        left = prefix_closure({("a", "s")})
+        right = prefix_closure({("x", "s")})
+        composed = parallel_compose_languages(left, right, {"a", "s"}, {"x", "s"})
+        assert is_prefix_closed(composed)
+
+
+class TestTheorem45BoundedForm:
+    """Theorem 4.5 at bounded depth: the depth-k language of N1||N2 equals
+    the depth-k truncation of composing the depth-k languages."""
+
+    def test_fig2_composition(self):
+        from repro.algebra.compose import parallel
+
+        depth = 5
+        left, right = fig2_left(), fig2_right()
+        composed_net = parallel(left, right)
+        direct = bounded_language(composed_net, depth)
+        via_traces = parallel_compose_languages(
+            bounded_language(left, depth),
+            bounded_language(right, depth),
+            left.actions,
+            right.actions,
+            max_length=depth,
+        )
+        assert direct == via_traces
+
+
+class TestPrefixClosure:
+    def test_closure_adds_prefixes(self):
+        assert prefix_closure({("a", "b")}) == {(), ("a",), ("a", "b")}
+
+    def test_is_prefix_closed_detects_gap(self):
+        assert not is_prefix_closed({("a", "b")})
+        assert is_prefix_closed({(), ("a",)})

@@ -1,0 +1,122 @@
+"""Property-based tests of the trace-language operators (Defs 4.8/4.9
+and the projection/hide/rename laws the paper's proofs rely on)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.petri.traces import (
+    hide_language,
+    is_prefix_closed,
+    parallel_compose_traces,
+    prefix_closure,
+    project_language,
+    project_trace,
+    rename_language,
+    synchronizable,
+)
+
+ALPHABET = ["a", "b", "c", "d"]
+
+traces = st.lists(st.sampled_from(ALPHABET), max_size=6).map(tuple)
+alphabets = st.sets(st.sampled_from(ALPHABET), max_size=4).map(frozenset)
+languages = st.sets(traces, max_size=8).map(frozenset)
+
+RELAXED = settings(max_examples=200, deadline=None)
+
+
+@RELAXED
+@given(trace=traces, first=alphabets, second=alphabets)
+def test_projection_composes_as_intersection(trace, first, second):
+    """project(project(t, A), B) = project(t, A & B)."""
+    assert project_trace(project_trace(trace, first), second) == project_trace(
+        trace, first & second
+    )
+
+
+@RELAXED
+@given(trace=traces, alphabet=alphabets)
+def test_projection_idempotent(trace, alphabet):
+    once = project_trace(trace, alphabet)
+    assert project_trace(once, alphabet) == once
+
+
+@RELAXED
+@given(language=languages, alphabet=alphabets)
+def test_hide_is_complement_projection(language, alphabet):
+    """hide(L, H) = project(L, A \\ H) over the full alphabet."""
+    hidden = hide_language(language, alphabet, alphabet=ALPHABET)
+    assert hidden == project_language(language, set(ALPHABET) - alphabet)
+
+
+@RELAXED
+@given(language=languages)
+def test_prefix_closure_is_closed_and_minimal(language):
+    closed = prefix_closure(language)
+    assert is_prefix_closed(closed)
+    assert language <= closed
+    # Minimality: every trace in the closure is a prefix of an original.
+    for trace in closed:
+        assert any(
+            original[: len(trace)] == trace for original in language
+        ) or trace == ()
+
+
+@RELAXED
+@given(language=languages, mapping_target=st.sampled_from(ALPHABET))
+def test_rename_preserves_lengths(language, mapping_target):
+    renamed = rename_language(language, {"a": mapping_target})
+    assert {len(t) for t in renamed} <= {len(t) for t in language}
+
+
+@RELAXED
+@given(t1=traces, t2=traces)
+def test_shuffle_projections_recover_operands(t1, t2):
+    """Definition 4.8 directly: every composed trace projects back to
+    the operands."""
+    a1 = frozenset({"a", "b"})
+    a2 = frozenset({"b", "c"})
+    t1 = project_trace(t1, a1)
+    t2 = project_trace(t2, a2)
+    for shuffle in parallel_compose_traces(t1, t2, a1, a2):
+        assert project_trace(shuffle, a1) == t1
+        assert project_trace(shuffle, a2) == t2
+
+
+@RELAXED
+@given(t1=traces, t2=traces)
+def test_shuffle_symmetry(t1, t2):
+    a1 = frozenset({"a", "b"})
+    a2 = frozenset({"b", "c"})
+    t1 = project_trace(t1, a1)
+    t2 = project_trace(t2, a2)
+    assert parallel_compose_traces(t1, t2, a1, a2) == parallel_compose_traces(
+        t2, t1, a2, a1
+    )
+
+
+@RELAXED
+@given(t1=traces)
+def test_trace_synchronizes_with_itself(t1):
+    alphabet = frozenset(ALPHABET)
+    assert synchronizable(t1, t1, alphabet, alphabet)
+    assert parallel_compose_traces(t1, t1, alphabet, alphabet) == frozenset(
+        {t1}
+    )
+
+
+@RELAXED
+@given(t1=traces, t2=traces)
+def test_disjoint_alphabet_shuffle_count(t1, t2):
+    """With disjoint alphabets the composition has C(n+m, n) shuffles
+    when both traces have distinct interleavings; at minimum it is
+    non-empty and each shuffle has length n+m."""
+    a1 = frozenset({"a", "b"})
+    a2 = frozenset({"c", "d"})
+    t1 = project_trace(t1, a1)
+    t2 = project_trace(t2, a2)
+    shuffles = parallel_compose_traces(t1, t2, a1, a2)
+    assert shuffles
+    assert all(len(s) == len(t1) + len(t2) for s in shuffles)
+    import math
+
+    expected = math.comb(len(t1) + len(t2), len(t1))
+    assert len(shuffles) == expected

@@ -1,0 +1,83 @@
+"""Tests for the coding-report API."""
+
+from repro.models.library import four_phase_slave, muller_c_element
+from repro.models.protocol_translator import sender
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.coding import (
+    coding_report,
+    csc_conflicts,
+    is_synthesizable,
+    usc_conflicts,
+)
+from repro.stg.stg import Stg
+
+
+def usc_broken_stg() -> Stg:
+    """Two handshake rounds through different places: same codes twice,
+    same outputs — USC broken, CSC held."""
+    net = PetriNet("double_loop")
+    net.add_transition({"p0"}, "i+", {"p1"})
+    net.add_transition({"p1"}, "i-", {"p2"})
+    net.add_transition({"p2"}, "j+", {"p3"})
+    net.add_transition({"p3"}, "j-", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return Stg(net, inputs={"i", "j"})
+
+
+def csc_broken_stg() -> Stg:
+    """Code (b=0, i=1) occurs both where b must rise and where it must
+    stay low."""
+    net = PetriNet("csc_broken")
+    net.add_transition({"q0"}, "i+", {"q1"})
+    net.add_transition({"q1"}, "b+", {"q2"})
+    net.add_transition({"q2"}, "i-", {"q3"})
+    net.add_transition({"q3"}, "b-", {"q4"})
+    net.add_transition({"q4"}, "i+", {"q5"})
+    net.add_transition({"q5"}, "i-", {"q6"})
+    net.set_initial(Marking({"q0": 1}))
+    return Stg(net, inputs={"i"}, outputs={"b"})
+
+
+class TestCodingReport:
+    def test_clean_design(self):
+        report = coding_report(four_phase_slave())
+        assert report.synthesizable()
+        assert report.usc and report.csc and report.persistent
+        assert "USC" in str(report)
+
+    def test_c_element(self):
+        assert is_synthesizable(muller_c_element())
+
+    def test_case_study_sender(self):
+        report = coding_report(sender())
+        assert report.consistent
+
+    def test_usc_only_violation(self):
+        report = coding_report(usc_broken_stg())
+        assert not report.usc
+        assert report.csc  # same (empty) output sets
+        assert report.usc_conflicts > 0
+        assert report.csc_conflicts == 0
+        assert "USC broken" in str(report)
+
+    def test_csc_violation(self):
+        report = coding_report(csc_broken_stg())
+        assert not report.csc
+        assert not report.synthesizable()
+
+    def test_conflict_listings(self):
+        assert usc_conflicts(usc_broken_stg())
+        assert not csc_conflicts(usc_broken_stg())
+        assert csc_conflicts(csc_broken_stg())
+
+    def test_csc_conflicts_align_with_next_state_failure(self):
+        """Where the report says CSC broken, next-state extraction must
+        raise, and vice versa."""
+        import pytest
+
+        from repro.synth.nextstate import CodingError, next_state_tables
+
+        with pytest.raises(CodingError):
+            next_state_tables(csc_broken_stg())
+        next_state_tables(four_phase_slave())  # no raise

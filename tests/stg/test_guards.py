@@ -1,0 +1,81 @@
+"""Tests for boolean guards and their three-valued evaluation."""
+
+import pytest
+
+from repro.stg.guards import FALSE, TRUE, And, Not, Or, lit, parse_guard
+
+
+class TestEvaluation:
+    def test_literal(self):
+        guard = lit("a")
+        assert guard.eval({"a": 1}) is True
+        assert guard.eval({"a": 0}) is False
+        assert guard.eval({"a": None}) is None
+
+    def test_not(self):
+        guard = ~lit("a")
+        assert guard.eval({"a": 0}) is True
+        assert guard.eval({"a": None}) is None
+
+    def test_and_short_circuits_false_over_unknown(self):
+        guard = lit("a") & lit("b")
+        assert guard.eval({"a": 0, "b": None}) is False
+        assert guard.eval({"a": 1, "b": None}) is None
+        assert guard.eval({"a": 1, "b": 1}) is True
+
+    def test_or_short_circuits_true_over_unknown(self):
+        guard = lit("a") | lit("b")
+        assert guard.eval({"a": 1, "b": None}) is True
+        assert guard.eval({"a": 0, "b": None}) is None
+        assert guard.eval({"a": 0, "b": 0}) is False
+
+    def test_constants(self):
+        assert TRUE.eval({}) is True
+        assert FALSE.eval({}) is False
+
+    def test_signals_collected(self):
+        guard = (lit("a") & ~lit("b")) | lit("c")
+        assert guard.signals() == {"a", "b", "c"}
+
+    def test_missing_signal_reads_unknown(self):
+        assert lit("zz").eval({}) is None
+
+
+class TestParser:
+    def test_single_literal(self):
+        assert parse_guard("DATA") == lit("DATA")
+
+    def test_negation_and_conjunction(self):
+        guard = parse_guard("DATA & !STROBE")
+        assert guard == And(lit("DATA"), Not(lit("STROBE")))
+
+    def test_precedence_and_binds_tighter(self):
+        guard = parse_guard("a & b | c")
+        assert guard == Or(And(lit("a"), lit("b")), lit("c"))
+
+    def test_parentheses(self):
+        guard = parse_guard("a & (b | c)")
+        assert guard == And(lit("a"), Or(lit("b"), lit("c")))
+
+    def test_constants(self):
+        assert parse_guard("1") == TRUE
+        assert parse_guard("0") == FALSE
+
+    def test_whitespace_tolerated(self):
+        assert parse_guard("  a   &b ") == And(lit("a"), lit("b"))
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ValueError):
+            parse_guard("a b")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ValueError):
+            parse_guard("(a & b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_guard("")
+
+    def test_str_roundtrip(self):
+        guard = parse_guard("a & !b | c")
+        assert parse_guard(str(guard)) == guard

@@ -1,0 +1,72 @@
+"""Tests for signal-event labels and parsing."""
+
+import pytest
+
+from repro.petri.net import EPSILON
+from repro.stg.signals import (
+    EdgeKind,
+    dont_care,
+    event,
+    fall,
+    is_signal_action,
+    parse_event,
+    rise,
+    signal_of,
+    signals_of_net_actions,
+    stable,
+    toggle,
+    unstable,
+)
+
+
+class TestConstructors:
+    def test_all_kinds(self):
+        assert rise("a") == "a+"
+        assert fall("req") == "req-"
+        assert toggle("rec") == "rec~"
+        assert stable("DATA") == "DATA="
+        assert unstable("DATA") == "DATA#"
+        assert dont_care("d") == "d*"
+
+    def test_event_accepts_kind_or_suffix(self):
+        assert event("a", EdgeKind.RISE) == "a+"
+        assert event("a", "+") == "a+"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "action,signal,kind",
+        [
+            ("a+", "a", EdgeKind.RISE),
+            ("a-", "a", EdgeKind.FALL),
+            ("rec~", "rec", EdgeKind.TOGGLE),
+            ("DATA=", "DATA", EdgeKind.STABLE),
+            ("DATA#", "DATA", EdgeKind.UNSTABLE),
+            ("d*", "d", EdgeKind.DONTCARE),
+        ],
+    )
+    def test_roundtrip(self, action, signal, kind):
+        parsed = parse_event(action)
+        assert parsed.signal == signal
+        assert parsed.kind == kind
+        assert parsed.action == action
+
+    def test_epsilon_is_not_a_signal(self):
+        assert not is_signal_action(EPSILON)
+        assert signal_of(EPSILON) is None
+
+    def test_channel_events_are_not_signals(self):
+        assert not is_signal_action("c!+")  # send followed by suffix: nonsense
+        assert signal_of("c!") is None
+
+    def test_bare_name_is_not_a_signal_action(self):
+        assert not is_signal_action("abc")
+        with pytest.raises(ValueError):
+            parse_event("abc")
+
+    def test_suffix_only_rejected(self):
+        assert not is_signal_action("+")
+
+    def test_signals_of_net_actions(self):
+        actions = {"a+", "a-", "b~", EPSILON, "chan!"}
+        assert signals_of_net_actions(actions) == {"a", "b"}

@@ -1,0 +1,206 @@
+"""Tests for encoded state graphs: consistency, coding, guards, 3-valued
+semantics of the generalized signal transitions."""
+
+import pytest
+
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.stg.guards import lit
+from repro.stg.state_graph import build_state_graph, is_consistent
+from repro.stg.stg import Stg
+
+
+def stg_of(net: PetriNet, **kwargs) -> Stg:
+    return Stg(net, **kwargs)
+
+
+def four_phase() -> Stg:
+    net = PetriNet("hs")
+    net.add_transition({"p0"}, "r+", {"p1"})
+    net.add_transition({"p1"}, "a+", {"p2"})
+    net.add_transition({"p2"}, "r-", {"p3"})
+    net.add_transition({"p3"}, "a-", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return Stg(net, inputs={"a"}, outputs={"r"})
+
+
+class TestConsistency:
+    def test_four_phase_is_consistent(self):
+        graph = build_state_graph(four_phase())
+        assert graph.is_consistent()
+        assert graph.num_states() == 4
+
+    def test_double_rise_is_inconsistent(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "r+", {"p1"})
+        net.add_transition({"p1"}, "r+", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"r"})
+        graph = build_state_graph(stg)
+        assert not graph.is_consistent()
+        assert "already 1" in graph.violations[0].reason
+
+    def test_fall_from_zero_is_inconsistent(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "r-", {"p1"})
+        net.set_initial(Marking({"p0": 1}))
+        assert not is_consistent(Stg(net, outputs={"r"}))
+
+    def test_initial_value_fixes_consistency(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "r-", {"p1"})
+        net.add_transition({"p1"}, "r+", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"r"}, initial_values={"r": 1})
+        assert is_consistent(stg)
+
+    def test_epsilon_does_not_change_encoding(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, EPSILON, {"p1"})
+        net.add_transition({"p1"}, "r+", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"r"})
+        graph = build_state_graph(stg)
+        # After eps, r+ fires; then eps again would redo r+ -> violation.
+        assert not graph.is_consistent()
+
+
+class TestGeneralizedKinds:
+    def test_toggle_alternates(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "t~", {"p0"})
+        # self-loop place: the toggle repeats forever, flipping the value.
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"t"})
+        graph = build_state_graph(stg)
+        assert graph.is_consistent()
+        assert graph.num_states() == 2  # encodings 0 and 1
+
+    def test_unstable_then_stable_branches(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "d#", {"p1"})
+        net.add_transition({"p1"}, "d=", {"p2"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"d"})
+        graph = build_state_graph(stg)
+        finals = {
+            s.encoding for s in graph.states if s.marking == Marking({"p2": 1})
+        }
+        assert finals == {(0,), (1,)}
+
+    def test_stable_on_definite_value_is_noop(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "d=", {"p1"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"d"}, initial_values={"d": 1})
+        graph = build_state_graph(stg)
+        assert {s.encoding for s in graph.states} == {(1,)}
+
+    def test_dont_care_is_noop(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "d*", {"p1"})
+        net.set_initial(Marking({"p0": 1}))
+        graph = build_state_graph(Stg(net, outputs={"d"}))
+        assert {s.encoding for s in graph.states} == {(0,)}
+
+    def test_rise_resolves_unknown(self):
+        net = PetriNet()
+        net.add_transition({"p0"}, "d+", {"p1"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"d"}, initial_values={"d": None})
+        graph = build_state_graph(stg)
+        assert graph.is_consistent()
+        assert (1,) in {s.encoding for s in graph.states}
+
+
+class TestGuards:
+    def guarded_stg(self, initial_d):
+        net = PetriNet()
+        stg = Stg(net, inputs=set(), outputs={"r", "d"})
+        net.add_transition({"p0"}, "r+", {"p1"}, tid=0)
+        net.set_guard("p0", 0, lit("d"))
+        net.set_initial(Marking({"p0": 1}))
+        stg.initial_values["d"] = initial_d
+        return stg
+
+    def test_guard_blocks_when_false(self):
+        graph = build_state_graph(self.guarded_stg(0))
+        assert graph.num_states() == 1  # r+ never fires
+
+    def test_guard_allows_when_true(self):
+        graph = build_state_graph(self.guarded_stg(1))
+        assert graph.num_states() == 2
+
+    def test_guard_blocks_on_unknown(self):
+        """An X level blocks a guarded transition — the paper's 'wait for
+        the line to stabilize' discipline."""
+        graph = build_state_graph(self.guarded_stg(None))
+        assert graph.num_states() == 1
+
+    def test_guard_after_stabilization(self):
+        net = PetriNet()
+        stg = Stg(net, outputs={"r"}, inputs={"d"})
+        net.add_transition({"p0"}, "d=", {"p1"}, tid=0)
+        net.add_transition({"p1"}, "r+", {"p2"}, tid=1)
+        net.set_guard("p1", 1, lit("d"))
+        net.add_transition({"p1"}, "r-", {"p3"}, tid=2)
+        net.set_guard("p1", 2, ~lit("d"))
+        net.set_initial(Marking({"p0": 1}))
+        stg.initial_values["d"] = None
+        stg.initial_values["r"] = 1
+        graph = build_state_graph(stg)
+        # d stabilizes to 1 -> r+ inconsistent (r already 1)? r starts 1,
+        # so guard d chooses r+: violation; instead verify the branch on
+        # !d fires r- and the d branch records the violation.
+        markings = {s.marking for s in graph.states}
+        assert Marking({"p3": 1}) in markings
+        assert graph.violations  # the d=1 branch tried r+ at r=1
+
+
+class TestCoding:
+    def test_usc_violation_detected(self):
+        """Two distinct markings with identical encodings: a+ a- loop
+        traversed twice through different places."""
+        net = PetriNet()
+        net.add_transition({"p0"}, "a+", {"p1"})
+        net.add_transition({"p1"}, "a-", {"p2"})
+        net.add_transition({"p2"}, "a+", {"p3"})
+        net.add_transition({"p3"}, "a-", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, outputs={"a"})
+        graph = build_state_graph(stg)
+        assert not graph.has_usc()
+
+    def test_four_phase_has_usc_and_csc(self):
+        graph = build_state_graph(four_phase())
+        assert graph.has_usc()
+        assert graph.has_csc()
+
+    def test_csc_violation_distinguished_from_usc(self):
+        """USC broken but CSC held: the repeated encoding states enable
+        the same outputs (inputs differ instead)."""
+        net = PetriNet()
+        net.add_transition({"p0"}, "i+", {"p1"})
+        net.add_transition({"p1"}, "i-", {"p2"})
+        net.add_transition({"p2"}, "j+", {"p3"})
+        net.add_transition({"p3"}, "j-", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, inputs={"i", "j"}, outputs=set())
+        graph = build_state_graph(stg)
+        assert not graph.has_usc()
+        assert graph.has_csc()
+
+    def test_output_persistency_of_four_phase(self):
+        graph = build_state_graph(four_phase())
+        assert graph.output_persistency_violations() == []
+
+    def test_output_persistency_violation(self):
+        """Output b+ enabled, then disabled by input i+ firing first."""
+        net = PetriNet()
+        net.add_transition({"p0"}, "b+", {"p1"})
+        net.add_transition({"p0"}, "i+", {"p2"})
+        net.set_initial(Marking({"p0": 1}))
+        stg = Stg(net, inputs={"i"}, outputs={"b"})
+        graph = build_state_graph(stg)
+        violations = graph.output_persistency_violations()
+        assert any(output == "b+" and action == "i+" for _, output, action in violations)

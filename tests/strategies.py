@@ -1,0 +1,99 @@
+"""Shared hypothesis strategies: random small bounded Petri nets.
+
+The generators keep nets small enough that exact language comparison via
+DFA construction stays fast, but varied enough to cover conflicts,
+concurrency, joint presets/postsets and non-safe markings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, strategies as st
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+
+ACTIONS = ["a", "b", "c", "u"]
+PLACES = ["p0", "p1", "p2", "p3", "p4"]
+
+
+@st.composite
+def petri_nets(
+    draw,
+    max_places: int = 5,
+    max_transitions: int = 5,
+    max_tokens: int = 2,
+    actions: list[str] | None = None,
+) -> PetriNet:
+    """A random labeled Petri net (not necessarily bounded)."""
+    labels = actions if actions is not None else ACTIONS
+    num_places = draw(st.integers(2, max_places))
+    places = PLACES[:num_places]
+    num_transitions = draw(st.integers(1, max_transitions))
+    net = PetriNet("random")
+    for _ in range(num_transitions):
+        preset = draw(
+            st.sets(st.sampled_from(places), min_size=1, max_size=2)
+        )
+        postset = draw(
+            st.sets(st.sampled_from(places), min_size=1, max_size=2)
+        )
+        action = draw(st.sampled_from(labels))
+        net.add_transition(preset, action, postset)
+    token_places = draw(
+        st.lists(st.sampled_from(places), min_size=1, max_size=max_tokens)
+    )
+    net.set_initial(Marking.from_places(token_places))
+    return net
+
+
+@st.composite
+def bounded_nets(draw, max_states: int = 3000, **kwargs) -> PetriNet:
+    """A random *bounded* net (unbounded draws are discarded)."""
+    net = draw(petri_nets(**kwargs))
+    try:
+        ReachabilityGraph(net, max_states=max_states)
+    except UnboundedNetError:
+        assume(False)
+    return net
+
+
+@st.composite
+def safe_initial_nets(draw, **kwargs) -> PetriNet:
+    """A random bounded net whose *initial* marking is safe
+    (precondition of Definitions 4.3 and 4.5)."""
+    net = draw(bounded_nets(**kwargs))
+    assume(net.initial.is_safe())
+    return net
+
+
+def hidable_transition_ids(net: PetriNet, label: str) -> list[int]:
+    """Transitions with ``label`` that Definition 4.10's construction
+    supports exactly under the paper's set-based (weight-free) formalism.
+
+    Excluded:
+
+    * self-loops (divergence — the paper excludes them),
+    * transitions whose successors consume from the hidden preset or
+      produce into leftover postset places: the paper's set-based
+      postsets cannot express the arc *weights* those cases need (the
+      formalism's transition relation lives in ``2^P x A x 2^P``).
+    """
+    result = []
+    for tid, t in sorted(net.transitions.items()):
+        if t.action != label or t.is_self_looping():
+            continue
+        if not t.preset or not t.postset:
+            continue
+        supported = True
+        for other_tid, other in net.transitions.items():
+            if other_tid == tid:
+                continue
+            if other.preset & t.postset:
+                if other.preset & t.preset:
+                    supported = False  # successor competing for the preset
+                if other.postset & (t.postset - other.preset):
+                    supported = False  # duplicate would need arc weight 2
+        if supported:
+            result.append(tid)
+    return result

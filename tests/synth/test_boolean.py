@@ -1,0 +1,101 @@
+"""Tests for Quine-McCluskey minimization."""
+
+import pytest
+
+from repro.synth.boolean import (
+    Cube,
+    SumOfProducts,
+    equivalent_on,
+    minimize,
+    prime_implicants,
+    truth_table,
+)
+
+
+class TestCube:
+    def test_covers(self):
+        cube = Cube(3, 0b011, 0b001)  # x0=1, x1=0, x2 free
+        assert cube.covers(0b001)
+        assert cube.covers(0b101)
+        assert not cube.covers(0b011)
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, 0b01, 0b10)
+
+    def test_expression(self):
+        cube = Cube(3, 0b011, 0b001)
+        assert cube.to_expression(("a", "b", "c")) == "a & !b"
+
+    def test_tautology_expression(self):
+        assert Cube(2, 0, 0).to_expression(("a", "b")) == "1"
+
+
+class TestPrimeImplicants:
+    def test_xor_has_two_primes(self):
+        primes = prime_implicants(2, [0b01, 0b10])
+        assert len(primes) == 2
+        assert all(p.literals() == 2 for p in primes)
+
+    def test_adjacent_minterms_merge(self):
+        primes = prime_implicants(2, [0b00, 0b01])
+        assert len(primes) == 1
+        assert primes[0].literals() == 1
+
+    def test_dont_cares_enlarge_primes(self):
+        # on = {00}, dc = {01, 10, 11}: the constant-1 cube is prime.
+        primes = prime_implicants(2, [0], [1, 2, 3])
+        assert any(p.literals() == 0 for p in primes)
+
+
+class TestMinimize:
+    def test_empty_on_set_is_constant_zero(self):
+        sop = minimize(2, [])
+        assert sop.to_expression(("a", "b")) == "0"
+        assert truth_table(sop) == [False] * 4
+
+    def test_full_on_set_is_constant_one(self):
+        sop = minimize(2, [0, 1, 2, 3])
+        assert sop.to_expression(("a", "b")) == "1"
+
+    def test_classic_example(self):
+        """f = a&b | !a&!b (XNOR): two 2-literal cubes."""
+        sop = minimize(2, [0b00, 0b11])
+        assert len(sop.cubes) == 2
+        assert sop.literal_count() == 4
+        assert truth_table(sop) == [True, False, False, True]
+
+    def test_dont_cares_used(self):
+        # on {11}, dc {01}: cover can be just 'a' (bit0)? on=3 -> a&b
+        # without dc; with dc {0b01}: cube b? No: dc=0b01 means a=1,b=0.
+        sop = minimize(2, [0b11], [0b01])
+        assert sop.literal_count() == 1
+        assert sop.evaluate(0b11)
+        assert not sop.evaluate(0b10)
+
+    def test_cover_is_correct_exhaustively(self):
+        import itertools
+
+        for on_bits in range(16):
+            on = [m for m in range(4) if on_bits >> m & 1]
+            sop = minimize(2, on)
+            for m in range(4):
+                assert sop.evaluate(m) == (m in on), (on, m)
+
+    def test_three_variable_function(self):
+        # Majority function of 3 variables.
+        on = [m for m in range(8) if bin(m).count("1") >= 2]
+        sop = minimize(3, on)
+        for m in range(8):
+            assert sop.evaluate(m) == (bin(m).count("1") >= 2)
+        assert len(sop.cubes) == 3  # ab | bc | ac
+
+    def test_equivalent_on_care_set(self):
+        f = minimize(2, [0b01])
+        g = minimize(2, [0b01, 0b11])
+        assert equivalent_on(f, g, [0b01, 0b00])
+        assert not equivalent_on(f, g, [0b11])
+
+    def test_deterministic_output(self):
+        on = [1, 2, 5, 6, 7]
+        assert minimize(3, on) == minimize(3, on)

@@ -1,0 +1,131 @@
+"""Tests for speed-independence / hazard checks."""
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.stg import Stg
+from repro.synth.boolean import Cube, SumOfProducts
+from repro.synth.hazards import (
+    is_speed_independent,
+    monotonic_cover_violations,
+    set_reset_conflicts,
+)
+from repro.synth.implementation import (
+    CElementImplementation,
+    GateImplementation,
+    synthesize,
+    synthesize_c_elements,
+)
+
+
+def c_element_spec() -> Stg:
+    net = PetriNet("celem")
+    net.add_transition({"x0"}, "x+", {"x1"})
+    net.add_transition({"y0"}, "y+", {"y1"})
+    net.add_transition({"x1", "y1"}, "c+", {"x2", "y2"})
+    net.add_transition({"x2"}, "x-", {"x3"})
+    net.add_transition({"y2"}, "y-", {"y3"})
+    net.add_transition({"x3", "y3"}, "c-", {"x0", "y0"})
+    net.set_initial(Marking({"x0": 1, "y0": 1}))
+    return Stg(net, inputs={"x", "y"}, outputs={"c"})
+
+
+def responder() -> Stg:
+    net = PetriNet("responder")
+    net.add_transition({"p0"}, "r+", {"p1"})
+    net.add_transition({"p1"}, "a+", {"p2"})
+    net.add_transition({"p2"}, "r-", {"p3"})
+    net.add_transition({"p3"}, "a-", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return Stg(net, inputs={"r"}, outputs={"a"})
+
+
+class TestMonotonicCover:
+    def test_synthesized_responder_is_clean(self):
+        stg = responder()
+        assert monotonic_cover_violations(stg, synthesize(stg)) == []
+
+    def test_synthesized_c_element_is_clean(self):
+        stg = c_element_spec()
+        assert monotonic_cover_violations(stg, synthesize(stg)) == []
+
+    def test_cube_handover_detected(self):
+        """z stays excited while input j rises; a cover split into the
+        disjoint cubes i&!j and i&j hands over between them across the
+        j+ edge — a classic OR-stage glitch the check must flag."""
+        net = PetriNet("persisting")
+        net.add_transition({"s0"}, "i+", {"s1"})
+        net.add_transition({"s1"}, "j+", {"s2"})
+        net.add_transition({"s2"}, "z+", {"s3"})
+        net.add_transition({"s1"}, "z+", {"s4"})
+        net.add_transition({"s4"}, "j+", {"s3"})
+        net.set_initial(Marking({"s0": 1}))
+        spec = Stg(net, inputs={"i", "j"}, outputs={"z"})
+        cube1 = Cube(3, 0b011, 0b001)  # i & !j
+        cube2 = Cube(3, 0b011, 0b011)  # i & j
+        handover = GateImplementation(
+            ("i", "j", "z"), {"z": SumOfProducts(3, (cube1, cube2))}
+        )
+        violations = monotonic_cover_violations(spec, handover)
+        assert violations
+        assert violations[0].kind == "monotonic-cover"
+        assert violations[0].signal == "z"
+
+    def test_single_cube_cover_cannot_glitch(self):
+        """The same persisting-excitation spec with the merged cube
+        i (mask only i) is monotonic."""
+        net = PetriNet("persisting")
+        net.add_transition({"s0"}, "i+", {"s1"})
+        net.add_transition({"s1"}, "j+", {"s2"})
+        net.add_transition({"s2"}, "z+", {"s3"})
+        net.add_transition({"s1"}, "z+", {"s4"})
+        net.add_transition({"s4"}, "j+", {"s3"})
+        spec = Stg(net, inputs={"i", "j"}, outputs={"z"})
+        merged = GateImplementation(
+            ("i", "j", "z"),
+            {"z": SumOfProducts(3, (Cube(3, 0b001, 0b001),))},  # just i
+        )
+        assert monotonic_cover_violations(spec, merged) == []
+
+
+class TestSetResetConflicts:
+    def test_synthesized_c_element_conflict_free(self):
+        stg = c_element_spec()
+        impl = synthesize_c_elements(stg)
+        assert set_reset_conflicts(stg, impl) == []
+
+    def test_overlapping_networks_detected(self):
+        stg = responder()
+        n = 2  # variables (a, r)
+        always = SumOfProducts(n, (Cube(n, 0, 0),))
+        broken = CElementImplementation(
+            ("a", "r"), {"a": always}, {"a": always}
+        )
+        violations = set_reset_conflicts(stg, broken)
+        assert violations
+        assert violations[0].kind == "set-reset-conflict"
+
+
+class TestSpeedIndependence:
+    def test_clean_designs_pass(self):
+        for spec in (responder(), c_element_spec()):
+            assert is_speed_independent(spec, synthesize(spec))
+
+    def test_wrong_function_fails(self):
+        stg = responder()
+        impl = synthesize(stg)
+        n = len(impl.variables)
+        broken = GateImplementation(
+            impl.variables, {"a": SumOfProducts(n, ())}
+        )
+        assert not is_speed_independent(stg, broken)
+
+    def test_non_persistent_spec_fails(self):
+        """An output that can be *disabled* by an input firing is not
+        speed-independent regardless of the logic."""
+        net = PetriNet()
+        net.add_transition({"p0"}, "b+", {"p1"})
+        net.add_transition({"p0"}, "i+", {"p2"})  # i+ steals the token
+        stg = Stg(net, inputs={"i"}, outputs={"b"})
+        stg.net.set_initial(Marking({"p0": 1}))
+        impl = synthesize(stg)
+        assert not is_speed_independent(stg, impl)

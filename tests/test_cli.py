@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.astg import save_astg
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.models.protocol_translator import inconsistent_sender
+
+
+@pytest.fixture()
+def master_file(tmp_path):
+    path = tmp_path / "master.g"
+    save_astg(four_phase_master(), str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def slave_file(tmp_path):
+    path = tmp_path / "slave.g"
+    save_astg(four_phase_slave(), str(path))
+    return str(path)
+
+
+class TestInfo:
+    def test_info_output(self, master_file, capsys):
+        assert main(["info", master_file]) == 0
+        out = capsys.readouterr().out
+        assert "master" in out
+        assert "4 places" in out
+        assert "live" in out
+
+    def test_info_json_input(self, tmp_path, capsys):
+        from repro.io.json_io import save
+
+        path = tmp_path / "m.json"
+        save(four_phase_master(), str(path))
+        assert main(["info", str(path)]) == 0
+        assert "master" in capsys.readouterr().out
+
+
+class TestCompose:
+    def test_compose_writes_output(self, master_file, slave_file, tmp_path, capsys):
+        out_path = tmp_path / "system.g"
+        assert main(["compose", master_file, slave_file, "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.io.astg import load_astg
+
+        system = load_astg(str(out_path))
+        assert len(system.net.transitions) == 4
+
+    def test_compose_trim(self, master_file, slave_file, tmp_path):
+        out_path = tmp_path / "system.g"
+        assert (
+            main(
+                ["compose", master_file, slave_file, "-o", str(out_path), "--trim"]
+            )
+            == 0
+        )
+
+
+class TestHide:
+    def test_hide_signal(self, master_file, slave_file, tmp_path, capsys):
+        composed = tmp_path / "system.g"
+        main(["compose", master_file, slave_file, "-o", str(composed)])
+        hidden = tmp_path / "hidden.g"
+        assert main(["hide", str(composed), "-s", "a", "-o", str(hidden)]) == 0
+        from repro.io.astg import load_astg
+
+        result = load_astg(str(hidden))
+        assert "a" not in result.signals()
+
+
+class TestVerify:
+    def test_receptive_pair_returns_zero(self, master_file, slave_file, capsys):
+        assert main(["verify", master_file, slave_file]) == 0
+        assert "receptive" in capsys.readouterr().out
+
+    def test_failure_returns_nonzero(self, slave_file, tmp_path, capsys):
+        bad_path = tmp_path / "bad.g"
+        from repro.petri.marking import Marking
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("impatient")
+        net.add_transition({"m0"}, "r+", {"m1"})
+        net.add_transition({"m1"}, "r-", {"m2"})
+        net.add_transition({"m2"}, "a+", {"m3"})
+        net.add_transition({"m3"}, "a-", {"m0"})
+        net.set_initial(Marking({"m0": 1}))
+        save_astg(Stg(net, inputs={"a"}, outputs={"r"}), str(bad_path))
+        assert main(["verify", str(bad_path), slave_file]) == 1
+        assert "NOT receptive" in capsys.readouterr().out
+
+
+class TestSimplify:
+    def test_simplify_roundtrip(self, master_file, slave_file, tmp_path, capsys):
+        out_path = tmp_path / "reduced.g"
+        assert (
+            main(["simplify", slave_file, master_file, "-o", str(out_path)]) == 0
+        )
+        assert "states" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_synth_prints_netlist(self, slave_file, capsys):
+        assert main(["synth", slave_file]) == 0
+        out = capsys.readouterr().out
+        assert "a = r" in out
+        assert "PASS" in out
+
+    def test_synth_rejects_inconsistent(self, tmp_path, capsys):
+        path = tmp_path / "bad.g"
+        from repro.petri.marking import Marking
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("double_rise")
+        net.add_transition({"p0"}, "z+", {"p1"})
+        net.add_transition({"p1"}, "z+", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        save_astg(Stg(net, outputs={"z"}), str(path))
+        assert main(["synth", str(path)]) == 1
+
+
+class TestDot:
+    def test_dot_output(self, master_file, capsys):
+        assert main(["dot", master_file]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestStategraph:
+    def test_consistent_stg_reports_ok(self, master_file, capsys):
+        assert main(["stategraph", master_file]) == 0
+        out = capsys.readouterr().out
+        assert "consistent   : True" in out
+        assert "CSC          : True" in out
+
+    def test_inconsistent_stg_returns_nonzero(self, tmp_path, capsys):
+        from repro.petri.marking import Marking
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("double_rise")
+        net.add_transition({"p0"}, "z+", {"p1"})
+        net.add_transition({"p1"}, "z+", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        path = tmp_path / "bad.g"
+        save_astg(Stg(net, outputs={"z"}), str(path))
+        assert main(["stategraph", str(path)]) == 1
+
+
+class TestReduce:
+    def test_reduce_removes_epsilons(self, tmp_path, capsys):
+        from repro.petri.marking import Marking
+        from repro.petri.net import EPSILON, PetriNet
+        from repro.io.astg import load_astg
+        from repro.stg.stg import Stg
+
+        net = PetriNet("padded")
+        net.add_transition({"p0"}, "z+", {"p1"})
+        net.add_transition({"p1"}, EPSILON, {"p2"})
+        net.add_transition({"p2"}, "z-", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        source = tmp_path / "in.g"
+        target = tmp_path / "out.g"
+        save_astg(Stg(net, outputs={"z"}), str(source))
+        assert main(["reduce", str(source), "-o", str(target)]) == 0
+        reduced = load_astg(str(target))
+        assert not reduced.net.transitions_with_action(EPSILON)

@@ -1,0 +1,145 @@
+"""Tests for bisimulation and failures semantics."""
+
+from repro.algebra.operators import sequence_net
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.verify.equivalence import (
+    deadlock_traces,
+    failures,
+    failures_refines,
+    strongly_bisimilar,
+    weakly_bisimilar,
+)
+from repro.verify.language import languages_equal
+
+
+def deterministic_ab() -> PetriNet:
+    """a then (b or c), decided after a."""
+    net = PetriNet("det")
+    net.add_transition({"s0"}, "a", {"s1"})
+    net.add_transition({"s1"}, "b", {"s2"})
+    net.add_transition({"s1"}, "c", {"s3"})
+    net.set_initial(Marking({"s0": 1}))
+    return net
+
+
+def nondeterministic_ab() -> PetriNet:
+    """(a then b) or (a then c), decided at a — trace-equal to the
+    deterministic variant but not bisimilar, and failures-different."""
+    net = PetriNet("nondet")
+    net.add_transition({"s0"}, "a", {"s1"})
+    net.add_transition({"s0"}, "a", {"s2"})
+    net.add_transition({"s1"}, "b", {"s3"})
+    net.add_transition({"s2"}, "c", {"s4"})
+    net.set_initial(Marking({"s0": 1}))
+    return net
+
+
+class TestStrongBisimulation:
+    def test_identical_nets_bisimilar(self):
+        assert strongly_bisimilar(deterministic_ab(), deterministic_ab())
+
+    def test_unrolled_loop_bisimilar(self):
+        loop = sequence_net(["a", "b"], cyclic=True)
+        doubled = sequence_net(["a", "b", "a", "b"], cyclic=True)
+        assert strongly_bisimilar(loop, doubled)
+
+    def test_classic_counterexample(self):
+        """a.(b+c) vs a.b + a.c: trace-equivalent, not bisimilar."""
+        det, nondet = deterministic_ab(), nondeterministic_ab()
+        assert languages_equal(det, nondet)
+        assert not strongly_bisimilar(det, nondet)
+
+    def test_different_languages_not_bisimilar(self):
+        assert not strongly_bisimilar(
+            sequence_net(["a"]), sequence_net(["b"])
+        )
+
+    def test_epsilon_matters_strongly(self):
+        plain = sequence_net(["a"])
+        padded = sequence_net([EPSILON, "a"])
+        assert not strongly_bisimilar(plain, padded)
+
+
+class TestWeakBisimulation:
+    def test_epsilon_padding_ignored(self):
+        plain = sequence_net(["a", "b"])
+        padded = sequence_net(["a", EPSILON, "b"])
+        assert weakly_bisimilar(plain, padded)
+
+    def test_custom_silent_label(self):
+        plain = sequence_net(["a", "b"])
+        padded = sequence_net(["a", "u", "b"])
+        assert weakly_bisimilar(plain, padded, silent={"u", EPSILON})
+        assert not weakly_bisimilar(plain, padded)
+
+    def test_weak_still_separates_branching(self):
+        assert not weakly_bisimilar(
+            deterministic_ab(), nondeterministic_ab()
+        )
+
+    def test_hidden_internal_choice_not_weakly_bisimilar(self):
+        """tau.b + tau.c is not weakly bisimilar to b + c (the silent
+        choice pre-commits)."""
+        committed = PetriNet("committed")
+        committed.add_transition({"s0"}, EPSILON, {"s1"})
+        committed.add_transition({"s0"}, EPSILON, {"s2"})
+        committed.add_transition({"s1"}, "b", {"s3"})
+        committed.add_transition({"s2"}, "c", {"s4"})
+        committed.set_initial(Marking({"s0": 1}))
+        external = PetriNet("external")
+        external.add_transition({"r0"}, "b", {"r1"})
+        external.add_transition({"r0"}, "c", {"r2"})
+        external.set_initial(Marking({"r0": 1}))
+        assert languages_equal(committed, external)
+        assert not weakly_bisimilar(committed, external)
+
+
+class TestFailures:
+    def test_deterministic_refusals(self):
+        pairs = failures(deterministic_ab())
+        # After 'a' the stable state offers {b, c}: only 'a' is refused.
+        assert (("a",), frozenset({"a"})) in pairs
+        assert (("a", "b"), frozenset({"a", "b", "c"})) in pairs
+
+    def test_nondeterministic_refusals(self):
+        pairs = failures(nondeterministic_ab())
+        # After 'a' one branch refuses c, the other refuses b.
+        assert (("a",), frozenset({"a", "c"})) in pairs
+        assert (("a",), frozenset({"a", "b"})) in pairs
+
+    def test_refinement_detects_new_refusal(self):
+        """The nondeterministic variant does NOT failures-refine the
+        deterministic one (it can refuse b after a), while the
+        deterministic one refines the nondeterministic spec's traces but
+        not vice versa."""
+        assert not failures_refines(
+            nondeterministic_ab(), deterministic_ab()
+        )
+
+    def test_refinement_reflexive(self):
+        assert failures_refines(deterministic_ab(), deterministic_ab())
+
+    def test_smaller_trace_set_with_same_refusals_refines(self):
+        shorter = sequence_net(["a"])
+        longer = sequence_net(["a", "b"])
+        # 'shorter' deadlocks after a, which 'longer' never allows.
+        assert not failures_refines(shorter, longer)
+
+    def test_deadlock_traces(self):
+        net = sequence_net(["a", "b"])
+        assert deadlock_traces(net) == {("a", "b")}
+
+    def test_live_loop_has_no_deadlock_traces(self):
+        net = sequence_net(["a", "b"], cyclic=True)
+        assert deadlock_traces(net) == set()
+
+    def test_composition_deadlock_visible_in_failures(self):
+        """The Prop 5.3 counterexample (a.b)*||(b.a)* deadlocks at the
+        empty trace."""
+        from repro.algebra.compose import parallel
+
+        left = sequence_net(["a", "b"], cyclic=True, name="L")
+        right = sequence_net(["b", "a"], cyclic=True, name="R")
+        composed = parallel(left, right)
+        assert () in deadlock_traces(composed)

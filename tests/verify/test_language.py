@@ -1,0 +1,103 @@
+"""Tests for exact DFA-based language comparison."""
+
+from repro.algebra.operators import sequence_net
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.verify.language import (
+    dfa_contained,
+    dfa_equal,
+    dfa_of_net,
+    distinguishing_trace,
+    language_contained,
+    languages_equal,
+    minimize,
+)
+
+
+def loop_ab() -> PetriNet:
+    return sequence_net(["a", "b"], cyclic=True, name="loop")
+
+
+class TestDfaConstruction:
+    def test_loop_dfa_two_live_states(self):
+        dfa = dfa_of_net(loop_ab())
+        assert dfa.num_live_states() == 2
+
+    def test_accepts_prefixes(self):
+        dfa = dfa_of_net(loop_ab())
+        assert dfa.accepts(())
+        assert dfa.accepts(("a",))
+        assert dfa.accepts(("a", "b", "a"))
+        assert not dfa.accepts(("b",))
+        assert not dfa.accepts(("a", "a"))
+
+    def test_epsilon_closed_by_default(self):
+        net = PetriNet()
+        net.add_transition({"p"}, EPSILON, {"q"})
+        net.add_transition({"q"}, "a", {"r"})
+        net.set_initial(Marking({"p": 1}))
+        dfa = dfa_of_net(net)
+        assert dfa.accepts(("a",))
+        assert EPSILON not in dfa.alphabet
+
+    def test_custom_silent_labels(self):
+        net = sequence_net(["u", "a"])
+        dfa = dfa_of_net(net, silent={"u"})
+        assert dfa.accepts(("a",))
+
+    def test_alphabet_override(self):
+        dfa = dfa_of_net(loop_ab(), alphabet={"a", "b", "zz"})
+        assert "zz" in dfa.alphabet
+        assert not dfa.accepts(("zz",))
+
+    def test_minimize_is_idempotent(self):
+        dfa = dfa_of_net(loop_ab())
+        again = minimize(dfa)
+        assert again.num_states == dfa.num_states
+
+    def test_nondeterministic_labels_determinized(self):
+        net = PetriNet()
+        net.add_transition({"s"}, "a", {"x"})
+        net.add_transition({"s"}, "a", {"y"})
+        net.add_transition({"x"}, "b", {"z"})
+        net.add_transition({"y"}, "c", {"z"})
+        net.set_initial(Marking({"s": 1}))
+        dfa = dfa_of_net(net)
+        assert dfa.accepts(("a", "b"))
+        assert dfa.accepts(("a", "c"))
+
+
+class TestComparison:
+    def test_equal_nets(self):
+        assert languages_equal(loop_ab(), loop_ab())
+
+    def test_prefix_language_contained(self):
+        shorter = sequence_net(["a"])
+        longer = sequence_net(["a", "b"])
+        assert language_contained(shorter, longer)
+        assert not language_contained(longer, shorter)
+
+    def test_distinguishing_trace_found(self):
+        shorter = sequence_net(["a"])
+        longer = sequence_net(["a", "b"])
+        assert distinguishing_trace(longer, shorter) == ("a", "b")
+
+    def test_distinguishing_trace_none_for_equal(self):
+        assert distinguishing_trace(loop_ab(), loop_ab()) is None
+
+    def test_dfa_equal_and_contained_consistency(self):
+        d1 = dfa_of_net(sequence_net(["a"]), alphabet={"a", "b"})
+        d2 = dfa_of_net(sequence_net(["a", "b"]), alphabet={"a", "b"})
+        assert dfa_contained(d1, d2)
+        assert not dfa_equal(d1, d2)
+
+    def test_unrolled_loop_equivalent(self):
+        """(a.b)* and its double unrolling have the same language."""
+        doubled = sequence_net(["a", "b", "a", "b"], cyclic=True)
+        assert languages_equal(loop_ab(), doubled)
+
+    def test_silent_projection_equality(self):
+        """a.u.b with u silent equals a.b."""
+        with_internal = sequence_net(["a", "u", "b"])
+        plain = sequence_net(["a", "b"])
+        assert languages_equal(with_internal, plain, silent={"u", EPSILON})

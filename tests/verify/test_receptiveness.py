@@ -1,0 +1,178 @@
+"""Tests for receptiveness checking (Props 5.5/5.6, Thm 5.7)."""
+
+import pytest
+
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.stg import Stg
+from repro.verify.receptiveness import (
+    check_receptiveness,
+    check_receptiveness_with_hiding,
+    compose_with_obligations,
+)
+
+
+def impatient_master() -> Stg:
+    """Drops the request without waiting for the acknowledge: the
+    4-phase discipline is broken (the Figure 8 pattern in miniature)."""
+    net = PetriNet("impatient")
+    net.add_transition({"m0"}, "r+", {"m1"})
+    net.add_transition({"m1"}, "r-", {"m2"})
+    net.add_transition({"m2"}, "a+", {"m3"})
+    net.add_transition({"m3"}, "a-", {"m0"})
+    net.set_initial(Marking({"m0": 1}))
+    return Stg(net, inputs={"a"}, outputs={"r"})
+
+
+class TestComposeWithObligations:
+    def test_obligations_cover_both_directions(self):
+        composite, obligations = compose_with_obligations(
+            four_phase_master(), four_phase_slave()
+        )
+        actions = {o.action for o in obligations}
+        assert actions == {"r+", "r-", "a+", "a-"}
+        producers = {o.action: o.producer for o in obligations}
+        assert producers["r+"] == "master"
+        assert producers["a+"] == "slave"
+
+    def test_composite_structure(self):
+        composite, _ = compose_with_obligations(
+            four_phase_master(), four_phase_slave()
+        )
+        assert len(composite.net.transitions) == 4  # all fused
+
+    def test_common_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            compose_with_obligations(four_phase_master(), four_phase_master())
+
+
+class TestReachabilityMethod:
+    def test_matched_handshake_is_receptive(self):
+        report = check_receptiveness(
+            four_phase_master(), four_phase_slave(), method="reachability"
+        )
+        assert report.is_receptive()
+        assert "receptive" in str(report)
+
+    def test_impatient_master_fails(self):
+        report = check_receptiveness(
+            impatient_master(), four_phase_slave(), method="reachability"
+        )
+        assert not report.is_receptive()
+        assert "r-" in report.failing_actions()
+        assert "NOT receptive" in str(report)
+
+    def test_failure_attribution(self):
+        """The premature r- is attributed to the impatient master (the
+        stranded a+ is symmetrically attributed to the slave)."""
+        report = check_receptiveness(
+            impatient_master(), four_phase_slave(), method="reachability"
+        )
+        by_action = {f.obligation.action: f.obligation for f in report.failures}
+        assert by_action["r-"].producer == "impatient"
+        assert by_action["r-"].consumer == "slave"
+        assert by_action["a+"].producer == "slave"
+
+    def test_cross_product_alternatives_not_false_failures(self):
+        """Two consumer alternatives for the same label: the producer is
+        fine as long as *some* alternative is ready."""
+        producer = four_phase_master()
+        slave = PetriNet("slave2")
+        # Two r+ consumers in free choice; one of them is always ready.
+        slave.add_transition({"s0"}, "r+", {"s1"})
+        slave.add_transition({"s0"}, "r+", {"s2"})
+        slave.add_transition({"s1"}, "a+", {"s3"})
+        slave.add_transition({"s2"}, "a+", {"s3"})
+        slave.add_transition({"s3"}, "r-", {"s4"})
+        slave.add_transition({"s4"}, "a-", {"s0"})
+        slave.set_initial(Marking({"s0": 1}))
+        report = check_receptiveness(
+            producer, Stg(slave, inputs={"r"}, outputs={"a"}),
+            method="reachability",
+        )
+        assert report.is_receptive()
+
+
+class TestStructuralMethod:
+    def test_marked_graph_receptive_handshake(self):
+        report = check_receptiveness(
+            four_phase_master(), four_phase_slave(), method="structural"
+        )
+        assert report.is_receptive()
+        assert report.method == "structural"
+
+    def test_structural_detects_failure(self):
+        report = check_receptiveness(
+            impatient_master(), four_phase_slave(), method="structural"
+        )
+        assert not report.is_receptive()
+
+    def test_structural_agrees_with_reachability(self):
+        """Cross-validate the two methods on marked-graph compositions."""
+        for master in (four_phase_master(), impatient_master()):
+            structural = check_receptiveness(
+                master, four_phase_slave(), method="structural"
+            )
+            exhaustive = check_receptiveness(
+                master, four_phase_slave(), method="reachability"
+            )
+            assert structural.is_receptive() == exhaustive.is_receptive()
+            assert structural.failing_actions() == exhaustive.failing_actions()
+
+    def test_auto_picks_structural_for_marked_graphs(self):
+        report = check_receptiveness(four_phase_master(), four_phase_slave())
+        assert report.method == "structural"
+
+    def test_auto_falls_back_for_general_nets(self):
+        master = four_phase_master()
+        # Add a conflict to break the marked-graph property.
+        master.net.add_transition({"m0"}, "r+", {"m1"})
+        report = check_receptiveness(master, four_phase_slave())
+        assert report.method == "reachability"
+
+
+class TestHidePrimeRefinement:
+    def test_private_signals_relabeled_not_contracted(self):
+        """A private event on the master's *output* path (gating no
+        input) keeps the composition receptive; hide' keeps it as an
+        epsilon dummy rather than contracting it away."""
+        net = PetriNet("master_led")
+        net.add_transition({"m0"}, "r+", {"m1"})
+        net.add_transition({"m1"}, "a+", {"m2"})
+        net.add_transition({"m2"}, "led+", {"m2b"})
+        net.add_transition({"m2b"}, "r-", {"m3"})
+        net.add_transition({"m3"}, "a-", {"m0"})
+        net.set_initial(Marking({"m0": 1}))
+        master = Stg(net, inputs={"a"}, outputs={"r", "led"})
+        report = check_receptiveness_with_hiding(master, four_phase_slave())
+        assert report.is_receptive()
+        # The private 'led' signal is gone from the composite alphabet...
+        assert "led+" not in report.composite.net.used_actions()
+        # ...but its transition survives as an epsilon dummy (hide').
+        from repro.petri.net import EPSILON
+
+        assert report.composite.net.transitions_with_action(EPSILON)
+
+    def test_internal_event_gating_an_input_is_a_failure(self):
+        """The information hide' preserves: an input whose consumer is
+        only reached via an internal transition is a genuine potential
+        failure (the environment may emit before the internal step
+        completes); full contraction would have hidden that."""
+        net = PetriNet("master_gated")
+        net.add_transition({"m0"}, "r+", {"m1"})
+        net.add_transition({"m1"}, "led+", {"m1b"})
+        net.add_transition({"m1b"}, "a+", {"m2"})
+        net.add_transition({"m2"}, "r-", {"m3"})
+        net.add_transition({"m3"}, "a-", {"m0"})
+        net.set_initial(Marking({"m0": 1}))
+        master = Stg(net, inputs={"a"}, outputs={"r", "led"})
+        report = check_receptiveness_with_hiding(master, four_phase_slave())
+        assert not report.is_receptive()
+        assert "a+" in report.failing_actions()
+
+    def test_hiding_does_not_mask_failures(self):
+        report = check_receptiveness_with_hiding(
+            impatient_master(), four_phase_slave()
+        )
+        assert not report.is_receptive()

@@ -1,0 +1,92 @@
+"""Exhaustive cross-validation of the receptiveness methods.
+
+Sweeps every cyclic ordering of the four handshake events on each side
+of a two-wire interface (master drives r, slave drives a).  For every
+composition that is a live marked graph, the structural (Theorem 5.7)
+and exhaustive (reachability) methods must return the same verdict and
+the same failing actions.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.petri.classify import is_marked_graph, marked_graph_is_live
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.stg import Stg
+from repro.verify.receptiveness import (
+    check_receptiveness,
+    compose_with_obligations,
+)
+
+EVENTS = ("r+", "a+", "r-", "a-")
+
+
+def cyclic_module(order: tuple[str, ...], driver_of_r: bool, name: str) -> Stg:
+    """A 4-place cycle firing the events in the given order.
+
+    Orders that break rise/fall alternation per signal are still valid
+    nets (consistency is a separate concern); receptiveness only looks
+    at markings.
+    """
+    net = PetriNet(name)
+    for index, event in enumerate(order):
+        net.add_transition(
+            {f"{name}{index}"},
+            event,
+            {f"{name}{(index + 1) % len(order)}"},
+        )
+    net.set_initial(Marking({f"{name}0": 1}))
+    if driver_of_r:
+        return Stg(net, inputs={"a"}, outputs={"r"})
+    return Stg(net, inputs={"r"}, outputs={"a"})
+
+
+def canonical_orders() -> list[tuple[str, ...]]:
+    """All distinct cyclic orderings of the four events starting at r+."""
+    rest = [e for e in EVENTS if e != "r+"]
+    return [("r+",) + p for p in permutations(rest)]
+
+
+@pytest.mark.parametrize("master_order", canonical_orders())
+@pytest.mark.parametrize("slave_order", canonical_orders())
+def test_methods_agree(master_order, slave_order):
+    master = cyclic_module(master_order, driver_of_r=True, name="m")
+    slave = cyclic_module(slave_order, driver_of_r=False, name="s")
+    composite, _ = compose_with_obligations(master, slave)
+    in_class = is_marked_graph(composite.net) and marked_graph_is_live(
+        composite.net
+    )
+    if not in_class:
+        # Outside Theorem 5.7's class the auto mode must fall back to
+        # the exhaustive method (the structural characterisation of
+        # reachable markings only holds for live marked graphs).
+        report = check_receptiveness(master, slave)
+        assert report.method == "reachability"
+        return
+    structural = check_receptiveness(master, slave, method="structural")
+    exhaustive = check_receptiveness(master, slave, method="reachability")
+    assert structural.is_receptive() == exhaustive.is_receptive(), (
+        master_order,
+        slave_order,
+    )
+    assert structural.failing_actions() == exhaustive.failing_actions()
+
+
+def test_sweep_contains_both_verdicts():
+    """Sanity: the sweep space includes receptive and non-receptive
+    compositions (identical orders are receptive; an inverted slave
+    is not)."""
+    aligned = check_receptiveness(
+        cyclic_module(("r+", "a+", "r-", "a-"), True, "m"),
+        cyclic_module(("r+", "a+", "r-", "a-"), False, "s"),
+        method="reachability",
+    )
+    assert aligned.is_receptive()
+    skewed = check_receptiveness(
+        cyclic_module(("r+", "r-", "a+", "a-"), True, "m"),
+        cyclic_module(("r+", "a+", "r-", "a-"), False, "s"),
+        method="reachability",
+    )
+    assert not skewed.is_receptive()
