@@ -93,9 +93,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.receptiveness import check_receptiveness
 
     report = check_receptiveness(
-        _load(args.first), _load(args.second), method=args.method
+        _load(args.first),
+        _load(args.second),
+        method=args.method,
+        engine=args.engine,
     )
     print(report)
+    if report.states_explored is not None:
+        print(f"# states explored: {report.states_explored} ({report.engine})")
     return 0 if report.is_receptive() else 1
 
 
@@ -209,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=("auto", "reachability", "structural"),
         default="auto",
+    )
+    verify.add_argument(
+        "--engine",
+        choices=("eager", "onthefly"),
+        default="onthefly",
+        help="state-space engine for the reachability method: demand-driven"
+        " with early exit (onthefly, default) or full construction (eager)",
     )
     verify.set_defaults(func=cmd_verify)
 

@@ -10,8 +10,18 @@ of the paper), :class:`~repro.petri.marking.Marking` (Definition 2.2) and
 :class:`~repro.petri.reachability.ReachabilityGraph`.
 """
 
-from repro.petri.marking import Marking
+from repro.petri.marking import Marking, MarkingInterner
 from repro.petri.net import PetriNet, Transition
+from repro.petri.product import (
+    ENGINES,
+    ExplorationStats,
+    LanguageComparison,
+    LazyStateSpace,
+    SynchronousProduct,
+    compare_languages,
+    deterministic_bisimulation,
+    resolve_engine,
+)
 from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
 from repro.petri.simulation import (
     SimulationError,
@@ -33,9 +43,18 @@ from repro.petri.traces import (
 
 __all__ = [
     "Marking",
+    "MarkingInterner",
     "PetriNet",
     "Transition",
     "ReachabilityGraph",
+    "ENGINES",
+    "ExplorationStats",
+    "LanguageComparison",
+    "LazyStateSpace",
+    "SynchronousProduct",
+    "compare_languages",
+    "deterministic_bisimulation",
+    "resolve_engine",
     "SimulationError",
     "TokenGame",
     "UnboundedNetError",

@@ -87,6 +87,40 @@ class Marking(Mapping[Place, int]):
         """``True`` iff no place holds more than one token."""
         return all(count <= 1 for count in self._counts.values())
 
+    @classmethod
+    def _fresh(cls, cleaned: dict[Place, int]) -> "Marking":
+        """Wrap an already-normalised count dict without re-validating.
+
+        Internal fast path for the exploration engines; ``cleaned`` must
+        contain no zero or negative entries and must not be mutated by
+        the caller afterwards.
+        """
+        marking = object.__new__(cls)
+        marking._counts = cleaned
+        marking._hash = hash(frozenset(cleaned.items()))
+        return marking
+
+    def fire(self, removes: Iterable[Place], adds: Iterable[Place]) -> "Marking":
+        """One-pass successor construction: remove a token from each
+        place in ``removes``, then add one to each place in ``adds``.
+
+        Equivalent to ``self.remove(removes).add(adds)`` but builds a
+        single intermediate dict — the hot path of state-space
+        exploration fires millions of transitions.
+        """
+        counts = dict(self._counts)
+        for place in removes:
+            current = counts.get(place, 0)
+            if current == 0:
+                raise ValueError(f"cannot remove token from empty place {place!r}")
+            if current == 1:
+                del counts[place]
+            else:
+                counts[place] = current - 1
+        for place in adds:
+            counts[place] = counts.get(place, 0) + 1
+        return Marking._fresh(counts)
+
     def add(self, places: Iterable[Place]) -> "Marking":
         """Return a new marking with one extra token in each given place."""
         counts = dict(self._counts)
@@ -123,3 +157,35 @@ class Marking(Mapping[Place, int]):
             target = mapping.get(place, place)
             counts[target] = counts.get(target, 0) + count
         return Marking(counts)
+
+
+class MarkingInterner:
+    """Hash-consing table for markings.
+
+    State-space exploration discovers the same marking along many paths;
+    interning keeps a single canonical object per distinct marking so
+    visited-set membership and successor caching work on identity-stable
+    keys (and duplicate markings can be garbage collected immediately).
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self):
+        self._table: dict[Marking, Marking] = {}
+
+    def intern(self, marking: Marking) -> Marking:
+        """The canonical instance equal to ``marking`` (inserting it if new)."""
+        return self._table.setdefault(marking, marking)
+
+    def get(self, marking: Marking) -> Marking | None:
+        """The canonical instance, or ``None`` if never seen."""
+        return self._table.get(marking)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, marking: object) -> bool:
+        return marking in self._table
+
+    def __iter__(self) -> Iterator[Marking]:
+        return iter(self._table)

@@ -82,6 +82,9 @@ class PetriNet:
         #: STG layer (:mod:`repro.stg.guards`).
         self.input_guards: dict[tuple[Place, int], object] = {}
         self._next_tid = 0
+        #: Lazily built place -> consumer-tids index (see
+        #: :meth:`consumer_index`); invalidated on transition mutation.
+        self._consumer_index: dict[Place, tuple[int, ...]] | None = None
         for place in self.initial:
             self.places.add(place)
 
@@ -120,11 +123,13 @@ class PetriNet:
         self.places.update(transition.postset)
         self.actions.add(action)
         self.transitions[tid] = transition
+        self._consumer_index = None
         return transition
 
     def remove_transition(self, tid: int) -> None:
         """Remove a transition (its adjacent places remain)."""
         transition = self.transitions.pop(tid)
+        self._consumer_index = None
         for place in transition.preset:
             self.input_guards.pop((place, tid), None)
 
@@ -170,6 +175,25 @@ class PetriNet:
     def producers(self, place: Place) -> list[Transition]:
         """Transitions with ``place`` in their postset (the place's preset)."""
         return [t for _, t in sorted(self.transitions.items()) if place in t.postset]
+
+    def consumer_index(self) -> dict[Place, tuple[int, ...]]:
+        """Place -> tids of its consuming transitions, in tid order.
+
+        Built once on first use and invalidated by transition mutation.
+        This is the index the on-the-fly exploration engine
+        (:mod:`repro.petri.product`) uses to re-check enabledness only
+        for transitions adjacent to the places the last firing changed,
+        instead of scanning the whole transition relation per state.
+        """
+        if self._consumer_index is None:
+            index: dict[Place, list[int]] = {}
+            for tid, transition in sorted(self.transitions.items()):
+                for place in transition.preset:
+                    index.setdefault(place, []).append(tid)
+            self._consumer_index = {
+                place: tuple(tids) for place, tids in index.items()
+            }
+        return self._consumer_index
 
     def used_actions(self) -> set[Action]:
         """Labels that actually occur on transitions."""

@@ -1,0 +1,545 @@
+"""On-the-fly product exploration for compositional verification.
+
+The eager :class:`~repro.petri.reachability.ReachabilityGraph` always
+materialises the *entire* state space before any question can be asked
+of it — the exact blowup the paper's compositional discipline
+(Theorems 4.5/4.7, Theorem 5.1) is meant to sidestep.  This module is
+the demand-driven counterpart:
+
+* :class:`LazyStateSpace` — a reachability graph whose successor
+  relation is computed (and memoised) only when asked.  Markings are
+  interned, enabled sets are maintained *incrementally*: after firing a
+  transition, only the consumers of the places whose token count
+  changed are re-checked (via :meth:`PetriNet.consumer_index`), instead
+  of scanning the whole transition relation per state.  Every state
+  keeps a parent pointer, so a firable counterexample trace from the
+  initial marking can be reconstructed for free.
+
+* :class:`SynchronousProduct` — the lazy synchronous product of two
+  state spaces (rendez-vous on a synchronisation alphabet, free
+  interleaving elsewhere): the state-space-level reading of
+  Definition 4.7 used to cross-check Theorem 4.5.
+
+* :func:`compare_languages` — on-the-fly determinised comparison of two
+  nets' visible trace languages (equality or containment) with early
+  termination on the first difference and a shortest distinguishing
+  trace as counterexample.  Only the parts of either state space that
+  the comparison actually reaches are ever constructed.
+
+* :func:`deterministic_bisimulation` — an exact strong-bisimulation
+  decision for deterministic systems by synchronous walk (with early
+  exit), returning ``None`` when nondeterminism is encountered so the
+  caller can fall back to the eager partition-refinement oracle.
+
+The eager paths stay available everywhere behind ``engine="eager"`` and
+serve as the test oracle for this module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.petri.marking import Marking, MarkingInterner
+from repro.petri.net import EPSILON, PetriNet, Transition
+from repro.petri.reachability import UnboundedNetError
+
+#: The recognised exploration engines; verification entry points accept
+#: an ``engine=`` argument drawn from this set.
+ENGINES = ("eager", "onthefly")
+
+#: Engine used by the verification layers when none is requested.
+DEFAULT_ENGINE = "onthefly"
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an engine name (raises ``ValueError`` on unknown names)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+@dataclass
+class ExplorationStats:
+    """Counters of work actually performed by a lazy exploration."""
+
+    states: int = 0
+    edges: int = 0
+    enabledness_checks: int = 0
+
+    def __add__(self, other: "ExplorationStats") -> "ExplorationStats":
+        return ExplorationStats(
+            self.states + other.states,
+            self.edges + other.edges,
+            self.enabledness_checks + other.enabledness_checks,
+        )
+
+
+class LazyStateSpace:
+    """Demand-driven reachability over one net.
+
+    Nothing is explored at construction time beyond interning the
+    initial marking; :meth:`successors` expands one state at a time and
+    memoises the result.  Exhausting :meth:`iter_bfs` yields exactly the
+    states (in exactly the discovery order) of the eager
+    :class:`~repro.petri.reachability.ReachabilityGraph`, including the
+    same :class:`UnboundedNetError` behaviour — which is what makes the
+    eager graph a drop-in oracle for this class.
+
+    Parameters mirror ``ReachabilityGraph``: ``max_states`` aborts with
+    :class:`UnboundedNetError` (with ``bound`` and ``frontier`` set),
+    ``transition_filter`` restricts which firings are followed, and
+    ``detect_unbounded`` enables the Karp-Miller strict-covering
+    heuristic along the discovery-parent chain.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        max_states: int = 1_000_000,
+        transition_filter: Callable[[Transition, Marking], bool] | None = None,
+        detect_unbounded: bool = True,
+    ):
+        self.net = net
+        self.max_states = max_states
+        self.stats = ExplorationStats()
+        self._filter = transition_filter
+        self._detect_unbounded = detect_unbounded
+        self._transitions = net.transitions
+        self._consumers = net.consumer_index()
+        #: Transitions with an empty preset are enabled in every marking.
+        self._always_enabled = tuple(
+            tid for tid, t in sorted(net.transitions.items()) if not t.preset
+        )
+        self._interner = MarkingInterner()
+        self.initial = self._interner.intern(net.initial)
+        self.stats.states = 1
+        self._parent: dict[Marking, tuple[Marking, int] | None] = {
+            self.initial: None
+        }
+        self._enabled: dict[Marking, tuple[int, ...]] = {
+            self.initial: self._scan_enabled(self.initial)
+        }
+        self._succ: dict[Marking, tuple[tuple[str, int, Marking], ...]] = {}
+
+    # -- enabledness (incremental) ----------------------------------------
+
+    def _is_enabled(self, tid: int, marking: Marking) -> bool:
+        self.stats.enabledness_checks += 1
+        transition = self._transitions[tid]
+        return all(marking[place] > 0 for place in transition.preset)
+
+    def _scan_enabled(self, marking: Marking) -> tuple[int, ...]:
+        """Full enabledness scan — used only for the initial marking."""
+        candidates: set[int] = set(self._always_enabled)
+        for place in marking:
+            candidates.update(self._consumers.get(place, ()))
+        return tuple(
+            tid for tid in sorted(candidates) if self._is_enabled(tid, marking)
+        )
+
+    def _enabled_after(
+        self, parent_enabled: tuple[int, ...], fired: Transition, child: Marking
+    ) -> tuple[int, ...]:
+        """Enabled set of ``child`` from its parent's, re-checking only the
+        consumers of the places whose token count the firing changed."""
+        changed = (fired.preset - fired.postset) | (fired.postset - fired.preset)
+        affected: set[int] = set()
+        for place in changed:
+            affected.update(self._consumers.get(place, ()))
+        if not affected:
+            return parent_enabled
+        merged = [tid for tid in parent_enabled if tid not in affected]
+        merged.extend(
+            tid for tid in affected if self._is_enabled(tid, child)
+        )
+        merged.sort()
+        return tuple(merged)
+
+    # -- expansion ---------------------------------------------------------
+
+    def _discover(self, parent: Marking, transition: Transition) -> Marking:
+        child = parent.fire(
+            transition.preset - transition.postset,
+            transition.postset - transition.preset,
+        )
+        canonical = self._interner.get(child)
+        if canonical is not None:
+            return canonical
+        if len(self._interner) >= self.max_states:
+            raise UnboundedNetError(
+                f"more than {self.max_states} reachable states in"
+                f" {self.net.name!r}; net may be unbounded",
+                witness=child,
+                bound=self.max_states,
+                frontier=child,
+            )
+        self._interner.intern(child)
+        self.stats.states += 1
+        self._parent[child] = (parent, transition.tid)
+        self._enabled[child] = self._enabled_after(
+            self._enabled[parent], transition, child
+        )
+        if self._detect_unbounded:
+            cursor: Marking | None = parent
+            while cursor is not None:
+                if child.covers(cursor) and child != cursor:
+                    raise UnboundedNetError(
+                        f"net {self.net.name!r} is unbounded:"
+                        f" {child!r} strictly covers ancestor {cursor!r}",
+                        witness=child,
+                        frontier=child,
+                    )
+                link = self._parent[cursor]
+                cursor = link[0] if link is not None else None
+        return child
+
+    def successors(self, marking: Marking) -> tuple[tuple[str, int, Marking], ...]:
+        """Outgoing edges of a state as ``(action, tid, target)`` triples,
+        computed on first request and memoised."""
+        cached = self._succ.get(marking)
+        if cached is not None:
+            return cached
+        edges: list[tuple[str, int, Marking]] = []
+        for tid in self._enabled[marking]:
+            transition = self._transitions[tid]
+            if self._filter is not None and not self._filter(transition, marking):
+                continue
+            target = self._discover(marking, transition)
+            edges.append((transition.action, tid, target))
+        result = tuple(edges)
+        self._succ[marking] = result
+        self.stats.edges += len(result)
+        return result
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter_bfs(self) -> Iterator[Marking]:
+        """Yield reachable markings in breadth-first discovery order.
+
+        States are yielded as soon as they are *discovered* (before they
+        are expanded), so a consumer checking a predicate per state can
+        stop strictly earlier than any eager construction.
+        """
+        yield self.initial
+        seen = {self.initial}
+        queue: deque[Marking] = deque([self.initial])
+        while queue:
+            marking = queue.popleft()
+            for _, _, target in self.successors(marking):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+                    yield target
+
+    def explore_all(self) -> int:
+        """Force full exploration; returns the number of reachable states."""
+        for _ in self.iter_bfs():
+            pass
+        return len(self._interner)
+
+    def num_explored(self) -> int:
+        """States discovered so far (== total states after ``explore_all``)."""
+        return len(self._interner)
+
+    # -- counterexample reconstruction -------------------------------------
+
+    def trace_to(self, marking: Marking) -> tuple[tuple[int, str], ...]:
+        """A firable ``(tid, action)`` path from the initial marking to a
+        discovered state, via the discovery-parent pointers."""
+        steps: list[tuple[int, str]] = []
+        cursor = self._interner.get(marking)
+        if cursor is None:
+            raise KeyError(f"{marking!r} has not been discovered")
+        while True:
+            link = self._parent[cursor]
+            if link is None:
+                break
+            parent, tid = link
+            steps.append((tid, self._transitions[tid].action))
+            cursor = parent
+        return tuple(reversed(steps))
+
+    def action_trace(self, marking: Marking) -> tuple[str, ...]:
+        """The action labels of :meth:`trace_to`."""
+        return tuple(action for _, action in self.trace_to(marking))
+
+
+# -- synchronous product ------------------------------------------------------
+
+
+class SynchronousProduct:
+    """Lazy synchronous product of two state spaces.
+
+    A product state is a pair of component markings.  An action in
+    ``sync`` fires as a rendez-vous (both components step together, all
+    pairings of same-label moves); any other action interleaves.  This
+    is the LTS-level reading of Definition 4.7: exhausting the product
+    of ``L(N1)`` and ``L(N2)`` without ever composing the nets.
+    """
+
+    def __init__(
+        self,
+        space1: LazyStateSpace,
+        space2: LazyStateSpace,
+        sync: Iterable[str],
+    ):
+        self.space1 = space1
+        self.space2 = space2
+        self.sync = frozenset(sync)
+        self.initial = (space1.initial, space2.initial)
+
+    def successors(
+        self, state: tuple[Marking, Marking]
+    ) -> list[tuple[str, tuple[Marking, Marking]]]:
+        m1, m2 = state
+        edges: list[tuple[str, tuple[Marking, Marking]]] = []
+        moves2: dict[str, list[Marking]] = {}
+        for action, _, target in self.space2.successors(m2):
+            moves2.setdefault(action, []).append(target)
+        for action, _, target in self.space1.successors(m1):
+            if action in self.sync:
+                for partner in moves2.get(action, ()):
+                    edges.append((action, (target, partner)))
+            else:
+                edges.append((action, (target, m2)))
+        for action, targets in moves2.items():
+            if action in self.sync:
+                continue
+            for target in targets:
+                edges.append((action, (m1, target)))
+        return edges
+
+    def iter_bfs(self) -> Iterator[tuple[Marking, Marking]]:
+        yield self.initial
+        seen = {self.initial}
+        queue: deque[tuple[Marking, Marking]] = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            for _, target in self.successors(state):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+                    yield target
+
+    def to_net(self, name: str = "product-lts") -> PetriNet:
+        """Materialise the product LTS as a one-token state-machine net
+        (each product state a place, each edge a transition).
+
+        Intended for oracle cross-checks — e.g. Theorem 4.5 is the claim
+        that this net and the composed net have the same language.
+        """
+        index: dict[tuple[Marking, Marking], str] = {}
+
+        def place_of(state: tuple[Marking, Marking]) -> str:
+            if state not in index:
+                index[state] = f"s{len(index)}"
+            return index[state]
+
+        net = PetriNet(name)
+        net.add_place(place_of(self.initial), tokens=1)
+        for state in self.iter_bfs():
+            for action, target in self.successors(state):
+                net.add_transition({place_of(state)}, action, {place_of(target)})
+        return net
+
+
+# -- on-the-fly determinised language comparison ------------------------------
+
+
+class _LazyDfa:
+    """Subset construction over a :class:`LazyStateSpace`, one move at a
+    time, with epsilon-closure over the silent labels."""
+
+    def __init__(self, space: LazyStateSpace, silent: frozenset[str]):
+        self.space = space
+        self.silent = silent
+        self._moves: dict[frozenset[Marking], dict[str, frozenset[Marking]]] = {}
+
+    def closure(self, states: frozenset[Marking]) -> frozenset[Marking]:
+        seen = set(states)
+        queue = deque(states)
+        while queue:
+            marking = queue.popleft()
+            for action, _, target in self.space.successors(marking):
+                if action in self.silent and target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return frozenset(seen)
+
+    def start(self) -> frozenset[Marking]:
+        return self.closure(frozenset({self.space.initial}))
+
+    def moves(
+        self, subset: frozenset[Marking]
+    ) -> dict[str, frozenset[Marking]]:
+        cached = self._moves.get(subset)
+        if cached is not None:
+            return cached
+        buckets: dict[str, set[Marking]] = {}
+        for marking in subset:
+            for action, _, target in self.space.successors(marking):
+                if action not in self.silent:
+                    buckets.setdefault(action, set()).add(target)
+        result = {
+            action: self.closure(frozenset(targets))
+            for action, targets in buckets.items()
+        }
+        self._moves[subset] = result
+        return result
+
+
+@dataclass
+class LanguageComparison:
+    """Outcome of an on-the-fly language comparison.
+
+    ``verdict`` answers the requested question (equality or
+    containment); on a negative verdict ``counterexample`` is a
+    shortest visible trace in exactly one language ("contained" mode:
+    in the left language but not the right).  ``stats`` records the
+    exploration work of both sides combined.
+    """
+
+    mode: str
+    verdict: bool
+    counterexample: tuple[str, ...] | None = None
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+
+
+def compare_languages(
+    net1: PetriNet,
+    net2: PetriNet,
+    mode: str = "equal",
+    silent: Iterable[str] = (EPSILON,),
+    silent2: Iterable[str] | None = None,
+    alphabet: Iterable[str] | None = None,
+    max_states: int = 1_000_000,
+) -> LanguageComparison:
+    """Compare visible trace languages without materialising either
+    state space: determinise both nets on the fly and walk the pair
+    graph breadth-first, stopping at the first difference.
+
+    ``mode`` is ``"equal"`` (language equality) or ``"contained"``
+    (``L(net1) <= L(net2)``).  ``silent2`` lets the right-hand net use a
+    different silent set (e.g. for Theorem 4.7, where the contracted
+    label is silent on the un-contracted side only); it defaults to
+    ``silent``.  ``alphabet`` restricts/widens the compared symbol set
+    exactly as in :func:`repro.verify.language.dfa_of_net`.
+    """
+    if mode not in ("equal", "contained"):
+        raise ValueError(f"unknown mode {mode!r}")
+    silent1_set = frozenset(silent)
+    silent2_set = frozenset(silent2) if silent2 is not None else silent1_set
+    if alphabet is None:
+        universe = frozenset(
+            (net1.actions - silent1_set) | (net2.actions - silent2_set)
+        )
+    else:
+        universe = frozenset(alphabet) - (silent1_set | silent2_set)
+    space1 = LazyStateSpace(net1, max_states=max_states)
+    space2 = LazyStateSpace(net2, max_states=max_states)
+    dfa1 = _LazyDfa(space1, silent1_set)
+    dfa2 = _LazyDfa(space2, silent2_set)
+
+    Sub = frozenset  # a DFA state is a subset of markings; None is the sink
+    start = (dfa1.start(), dfa2.start())
+    parents: dict[
+        tuple[Sub | None, Sub | None],
+        tuple[tuple[Sub | None, Sub | None], str] | None,
+    ] = {start: None}
+    queue: deque[tuple[Sub | None, Sub | None]] = deque([start])
+
+    def mismatch(s1: Sub | None, s2: Sub | None) -> bool:
+        if mode == "equal":
+            return (s1 is None) != (s2 is None)
+        return s1 is not None and s2 is None
+
+    def trace_of(pair: tuple[Sub | None, Sub | None]) -> tuple[str, ...]:
+        symbols: list[str] = []
+        cursor = pair
+        while parents[cursor] is not None:
+            cursor, symbol = parents[cursor]  # type: ignore[misc]
+            symbols.append(symbol)
+        return tuple(reversed(symbols))
+
+    def stats() -> ExplorationStats:
+        return space1.stats + space2.stats
+
+    while queue:
+        s1, s2 = queue.popleft()
+        moves1 = dfa1.moves(s1) if s1 is not None else {}
+        moves2 = dfa2.moves(s2) if s2 is not None else {}
+        for symbol in sorted(set(moves1) | set(moves2)):
+            if symbol not in universe:
+                # Labels outside the compared alphabet fall outside the
+                # language on either side (same convention as the eager
+                # DFA construction).
+                continue
+            successor = (moves1.get(symbol), moves2.get(symbol))
+            if successor in parents:
+                continue
+            parents[successor] = ((s1, s2), symbol)
+            if mismatch(*successor):
+                return LanguageComparison(
+                    mode, False, trace_of(successor), stats()
+                )
+            if successor[0] is not None and successor[1] is not None:
+                # A pair with a sink component is terminal: in "equal"
+                # mode it was a mismatch above, in "contained" mode a
+                # dead left side can never violate containment later.
+                queue.append(successor)
+    return LanguageComparison(mode, True, None, stats())
+
+
+# -- on-the-fly bisimulation (deterministic fragment) -------------------------
+
+
+def deterministic_bisimulation(
+    net1: PetriNet,
+    net2: PetriNet,
+    max_states: int = 100_000,
+) -> tuple[bool | None, ExplorationStats]:
+    """Strong-bisimulation check by synchronous walk, exact on
+    deterministic systems.
+
+    Returns ``(True, stats)`` / ``(False, stats)`` when the verdict is
+    definite: while every visited state offers at most one successor per
+    label on both sides, the synchronised path is forced, so a label-set
+    mismatch proves non-bisimilarity and full agreement proves (strong)
+    bisimilarity.  Returns ``(None, stats)`` as soon as nondeterminism
+    is encountered — the caller must fall back to the eager
+    partition-refinement oracle.
+    """
+    space1 = LazyStateSpace(net1, max_states=max_states)
+    space2 = LazyStateSpace(net2, max_states=max_states)
+
+    def rows(
+        space: LazyStateSpace, marking: Marking
+    ) -> dict[str, set[Marking]] | None:
+        by_label: dict[str, set[Marking]] = {}
+        for action, _, target in space.successors(marking):
+            by_label.setdefault(action, set()).add(target)
+            if len(by_label[action]) > 1:
+                return None
+        return by_label
+
+    start = (space1.initial, space2.initial)
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        m1, m2 = queue.popleft()
+        rows1 = rows(space1, m1)
+        rows2 = rows(space2, m2)
+        if rows1 is None or rows2 is None:
+            return None, space1.stats + space2.stats
+        if set(rows1) != set(rows2):
+            return False, space1.stats + space2.stats
+        for label, targets1 in rows1.items():
+            pair = (next(iter(targets1)), next(iter(rows2[label])))
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    return True, space1.stats + space2.stats

@@ -17,11 +17,35 @@ from repro.petri.net import PetriNet, Transition
 
 
 class UnboundedNetError(Exception):
-    """Raised when reachability exploration detects or suspects unboundedness."""
+    """Raised when reachability exploration detects or suspects unboundedness.
 
-    def __init__(self, message: str, witness: Marking | None = None):
+    Attributes
+    ----------
+    witness:
+        The marking that triggered the abort — the strictly-covering
+        marking on the genuine-unboundedness path, or the first marking
+        past the state budget on the resource-abort path.  Never ``None``
+        when raised by the exploration engines.
+    bound:
+        The exceeded ``max_states`` budget on the resource-abort path;
+        ``None`` when unboundedness was actually *proven* (covering).
+    frontier:
+        The frontier marking at which exploration stopped.  Equal to
+        ``witness`` for the engines in this package; kept as a separate
+        field so callers can rely on it regardless of which path raised.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        witness: Marking | None = None,
+        bound: int | None = None,
+        frontier: Marking | None = None,
+    ):
         super().__init__(message)
         self.witness = witness
+        self.bound = bound
+        self.frontier = frontier if frontier is not None else witness
 
 
 class ReachabilityGraph:
@@ -80,6 +104,8 @@ class ReachabilityGraph:
                             f"more than {max_states} reachable states in"
                             f" {self.net.name!r}; net may be unbounded",
                             witness=successor,
+                            bound=max_states,
+                            frontier=successor,
                         )
                     self.states.add(successor)
                     self._successors[successor] = []
@@ -94,6 +120,7 @@ class ReachabilityGraph:
                                 f" {successor!r} strictly covers ancestor"
                                 f" {cursor!r}",
                                 witness=successor,
+                                frontier=successor,
                             )
                         cursor = ancestors[cursor]
                     queue.append(successor)

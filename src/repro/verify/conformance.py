@@ -55,6 +55,7 @@ def check_conformance(
     implementation: Stg,
     specification: Stg,
     max_states: int = 1_000_000,
+    engine: str | None = None,
 ) -> ConformanceReport:
     """Check that ``implementation`` can replace ``specification``.
 
@@ -68,7 +69,14 @@ def check_conformance(
        Proposition 5.5 failure occurs (the implementation accepts every
        input the spec's environments may produce, whenever they may
        produce it).
+
+    ``engine`` selects the exploration engine for conditions 2 and 3
+    (``"onthefly"`` by default — lazy product exploration with early
+    exit; ``"eager"`` forces the full-graph oracle path).
     """
+    from repro.petri.product import DEFAULT_ENGINE, resolve_engine
+
+    engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
     errors: list[str] = []
     if implementation.inputs != specification.inputs:
         errors.append(
@@ -85,10 +93,15 @@ def check_conformance(
         specification.net,
         silent={EPSILON},
         max_states=max_states,
+        engine=engine,
     )
     environment = mirror(specification)
     receptiveness = check_receptiveness(
-        environment, implementation, method="reachability", max_states=max_states
+        environment,
+        implementation,
+        method="reachability",
+        max_states=max_states,
+        engine=engine,
     )
     return ConformanceReport(
         trace_contained=contained,
@@ -99,7 +112,12 @@ def check_conformance(
 
 
 def conforms(
-    implementation: Stg, specification: Stg, max_states: int = 1_000_000
+    implementation: Stg,
+    specification: Stg,
+    max_states: int = 1_000_000,
+    engine: str | None = None,
 ) -> bool:
     """Boolean shorthand for :func:`check_conformance`."""
-    return check_conformance(implementation, specification, max_states).conforms()
+    return check_conformance(
+        implementation, specification, max_states, engine=engine
+    ).conforms()

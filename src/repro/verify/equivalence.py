@@ -12,7 +12,10 @@ the finer equivalences a verification flow needs to tell those apart:
   specification does not allow.
 
 All are computed on explicit reachability graphs, so they apply to
-bounded nets.
+bounded nets.  The bisimulation entry points additionally accept an
+``engine`` argument: ``"onthefly"`` (default) answers through the lazy
+product engine whenever it can do so exactly (deterministic systems,
+or a refuting trace difference) before paying for the eager graphs.
 """
 
 from __future__ import annotations
@@ -22,6 +25,12 @@ from collections.abc import Iterable
 
 from repro.petri.marking import Marking
 from repro.petri.net import EPSILON, PetriNet
+from repro.petri.product import (
+    DEFAULT_ENGINE,
+    compare_languages,
+    deterministic_bisimulation,
+    resolve_engine,
+)
 from repro.petri.reachability import ReachabilityGraph
 
 Trace = tuple[str, ...]
@@ -109,9 +118,31 @@ def _partition_refinement(
 
 
 def strongly_bisimilar(
-    net1: PetriNet, net2: PetriNet, max_states: int = 100_000
+    net1: PetriNet,
+    net2: PetriNet,
+    max_states: int = 100_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> bool:
-    """Strong bisimulation equivalence of two bounded nets' behaviours."""
+    """Strong bisimulation equivalence of two bounded nets' behaviours.
+
+    With ``engine="onthefly"`` (default) the question is first put to
+    the lazy product engine: a synchronous walk decides it exactly —
+    with early exit and without materialising either state space — as
+    long as both systems are deterministic, and a strong trace
+    difference refutes bisimilarity even when they are not.  Only when
+    neither shortcut is conclusive does the check fall back to the
+    eager partition refinement (``engine="eager"`` goes there directly).
+    """
+    if resolve_engine(engine) == "onthefly":
+        verdict, _ = deterministic_bisimulation(net1, net2, max_states)
+        if verdict is not None:
+            return verdict
+        # Nondeterministic somewhere: strong trace inequality still
+        # refutes bisimilarity (traces are coarser than bisimulation).
+        if not compare_languages(
+            net1, net2, mode="equal", silent=(), max_states=max_states
+        ).verdict:
+            return False
     lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
     return _partition_refinement(lts1, lts2, lts1.successors, lts2.successors)
 
@@ -142,8 +173,20 @@ def weakly_bisimilar(
     net2: PetriNet,
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 100_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> bool:
-    """Weak bisimulation equivalence with the given silent labels."""
+    """Weak bisimulation equivalence with the given silent labels.
+
+    ``engine="onthefly"`` first refutes via on-the-fly weak-language
+    comparison (weak trace inequality implies non-bisimilarity, found
+    with early exit); a positive answer still requires the eager
+    partition refinement over the weak transition relations.
+    """
+    if resolve_engine(engine) == "onthefly":
+        if not compare_languages(
+            net1, net2, mode="equal", silent=silent, max_states=max_states
+        ).verdict:
+            return False
     silent_set = set(silent)
     lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
     return _partition_refinement(

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable
 
 from repro.petri.net import EPSILON, PetriNet
+from repro.petri.product import DEFAULT_ENGINE, compare_languages, resolve_engine
 from repro.petri.reachability import ReachabilityGraph
 
 
@@ -216,8 +217,20 @@ def languages_equal(
     net2: PetriNet,
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 1_000_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> bool:
-    """Exact visible-trace-language equality of two bounded nets."""
+    """Exact visible-trace-language equality of two bounded nets.
+
+    ``engine="onthefly"`` (default) decides the question on the lazy
+    product of the two determinised state spaces, terminating at the
+    first difference; ``engine="eager"`` builds, minimises and compares
+    both full DFAs (the oracle path).  Both are exact, so they always
+    agree.
+    """
+    if resolve_engine(engine) == "onthefly":
+        return compare_languages(
+            net1, net2, mode="equal", silent=silent, max_states=max_states
+        ).verdict
     common = (net1.actions | net2.actions) - set(silent)
     d1 = dfa_of_net(net1, silent, common, max_states)
     d2 = dfa_of_net(net2, silent, common, max_states)
@@ -229,8 +242,13 @@ def language_contained(
     net2: PetriNet,
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 1_000_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> bool:
     """Exact visible-trace containment ``L(net1) <= L(net2)``."""
+    if resolve_engine(engine) == "onthefly":
+        return compare_languages(
+            net1, net2, mode="contained", silent=silent, max_states=max_states
+        ).verdict
     common = (net1.actions | net2.actions) - set(silent)
     d1 = dfa_of_net(net1, silent, common, max_states)
     d2 = dfa_of_net(net2, silent, common, max_states)
@@ -242,11 +260,16 @@ def distinguishing_trace(
     net2: PetriNet,
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 1_000_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> tuple[str, ...] | None:
     """A shortest trace in exactly one of the two languages, or ``None``.
 
     Useful diagnostics when an equivalence check fails.
     """
+    if resolve_engine(engine) == "onthefly":
+        return compare_languages(
+            net1, net2, mode="equal", silent=silent, max_states=max_states
+        ).counterexample
     common = (net1.actions | net2.actions) - set(silent)
     d1 = dfa_of_net(net1, silent, common, max_states)
     d2 = dfa_of_net(net2, silent, common, max_states)

@@ -57,27 +57,48 @@ class SyncObligation:
 @dataclass(frozen=True)
 class ReceptivenessFailure:
     """A Proposition 5.5 witness: the producer is ready to emit but no
-    consumer alternative is ready to accept."""
+    consumer alternative is ready to accept.
+
+    When found by the on-the-fly engine, ``trace`` holds the action
+    labels and ``tids`` the transition ids of a shortest firable path
+    from the composite's initial marking to ``marking`` — replayable
+    step by step via :mod:`repro.petri.simulation`.
+    """
 
     obligation: SyncObligation
     marking: Marking
+    trace: tuple[str, ...] | None = None
+    tids: tuple[int, ...] | None = None
 
     def __str__(self) -> str:
+        where = (
+            f" (after {'.'.join(self.trace) or 'the initial marking'})"
+            if self.trace is not None
+            else ""
+        )
         return (
             f"{self.obligation.producer} can emit"
             f" {self.obligation.action!r} but {self.obligation.consumer}"
-            f" is not ready to accept it"
+            f" is not ready to accept it{where}"
         )
 
 
 @dataclass
 class ReceptivenessReport:
-    """Outcome of a receptiveness check."""
+    """Outcome of a receptiveness check.
+
+    ``engine`` records which exploration engine answered (``"eager"``,
+    ``"onthefly"``, or ``"-"`` for the structural method);
+    ``states_explored`` the number of composite markings it visited
+    (``None`` for the structural method).
+    """
 
     composite: Stg
     obligations: list[SyncObligation]
     failures: list[ReceptivenessFailure]
     method: str
+    engine: str = "eager"
+    states_explored: int | None = None
 
     def is_receptive(self) -> bool:
         return not self.failures
@@ -176,27 +197,75 @@ def compose_with_obligations(
     return composite, obligations
 
 
+def _is_failure_marking(obligation: SyncObligation, marking: Marking) -> bool:
+    """Proposition 5.5's condition at one marking: producer ready, no
+    consumer alternative ready."""
+    if not all(marking[p] > 0 for p in obligation.producer_preset):
+        return False
+    return not any(
+        all(marking[p] > 0 for p in preset)
+        for preset in obligation.consumer_presets
+    )
+
+
 def _reachability_failures(
     composite: Stg,
     obligations: list[SyncObligation],
     max_states: int,
-) -> list[ReceptivenessFailure]:
+) -> tuple[list[ReceptivenessFailure], int]:
+    """The eager oracle: materialise the full composite state space,
+    then scan it per obligation."""
     from repro.petri.reachability import ReachabilityGraph
 
     graph = ReachabilityGraph(composite.net, max_states=max_states)
     failures: list[ReceptivenessFailure] = []
     for obligation in obligations:
         for marking in graph.states:
-            if not all(marking[p] > 0 for p in obligation.producer_preset):
-                continue
-            if any(
-                all(marking[p] > 0 for p in preset)
-                for preset in obligation.consumer_presets
-            ):
-                continue
-            failures.append(ReceptivenessFailure(obligation, marking))
-            break  # one witness per obligation
-    return failures
+            if _is_failure_marking(obligation, marking):
+                failures.append(ReceptivenessFailure(obligation, marking))
+                break  # one witness per obligation
+    return failures, graph.num_states()
+
+
+def _onthefly_failures(
+    composite: Stg,
+    obligations: list[SyncObligation],
+    max_states: int,
+    stop_at_first: bool = False,
+) -> tuple[list[ReceptivenessFailure], int]:
+    """Demand-driven Proposition 5.5 search: obligations are checked as
+    each composite marking is *discovered*, so exploration stops as soon
+    as every obligation has a witness (or, with ``stop_at_first``, at
+    the very first failure) — long before a full state-space build on
+    failing compositions.  Witnesses come with a shortest firable trace
+    from the initial marking.
+    """
+    from repro.petri.product import LazyStateSpace
+
+    space = LazyStateSpace(composite.net, max_states=max_states)
+    pending = list(obligations)
+    failures: list[ReceptivenessFailure] = []
+    for marking in space.iter_bfs():
+        if not pending:
+            break
+        remaining: list[SyncObligation] = []
+        for obligation in pending:
+            if _is_failure_marking(obligation, marking):
+                steps = space.trace_to(marking)
+                failures.append(
+                    ReceptivenessFailure(
+                        obligation,
+                        marking,
+                        trace=tuple(action for _, action in steps),
+                        tids=tuple(tid for tid, _ in steps),
+                    )
+                )
+                if stop_at_first:
+                    return failures, space.num_explored()
+            else:
+                remaining.append(obligation)
+        pending = remaining
+    return failures, space.num_explored()
 
 
 def _marked_graph_failures(
@@ -271,6 +340,8 @@ def check_receptiveness(
     stg2: Stg,
     method: str = "auto",
     max_states: int = 1_000_000,
+    engine: str | None = None,
+    stop_at_first: bool = False,
 ) -> ReceptivenessReport:
     """Check Propositions 5.5/5.6 on the composition of two modules.
 
@@ -282,7 +353,19 @@ def check_receptiveness(
       live marked-graph compositions;
     * ``"auto"`` — structural when the preconditions hold, otherwise
       reachability.
+
+    ``engine`` selects how the reachability method explores: the default
+    ``"onthefly"`` checks obligations while the composite state space is
+    being *discovered* and stops as soon as every obligation is resolved
+    (failure witnesses come with a shortest firable counterexample
+    trace); ``"eager"`` materialises the full graph first — the oracle
+    path.  ``stop_at_first`` makes the on-the-fly engine return after
+    the first failure (the verdict is already decided at that point;
+    only the per-obligation attribution of *later* failures is lost).
     """
+    from repro.petri.product import DEFAULT_ENGINE, resolve_engine
+
+    engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
     composite, obligations = compose_with_obligations(stg1, stg2)
     if method == "auto":
         from repro.petri.classify import is_marked_graph, marked_graph_is_live
@@ -293,17 +376,34 @@ def check_receptiveness(
         method = "structural" if structural_ok else "reachability"
     if method == "structural":
         failures = _marked_graph_failures(composite, obligations)
-    elif method == "reachability":
-        failures = _reachability_failures(composite, obligations, max_states)
-    else:
+        return ReceptivenessReport(
+            composite, obligations, failures, method, engine="-"
+        )
+    if method != "reachability":
         raise ValueError(f"unknown method {method!r}")
-    return ReceptivenessReport(composite, obligations, failures, method)
+    if engine == "onthefly":
+        failures, explored = _onthefly_failures(
+            composite, obligations, max_states, stop_at_first=stop_at_first
+        )
+    else:
+        failures, explored = _reachability_failures(
+            composite, obligations, max_states
+        )
+    return ReceptivenessReport(
+        composite,
+        obligations,
+        failures,
+        method,
+        engine=engine,
+        states_explored=explored,
+    )
 
 
 def check_receptiveness_with_hiding(
     stg1: Stg,
     stg2: Stg,
     max_states: int = 1_000_000,
+    engine: str | None = None,
 ) -> ReceptivenessReport:
     """The Section 5.3 refinement: apply ``hide'`` (relabel-to-epsilon)
     to each module's private signals before composing, keeping the
@@ -323,5 +423,9 @@ def check_receptiveness_with_hiding(
     reduced1.net.name = stg1.name
     reduced2.net.name = stg2.name
     return check_receptiveness(
-        reduced1, reduced2, method="reachability", max_states=max_states
+        reduced1,
+        reduced2,
+        method="reachability",
+        max_states=max_states,
+        engine=engine,
     )

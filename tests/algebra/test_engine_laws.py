@@ -1,0 +1,150 @@
+"""Algebra-law regressions exercised through the on-the-fly engine.
+
+Section 4's laws were originally validated via eager DFA construction
+(:mod:`tests.algebra.test_laws_property`).  These tests re-state the
+load-bearing ones — Theorem 4.5 (composition), Theorem 4.7 (hiding) and
+Proposition 4.6 (order-independence of contraction) — against the lazy
+product engine, so a regression in the demand-driven path cannot hide
+behind the oracle.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.algebra.compose import parallel
+from repro.algebra.hide import DivergenceError, hide, hide_to_epsilon
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.marking import Marking
+from repro.petri.product import (
+    LazyStateSpace,
+    SynchronousProduct,
+    compare_languages,
+)
+from repro.verify.language import languages_equal
+
+from tests.strategies import bounded_nets, hidable_transition_ids
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+def _product_net(left: PetriNet, right: PetriNet) -> PetriNet:
+    """The reachable synchronous product as a one-token state machine."""
+    return SynchronousProduct(
+        LazyStateSpace(left),
+        LazyStateSpace(right),
+        sync=left.actions & right.actions,
+    ).to_net()
+
+
+class TestTheorem45:
+    """L(N1 || N2) = L(N1) || L(N2): the net-level composition and the
+    lazy product of the component state spaces have the same language."""
+
+    @RELAXED
+    @given(
+        left=bounded_nets(max_transitions=3),
+        right=bounded_nets(max_transitions=3),
+    )
+    def test_on_random_nets(self, left, right):
+        right = right.renamed_places({p: f"r_{p}" for p in right.places})
+        assert languages_equal(
+            parallel(left, right),
+            _product_net(left, right),
+            engine="onthefly",
+            max_states=50_000,
+        )
+
+    def test_on_fig7_translator_chain(self):
+        from repro.models.protocol_translator import sender, translator
+
+        left, right = sender().net, translator().net
+        composed = parallel(left, right)
+        result = compare_languages(composed, _product_net(left, right))
+        assert result.verdict, result.counterexample
+
+
+class TestTheorem47:
+    """L(hide(N, a)) = hide(L(N), a): contraction equals making the
+    label silent — checked by the lazy pair walk with per-side silent
+    sets (the contracted label is silent on the reference side only)."""
+
+    @RELAXED
+    @given(net=bounded_nets(max_transitions=4))
+    def test_on_random_nets(self, net):
+        candidates = hidable_transition_ids(net, "u")
+        all_u = [t.tid for t in net.transitions_with_action("u")]
+        assume(all_u and set(all_u) == set(candidates))
+        try:
+            contracted = hide(net, "u")
+        except DivergenceError:
+            assume(False)
+        result = compare_languages(
+            contracted,
+            net,
+            silent=(EPSILON,),
+            silent2={"u", EPSILON},
+            max_states=50_000,
+        )
+        assert result.verdict, result.counterexample
+
+    def test_deterministic_regression(self):
+        net = PetriNet("seq")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "u", {"p2"})
+        net.add_transition({"p2"}, "b", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        result = compare_languages(
+            hide(net, "u"), net, silent=(), silent2={"u"}
+        )
+        assert result.verdict, result.counterexample
+
+    def test_hide_matches_epsilon_relabeling(self):
+        net = PetriNet("seq")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "u", {"p2"})
+        net.add_transition({"p2"}, "b", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        assert compare_languages(
+            hide(net, "u"), hide_to_epsilon(net, "u")
+        ).verdict
+
+
+class TestProposition46:
+    """Contraction is order-independent: hiding a set of labels in any
+    order yields the same visible language."""
+
+    @RELAXED
+    @given(net=bounded_nets(max_transitions=4), data=st.data())
+    def test_randomized_hide_orders(self, net, data):
+        # Restrict to labels whose every transition the set-based
+        # contraction supports (the paper's formalism has no arc
+        # weights; see hidable_transition_ids).
+        labels = []
+        for label in ("u", "c"):
+            tids = [t.tid for t in net.transitions_with_action(label)]
+            if tids and set(tids) == set(hidable_transition_ids(net, label)):
+                labels.append(label)
+        assume(len(labels) == 2)
+        order = data.draw(st.permutations(labels), label="hide order")
+        try:
+            one_way = hide(hide(net, order[0]), order[1])
+            other_way = hide(hide(net, order[1]), order[0])
+        except DivergenceError:
+            assume(False)
+        result = compare_languages(one_way, other_way, max_states=50_000)
+        assert result.verdict, result.counterexample
+
+    def test_deterministic_two_label_case(self):
+        net = PetriNet("pipe")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "u", {"p2"})
+        net.add_transition({"p2"}, "c", {"p3"})
+        net.add_transition({"p3"}, "b", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        forward = hide(hide(net, "u"), "c")
+        backward = hide(hide(net, "c"), "u")
+        assert compare_languages(forward, backward).verdict
+        assert compare_languages(forward, net, silent2={"u", "c"}).verdict

@@ -1,0 +1,232 @@
+"""Unit tests for the on-the-fly product exploration engine."""
+
+import pytest
+
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.marking import Marking, MarkingInterner
+from repro.petri.net import PetriNet
+from repro.petri.product import (
+    LazyStateSpace,
+    SynchronousProduct,
+    compare_languages,
+    deterministic_bisimulation,
+    resolve_engine,
+)
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+from repro.petri.simulation import TokenGame
+from repro.stg.stg import compose
+from repro.verify.language import languages_equal
+
+
+def loop(name: str, actions: list[str]) -> PetriNet:
+    """A one-token cycle firing the given actions in order."""
+    net = PetriNet(name)
+    places = [f"{name}{i}" for i in range(len(actions))]
+    for i, action in enumerate(actions):
+        net.add_transition(
+            {places[i]}, action, {places[(i + 1) % len(places)]}
+        )
+    net.set_initial(Marking({places[0]: 1}))
+    return net
+
+
+def chain(name: str, actions: list[str]) -> PetriNet:
+    """A one-token non-cyclic sequence of the given actions."""
+    net = PetriNet(name)
+    for i, action in enumerate(actions):
+        net.add_transition({f"{name}{i}"}, action, {f"{name}{i + 1}"})
+    net.set_initial(Marking({f"{name}0": 1}))
+    return net
+
+
+class TestMarkingSupport:
+    def test_fire_matches_remove_add(self):
+        marking = Marking({"p": 2, "q": 1})
+        assert marking.fire({"p"}, {"r"}) == marking.remove({"p"}).add({"r"})
+        assert marking.fire({"p", "q"}, {"p"}) == Marking({"p": 2})
+
+    def test_fire_raises_on_empty_place(self):
+        with pytest.raises(ValueError):
+            Marking({"p": 1}).fire({"q"}, set())
+
+    def test_interner_canonicalises(self):
+        interner = MarkingInterner()
+        first = interner.intern(Marking({"p": 1}))
+        second = interner.intern(Marking({"p": 1}))
+        assert first is second
+        assert len(interner) == 1
+        assert Marking({"p": 1}) in interner
+
+
+class TestConsumerIndex:
+    def test_index_contents(self):
+        net = loop("n", ["a", "b"])
+        index = net.consumer_index()
+        assert set(index) == {"n0", "n1"}
+        assert index["n0"] == (0,)
+
+    def test_index_invalidated_on_mutation(self):
+        net = loop("n", ["a", "b"])
+        net.consumer_index()
+        added = net.add_transition({"n0"}, "c", {"n1"})
+        assert added.tid in net.consumer_index()["n0"]
+        net.remove_transition(added.tid)
+        assert added.tid not in net.consumer_index()["n0"]
+
+
+class TestLazyStateSpace:
+    def test_matches_eager_on_composition(self):
+        composite = compose(four_phase_master(), four_phase_slave())
+        eager = ReachabilityGraph(composite.net)
+        lazy = LazyStateSpace(composite.net)
+        assert lazy.explore_all() == eager.num_states()
+        assert lazy.stats.edges == eager.num_edges()
+
+    def test_nothing_explored_up_front(self):
+        composite = compose(four_phase_master(), four_phase_slave())
+        lazy = LazyStateSpace(composite.net)
+        assert lazy.num_explored() == 1  # only the initial marking
+
+    def test_successors_memoised(self):
+        net = loop("n", ["a", "b", "c"])
+        lazy = LazyStateSpace(net)
+        first = lazy.successors(lazy.initial)
+        checks = lazy.stats.enabledness_checks
+        assert lazy.successors(lazy.initial) is first
+        assert lazy.stats.enabledness_checks == checks
+
+    def test_empty_preset_transition_always_enabled(self):
+        net = PetriNet("source")
+        net.add_transition(set(), "a", {"p"})
+        net.add_transition({"p"}, "b", set())
+        net.set_initial(Marking({}))
+        lazy = LazyStateSpace(net, max_states=5, detect_unbounded=False)
+        actions = {action for action, _, _ in lazy.successors(lazy.initial)}
+        assert actions == {"a"}
+
+    def test_trace_reconstruction_is_firable(self):
+        composite = compose(four_phase_master(), four_phase_slave())
+        lazy = LazyStateSpace(composite.net)
+        states = list(lazy.iter_bfs())
+        game = TokenGame(composite.net)
+        target = states[-1]
+        for tid, action in lazy.trace_to(target):
+            assert composite.net.transitions[tid].action == action
+            game.fire_tid(tid)
+        assert game.marking == target
+
+    def test_trace_to_undiscovered_state_raises(self):
+        net = loop("n", ["a", "b"])
+        lazy = LazyStateSpace(net)
+        with pytest.raises(KeyError):
+            lazy.trace_to(Marking({"nowhere": 1}))
+
+    def test_max_states_abort_reports_bound_and_frontier(self):
+        net = loop("n", [f"a{i}" for i in range(10)])
+        lazy = LazyStateSpace(net, max_states=3)
+        with pytest.raises(UnboundedNetError) as excinfo:
+            lazy.explore_all()
+        error = excinfo.value
+        assert error.bound == 3
+        assert error.frontier is not None
+        assert error.witness is not None
+
+    def test_unbounded_detection_matches_eager(self):
+        net = PetriNet("pump")
+        net.add_transition({"p"}, "a", {"p", "q"})
+        net.set_initial(Marking({"p": 1}))
+        with pytest.raises(UnboundedNetError) as eager_error:
+            ReachabilityGraph(net)
+        lazy = LazyStateSpace(net)
+        with pytest.raises(UnboundedNetError) as lazy_error:
+            lazy.explore_all()
+        assert eager_error.value.witness == lazy_error.value.witness
+        assert lazy_error.value.bound is None  # proven, not a budget abort
+
+
+class TestSynchronousProduct:
+    def test_product_lts_matches_interleaving(self):
+        left = loop("l", ["x", "s"])
+        right = loop("r", ["y", "s"])
+        product = SynchronousProduct(
+            LazyStateSpace(left), LazyStateSpace(right), sync={"s"}
+        )
+        states = list(product.iter_bfs())
+        # x and y interleave freely; s fires only jointly: 4 states.
+        assert len(states) == 4
+
+    def test_to_net_language_equals_composed_net(self):
+        from repro.algebra.compose import parallel
+
+        left = loop("l", ["x", "s"])
+        right = loop("r", ["y", "s"])
+        product_net = SynchronousProduct(
+            LazyStateSpace(left),
+            LazyStateSpace(right),
+            sync=left.actions & right.actions,
+        ).to_net()
+        assert languages_equal(parallel(left, right), product_net)
+
+
+class TestCompareLanguages:
+    def test_equal_nets(self):
+        result = compare_languages(loop("a", ["a", "b"]), loop("b", ["a", "b"]))
+        assert result.verdict
+        assert result.counterexample is None
+
+    def test_shortest_counterexample(self):
+        result = compare_languages(
+            chain("long", ["a", "b"]), chain("short", ["a"])
+        )
+        assert not result.verdict
+        assert result.counterexample == ("a", "b")
+
+    def test_containment_is_directional(self):
+        shorter, longer = chain("s", ["a"]), chain("l", ["a", "b"])
+        assert compare_languages(shorter, longer, mode="contained").verdict
+        assert not compare_languages(longer, shorter, mode="contained").verdict
+
+    def test_early_exit_explores_fewer_states(self):
+        """A difference at the first symbol is found without exploring
+        the large remainder of either state space."""
+        big = chain("big", [f"a{i}" for i in range(50)])
+        other = chain("oth", ["b"])
+        result = compare_languages(big, other)
+        assert not result.verdict
+        assert result.stats.states < 10  # not the ~51 eager states
+
+    def test_per_side_silent_sets(self):
+        """Theorem 4.7 shape: 'u' silent on the reference side only."""
+        noisy = chain("n", ["a", "u", "b"])
+        quiet = chain("q", ["a", "b"])
+        result = compare_languages(quiet, noisy, silent2={"u"})
+        assert result.verdict
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compare_languages(loop("a", ["a"]), loop("b", ["a"]), mode="woof")
+
+
+class TestDeterministicBisimulation:
+    def test_definite_verdicts(self):
+        assert deterministic_bisimulation(
+            loop("a", ["a", "b"]), loop("b", ["a", "b"])
+        )[0] is True
+        assert deterministic_bisimulation(
+            loop("a", ["a", "b"]), loop("b", ["a", "c"])
+        )[0] is False
+
+    def test_nondeterminism_defers(self):
+        net = PetriNet("nd")
+        net.add_transition({"p"}, "a", {"q"})
+        net.add_transition({"p"}, "a", {"r"})
+        net.set_initial(Marking({"p": 1}))
+        verdict, _ = deterministic_bisimulation(net, loop("d", ["a"]))
+        assert verdict is None
+
+
+def test_resolve_engine_validates():
+    assert resolve_engine("eager") == "eager"
+    assert resolve_engine("onthefly") == "onthefly"
+    with pytest.raises(ValueError):
+        resolve_engine("bfs")

@@ -1,0 +1,176 @@
+"""Property-based agreement between the on-the-fly engine and the eager
+:class:`ReachabilityGraph` / DFA oracle on random (non-safe) nets.
+
+The eager implementations predate the demand-driven engine and are kept
+as the test oracle; every property here asserts that both paths compute
+the same answer — state counts, language verdicts, counterexamples,
+bisimilarity and receptiveness — on hypothesis-generated nets whose
+initial markings are *not* restricted to be safe.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.petri.net import EPSILON
+from repro.petri.product import LazyStateSpace, compare_languages
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+from repro.petri.simulation import TokenGame
+from repro.stg.stg import Stg
+from repro.verify.equivalence import strongly_bisimilar, weakly_bisimilar
+from repro.verify.language import (
+    dfa_of_net,
+    distinguishing_trace,
+    language_contained,
+    languages_equal,
+)
+from repro.verify.receptiveness import check_receptiveness
+
+from tests.strategies import bounded_multi_token_nets, bounded_nets, petri_nets
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+# The acceptance bar for engine agreement: >= 200 random nets.
+THOROUGH = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+SIGNAL_ACTIONS = ["a+", "a-", "b+", "b-"]
+
+
+@THOROUGH
+@given(net=bounded_multi_token_nets())
+def test_state_spaces_agree_on_multi_token_nets(net):
+    """Same reachable markings, same state count, same edge count."""
+    eager = ReachabilityGraph(net)
+    lazy = LazyStateSpace(net)
+    assert lazy.explore_all() == eager.num_states()
+    assert lazy.stats.edges == eager.num_edges()
+    assert set(lazy.iter_bfs()) == eager.states
+
+
+@RELAXED
+@given(net=bounded_multi_token_nets(), data=st.data())
+def test_traces_replay_to_their_state(net, data):
+    """Every discovery trace is firable and lands on the right marking."""
+    lazy = LazyStateSpace(net)
+    states = list(lazy.iter_bfs())
+    target = data.draw(st.sampled_from(states), label="target state")
+    game = TokenGame(net)
+    for tid, action in lazy.trace_to(target):
+        assert net.transitions[tid].action == action
+        game.fire_tid(tid)
+    assert game.marking == target
+
+
+@RELAXED
+@given(net=petri_nets())
+def test_unboundedness_verdicts_agree(net):
+    """Both engines raise (or don't) on the same possibly-unbounded net."""
+    budget = 500
+    try:
+        ReachabilityGraph(net, max_states=budget)
+        eager_outcome = None
+    except UnboundedNetError as error:
+        eager_outcome = (error.witness, error.bound)
+    try:
+        LazyStateSpace(net, max_states=budget).explore_all()
+        lazy_outcome = None
+    except UnboundedNetError as error:
+        lazy_outcome = (error.witness, error.bound)
+    assert eager_outcome == lazy_outcome
+
+
+@THOROUGH
+@given(net1=bounded_nets(), net2=bounded_nets())
+def test_language_verdicts_agree(net1, net2):
+    """Equality, both containments and the distinguishing trace agree
+    between the subset-construction oracle and the lazy pair walk."""
+    eq_eager = languages_equal(net1, net2, engine="eager")
+    eq_lazy = languages_equal(net1, net2, engine="onthefly")
+    assert eq_eager == eq_lazy
+    for first, second in ((net1, net2), (net2, net1)):
+        assert language_contained(
+            first, second, engine="eager"
+        ) == language_contained(first, second, engine="onthefly")
+    trace = distinguishing_trace(net1, net2, engine="onthefly")
+    assert (trace is None) == eq_eager
+    if trace is not None:
+        # The counterexample must separate the two weak languages.
+        universe = (net1.actions | net2.actions) - {EPSILON}
+        d1 = dfa_of_net(net1, silent={EPSILON}, alphabet=universe)
+        d2 = dfa_of_net(net2, silent={EPSILON}, alphabet=universe)
+        assert d1.accepts(trace) != d2.accepts(trace)
+
+
+@RELAXED
+@given(net1=bounded_nets(), net2=bounded_nets())
+def test_strong_language_comparison_agrees_with_strict_dfa(net1, net2):
+    """With no silent labels the lazy walk must match the eager DFA on
+    the *strong* (epsilon-visible) language."""
+    universe = net1.actions | net2.actions
+    d1 = dfa_of_net(net1, silent=set(), alphabet=universe)
+    d2 = dfa_of_net(net2, silent=set(), alphabet=universe)
+    from repro.verify.language import dfa_equal
+
+    result = compare_languages(net1, net2, silent=())
+    assert result.verdict == dfa_equal(d1, d2)
+    if result.counterexample is not None:
+        assert d1.accepts(result.counterexample) != d2.accepts(
+            result.counterexample
+        )
+
+
+@RELAXED
+@given(net1=bounded_nets(), net2=bounded_nets())
+def test_bisimulation_verdicts_agree(net1, net2):
+    assert strongly_bisimilar(net1, net2, engine="onthefly") == (
+        strongly_bisimilar(net1, net2, engine="eager")
+    )
+    assert weakly_bisimilar(net1, net2, engine="onthefly") == (
+        weakly_bisimilar(net1, net2, engine="eager")
+    )
+
+
+@RELAXED
+@given(
+    net1=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+    net2=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+)
+def test_receptiveness_verdicts_agree(net1, net2):
+    """Same verdict and the same set of failing obligations, whichever
+    engine discovers the composite state space."""
+    producer = Stg(net1, outputs={"a", "b"})
+    consumer = Stg(net2, inputs={"a", "b"})
+    reports = {}
+    for engine in ("eager", "onthefly"):
+        reports[engine] = check_receptiveness(
+            producer,
+            consumer,
+            method="reachability",
+            max_states=20_000,
+            engine=engine,
+        )
+    eager, lazy = reports["eager"], reports["onthefly"]
+    assert eager.is_receptive() == lazy.is_receptive()
+    failed = lambda report: {  # noqa: E731
+        (f.obligation.action, f.obligation.producer, f.obligation.consumer)
+        for f in report.failures
+    }
+    assert failed(eager) == failed(lazy)
+    # On-the-fly failures always carry a replayable shortest trace.
+    composite = lazy.composite
+    for failure in lazy.failures:
+        assert failure.trace is not None and failure.tids is not None
+        game = TokenGame(composite.net)
+        for tid in failure.tids:
+            game.fire_tid(tid)
+        assert game.marking == failure.marking

@@ -68,6 +68,48 @@ class TestExploration:
         assert graph.is_deadlock_free() is False
 
 
+class TestUnboundedNetErrorReporting:
+    """The two raise sites must consistently report what was exceeded:
+    the covering heuristic carries a witness (= frontier) and no bound;
+    a budget abort carries the exceeded ``max_states`` and the frontier
+    marking that did not fit."""
+
+    def test_covering_detection_reports_witness_no_bound(self):
+        with pytest.raises(UnboundedNetError) as excinfo:
+            ReachabilityGraph(unbounded())
+        error = excinfo.value
+        assert error.bound is None
+        assert error.witness is not None
+        assert error.frontier == error.witness
+        # The witness strictly covers the initial marking's place 'q'.
+        assert error.witness["q"] >= 1
+
+    def test_budget_abort_reports_bound_and_frontier(self):
+        net = PetriNet("wide")
+        for i in range(12):
+            net.add_transition({f"a{i}"}, f"t{i}", {f"b{i}"})
+            net.add_place(f"a{i}", tokens=1)
+        with pytest.raises(UnboundedNetError) as excinfo:
+            ReachabilityGraph(net, max_states=100)
+        error = excinfo.value
+        assert error.bound == 100
+        assert error.frontier is not None
+        assert str(100) in str(error)
+
+    def test_budget_abort_frontier_is_reachable(self):
+        net = PetriNet("wide")
+        for i in range(6):
+            net.add_transition({f"a{i}"}, f"t{i}", {f"b{i}"})
+            net.add_place(f"a{i}", tokens=1)
+        with pytest.raises(UnboundedNetError) as excinfo:
+            ReachabilityGraph(net, max_states=10)
+        frontier = excinfo.value.frontier
+        # The frontier marking really is reachable: a larger budget
+        # finds it among the states.
+        graph = ReachabilityGraph(net)
+        assert frontier in graph.states
+
+
 class TestProperties:
     def test_cycle_is_live_safe_reversible(self):
         graph = ReachabilityGraph(cycle())

@@ -67,6 +67,34 @@ def safe_initial_nets(draw, **kwargs) -> PetriNet:
     return net
 
 
+@st.composite
+def multi_token_nets(draw, max_extra_tokens: int = 4, **kwargs) -> PetriNet:
+    """A random net whose initial marking is guaranteed *non-safe*:
+    at least one place starts with two or more tokens.
+
+    Exercises the multiset (general-net) paths of the exploration
+    engines, which the safe STG models never reach.
+    """
+    net = draw(petri_nets(**kwargs))
+    place = draw(st.sampled_from(sorted(net.places)))
+    extra = draw(st.integers(2, max_extra_tokens))
+    counts = dict(net.initial)
+    counts[place] = counts.get(place, 0) + extra
+    net.set_initial(Marking(counts))
+    return net
+
+
+@st.composite
+def bounded_multi_token_nets(draw, max_states: int = 3000, **kwargs) -> PetriNet:
+    """A random *bounded* net with a non-safe initial marking."""
+    net = draw(multi_token_nets(**kwargs))
+    try:
+        ReachabilityGraph(net, max_states=max_states)
+    except UnboundedNetError:
+        assume(False)
+    return net
+
+
 def hidable_transition_ids(net: PetriNet, label: str) -> list[int]:
     """Transitions with ``label`` that Definition 4.10's construction
     supports exactly under the paper's set-based (weight-free) formalism.

@@ -176,3 +176,90 @@ class TestHidePrimeRefinement:
             impatient_master(), four_phase_slave()
         )
         assert not report.is_receptive()
+
+
+class TestCounterexampleTraces:
+    """A failing on-the-fly check must come with a firable trace from
+    the composite's initial marking to the failure state, replayable
+    step by step through the token game."""
+
+    def failing_report(self, **kwargs):
+        return check_receptiveness(
+            impatient_master(),
+            four_phase_slave(),
+            method="reachability",
+            engine="onthefly",
+            **kwargs,
+        )
+
+    def test_failures_carry_traces(self):
+        report = self.failing_report()
+        assert report.failures
+        for failure in report.failures:
+            assert failure.trace is not None
+            assert failure.tids is not None
+            assert len(failure.trace) == len(failure.tids)
+
+    def test_traces_replay_to_the_failure_marking(self):
+        from repro.petri.simulation import TokenGame
+
+        report = self.failing_report()
+        for failure in report.failures:
+            game = TokenGame(report.composite.net)
+            for tid, action in zip(failure.tids, failure.trace):
+                assert report.composite.net.transitions[tid].action == action
+                game.fire_tid(tid)
+            assert game.marking == failure.marking
+
+    def test_failure_marking_is_a_prop55_witness(self):
+        """At the trace's endpoint the producer is ready to emit but no
+        consumer alternative is ready to accept."""
+        report = self.failing_report()
+        for failure in report.failures:
+            obligation = failure.obligation
+            assert all(
+                failure.marking[p] >= 1 for p in obligation.producer_preset
+            )
+            for preset in obligation.consumer_presets:
+                assert not all(failure.marking[p] >= 1 for p in preset)
+
+    def test_trace_shown_in_failure_message(self):
+        report = self.failing_report()
+        rendered = str(report)
+        assert "(after " in rendered
+
+    def test_eager_engine_agrees_but_has_no_trace(self):
+        eager = check_receptiveness(
+            impatient_master(),
+            four_phase_slave(),
+            method="reachability",
+            engine="eager",
+        )
+        lazy = self.failing_report()
+        assert eager.failing_actions() == lazy.failing_actions()
+        assert eager.engine == "eager" and lazy.engine == "onthefly"
+        assert all(f.trace is None for f in eager.failures)
+
+    def test_stop_at_first_explores_no_further(self):
+        full = self.failing_report()
+        early = self.failing_report(stop_at_first=True)
+        assert not early.is_receptive()
+        assert len(early.failures) == 1
+        assert early.states_explored <= full.states_explored
+
+    def test_receptive_composition_explores_everything(self):
+        report = check_receptiveness(
+            four_phase_master(),
+            four_phase_slave(),
+            method="reachability",
+            engine="onthefly",
+        )
+        assert report.is_receptive()
+        assert report.states_explored is not None
+        eager = check_receptiveness(
+            four_phase_master(),
+            four_phase_slave(),
+            method="reachability",
+            engine="eager",
+        )
+        assert report.states_explored == eager.states_explored
