@@ -1,0 +1,161 @@
+"""Partial-order reduction vs. plain on-the-fly exploration.
+
+The stubborn-set engine's claim: on every workload it explores *at
+most* the states the plain lazy engine explores, and on the
+concurrency-heavy Section 6 case study it explores *strictly fewer* —
+the acceptance criterion for ``engine="por"``.
+
+Two workload families:
+
+* the paper's Fig 5–8 sender / translator / receiver blocks (the
+  receptiveness check of Section 5.3, where the obligation places are
+  the visible ones);
+* the ``test_scalability.py`` channel banks (full deadlock-preserving
+  exploration).  The banks are pure cycles, the worst case for the
+  ignoring-prevention proviso: the reduction proposes subsets at most
+  markings but the cycle re-expansions recover the full torus, so only
+  the ``<=`` bound is asserted there.
+
+Running this module also emits ``benchmarks/BENCH_por.json`` — a
+trajectory entry of explored-state counts per instance, so regressions
+in reduction strength show up as a diff.
+
+The ``smoke`` tests are run by CI's quick-mode benchmark job.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.circuit import compose_many
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.product import LazyStateSpace
+from repro.verify.receptiveness import check_receptiveness
+
+BENCH_PATH = Path(__file__).parent / "BENCH_por.json"
+
+#: Collected by the assertion tests, flushed to BENCH_por.json at the
+#: end of the session (deterministic content: state counts only).
+_TRAJECTORY: dict[str, dict[str, int]] = {}
+
+
+def channel_bank(channels: int):
+    modules = []
+    for index in range(channels):
+        modules.append(
+            four_phase_master(req=f"r{index}", ack=f"a{index}", name=f"m{index}")
+        )
+        modules.append(
+            four_phase_slave(req=f"r{index}", ack=f"a{index}", name=f"s{index}")
+        )
+    return compose_many(modules)
+
+
+def engine_states(stg1, stg2, engine, **kwargs) -> int:
+    report = check_receptiveness(
+        stg1, stg2, method="reachability", engine=engine, **kwargs
+    )
+    return report.states_explored
+
+
+@pytest.fixture(scope="session", autouse=True)
+def write_trajectory():
+    """Flush the collected counts as the BENCH_por.json trajectory entry."""
+    yield
+    if _TRAJECTORY:
+        entry = {
+            "benchmark": "por-engine-state-counts",
+            "unit": "explored states",
+            "instances": {k: _TRAJECTORY[k] for k in sorted(_TRAJECTORY)},
+        }
+        BENCH_PATH.write_text(json.dumps(entry, indent=2) + "\n")
+
+
+# -- acceptance gate: strictly fewer on the Fig 5-8 case study ----------
+
+
+def test_smoke_por_strictly_fewer_on_fig7_translator(case_study):
+    """Fig 5||7: por must explore strictly fewer states than onthefly
+    (first of the two case-study instances the acceptance bar needs)."""
+    onthefly = engine_states(
+        case_study["sender"], case_study["translator"], "onthefly"
+    )
+    por = engine_states(case_study["sender"], case_study["translator"], "por")
+    _TRAJECTORY["fig5||fig7 sender||translator"] = {
+        "onthefly": onthefly,
+        "por": por,
+    }
+    assert por < onthefly
+    print(f"\nsender||translator: onthefly={onthefly}, por={por}")
+
+
+def test_smoke_por_strictly_fewer_on_fig6_receiver(case_study):
+    """Fig 7||6: the second strict-reduction case-study instance."""
+    onthefly = engine_states(
+        case_study["translator"], case_study["receiver"], "onthefly"
+    )
+    por = engine_states(
+        case_study["translator"], case_study["receiver"], "por"
+    )
+    _TRAJECTORY["fig7||fig6 translator||receiver"] = {
+        "onthefly": onthefly,
+        "por": por,
+    }
+    assert por < onthefly
+    print(f"\ntranslator||receiver: onthefly={onthefly}, por={por}")
+
+
+def test_por_not_worse_on_failing_fig8(case_study):
+    """Fig 8: on the inconsistent sender both demand-driven engines
+    stop early; por must not explore more than onthefly."""
+    onthefly = engine_states(
+        case_study["inconsistent_sender"], case_study["translator"], "onthefly"
+    )
+    por = engine_states(
+        case_study["inconsistent_sender"], case_study["translator"], "por"
+    )
+    _TRAJECTORY["fig8||fig7 inconsistent||translator"] = {
+        "onthefly": onthefly,
+        "por": por,
+    }
+    assert por <= onthefly
+    print(f"\ninconsistent||translator: onthefly={onthefly}, por={por}")
+
+
+@pytest.mark.parametrize("channels", [1, 2, 3, 4])
+def test_por_never_explores_more_on_channel_banks(channels):
+    """The scalability family: reduced deadlock-preserving exploration
+    never exceeds the full space (pure cycles: equality is expected,
+    the proviso must re-expand around them — this is the soundness
+    worst case, not the showcase)."""
+    flat = channel_bank(channels)
+    full = LazyStateSpace(flat.net)
+    full.explore_all()
+    reduced = LazyStateSpace(flat.net, reduction=True, visible_actions=())
+    reduced.explore_all()
+    _TRAJECTORY[f"channel-bank({channels}) deadlock-preserving"] = {
+        "onthefly": full.stats.states,
+        "por": reduced.stats.states,
+    }
+    assert reduced.stats.states <= full.stats.states
+    assert full.stats.states == 4**channels
+
+
+# -- wall-clock benches -------------------------------------------------
+
+
+@pytest.mark.benchmark(group="por-fig7")
+def test_bench_onthefly_fig7(benchmark, case_study):
+    states = benchmark(
+        engine_states, case_study["sender"], case_study["translator"], "onthefly"
+    )
+    assert states > 0
+
+
+@pytest.mark.benchmark(group="por-fig7")
+def test_bench_por_fig7(benchmark, case_study):
+    states = benchmark(
+        engine_states, case_study["sender"], case_study["translator"], "por"
+    )
+    assert states > 0

@@ -101,6 +101,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
     print(report)
     if report.states_explored is not None:
         print(f"# states explored: {report.states_explored} ({report.engine})")
+    if report.engine == "por" and report.states_explored is not None:
+        from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+
+        print(
+            f"# states reduced : {report.states_reduced}"
+            " (markings expanded with a proper stubborn subset)"
+        )
+        try:
+            eager_states = ReachabilityGraph(report.composite.net).num_states()
+        except UnboundedNetError:
+            pass
+        else:
+            print(
+                f"# eager baseline : {eager_states} states"
+                f" ({report.states_explored}/{eager_states} explored)"
+            )
     return 0 if report.is_receptive() else 1
 
 
@@ -217,10 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--engine",
-        choices=("eager", "onthefly"),
+        choices=("eager", "onthefly", "por"),
         default="onthefly",
         help="state-space engine for the reachability method: demand-driven"
-        " with early exit (onthefly, default) or full construction (eager)",
+        " with early exit (onthefly, default), demand-driven with"
+        " stubborn-set partial-order reduction (por, reports"
+        " explored-vs-eager state counts), or full construction (eager)",
     )
     verify.set_defaults(func=cmd_verify)
 

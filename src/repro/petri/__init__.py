@@ -10,6 +10,7 @@ of the paper), :class:`~repro.petri.marking.Marking` (Definition 2.2) and
 :class:`~repro.petri.reachability.ReachabilityGraph`.
 """
 
+from repro.petri.independence import IndependenceRelation, StubbornSelector
 from repro.petri.marking import Marking, MarkingInterner
 from repro.petri.net import PetriNet, Transition
 from repro.petri.product import (
@@ -49,6 +50,8 @@ __all__ = [
     "ReachabilityGraph",
     "ENGINES",
     "ExplorationStats",
+    "IndependenceRelation",
+    "StubbornSelector",
     "LanguageComparison",
     "LazyStateSpace",
     "SynchronousProduct",

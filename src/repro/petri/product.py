@@ -31,6 +31,14 @@ the demand-driven counterpart:
   exit), returning ``None`` when nondeterminism is encountered so the
   caller can fall back to the eager partition-refinement oracle.
 
+A third engine, ``engine="por"``, layers stubborn-set partial-order
+reduction (:mod:`repro.petri.independence`) on top of the lazy
+exploration: at each marking only a sound subset of the enabled
+transitions is expanded, preserving deadlock markings, marking
+predicates over declared places, and the visible-action language
+exactly — so every verification verdict matches the other two engines
+while independent interleavings collapse.
+
 The eager paths stay available everywhere behind ``engine="eager"`` and
 serve as the test oracle for this module.
 """
@@ -41,13 +49,16 @@ from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 
-from repro.petri.marking import Marking, MarkingInterner
+from repro.petri.independence import IndependenceRelation, StubbornSelector
+from repro.petri.marking import Marking, MarkingInterner, Place
 from repro.petri.net import EPSILON, PetriNet, Transition
 from repro.petri.reachability import UnboundedNetError
 
 #: The recognised exploration engines; verification entry points accept
-#: an ``engine=`` argument drawn from this set.
-ENGINES = ("eager", "onthefly")
+#: an ``engine=`` argument drawn from this set.  ``por`` is the
+#: on-the-fly engine with stubborn-set partial-order reduction layered
+#: on top (see :mod:`repro.petri.independence`).
+ENGINES = ("eager", "onthefly", "por")
 
 #: Engine used by the verification layers when none is requested.
 DEFAULT_ENGINE = "onthefly"
@@ -64,17 +75,24 @@ def resolve_engine(engine: str) -> str:
 
 @dataclass
 class ExplorationStats:
-    """Counters of work actually performed by a lazy exploration."""
+    """Counters of work actually performed by a lazy exploration.
+
+    ``reduced_states`` counts the states at which partial-order
+    reduction actually expanded a proper subset of the enabled
+    transitions (always ``0`` for the plain on-the-fly engine).
+    """
 
     states: int = 0
     edges: int = 0
     enabledness_checks: int = 0
+    reduced_states: int = 0
 
     def __add__(self, other: "ExplorationStats") -> "ExplorationStats":
         return ExplorationStats(
             self.states + other.states,
             self.edges + other.edges,
             self.enabledness_checks + other.enabledness_checks,
+            self.reduced_states + other.reduced_states,
         )
 
 
@@ -94,6 +112,22 @@ class LazyStateSpace:
     ``transition_filter`` restricts which firings are followed, and
     ``detect_unbounded`` enables the Karp-Miller strict-covering
     heuristic along the discovery-parent chain.
+
+    Partial-order reduction (``engine="por"``) is switched on with
+    ``reduction=True`` (or an explicit
+    :class:`~repro.petri.independence.StubbornSelector`): at each
+    marking only a stubborn subset of the enabled transitions is
+    expanded.  ``visible_actions`` are the labels the caller observes
+    (default: every non-epsilon action — sound for any language
+    comparison whose silent set is at most ``{eps}``); transitions
+    changing the token count of a place in ``visible_places`` are
+    additionally kept visible, which makes any marking predicate over
+    those places (e.g. the Proposition 5.5 obligation check) invariant
+    under the reduction.  Two guarantees are exact, not approximate:
+    the set of reachable *deadlock* markings, and the *visible-action
+    trace language* (an ignoring-prevention proviso fully expands any
+    state with an already-discovered reduced successor, so no enabled
+    transition is postponed around a cycle forever).
     """
 
     def __init__(
@@ -102,6 +136,9 @@ class LazyStateSpace:
         max_states: int = 1_000_000,
         transition_filter: Callable[[Transition, Marking], bool] | None = None,
         detect_unbounded: bool = True,
+        reduction: "StubbornSelector | bool" = False,
+        visible_actions: Iterable[str] | None = None,
+        visible_places: Iterable[Place] = (),
     ):
         self.net = net
         self.max_states = max_states
@@ -110,6 +147,31 @@ class LazyStateSpace:
         self._detect_unbounded = detect_unbounded
         self._transitions = net.transitions
         self._consumers = net.consumer_index()
+        self.visible_actions: frozenset[str] | None = None
+        self._selector: StubbornSelector | None = None
+        if reduction:
+            if transition_filter is not None:
+                raise ValueError(
+                    "partial-order reduction cannot be combined with a"
+                    " transition_filter (the independence relation is"
+                    " computed on the unfiltered net)"
+                )
+            if isinstance(reduction, StubbornSelector):
+                self._selector = reduction
+            else:
+                self.visible_actions = (
+                    frozenset(visible_actions)
+                    if visible_actions is not None
+                    else frozenset(net.actions) - {EPSILON}
+                )
+                relation = IndependenceRelation(net)
+                visible_tids = {
+                    tid
+                    for tid, t in net.transitions.items()
+                    if t.action in self.visible_actions
+                }
+                visible_tids |= relation.transitions_changing(visible_places)
+                self._selector = StubbornSelector(net, visible_tids, relation)
         #: Transitions with an empty preset are enabled in every marking.
         self._always_enabled = tuple(
             tid for tid, t in sorted(net.transitions.items()) if not t.preset
@@ -170,9 +232,15 @@ class LazyStateSpace:
         if canonical is not None:
             return canonical
         if len(self._interner) >= self.max_states:
+            reduced = (
+                " (partial-order reduction active: the bound counts"
+                " states of the reduced space)"
+                if self._selector is not None
+                else ""
+            )
             raise UnboundedNetError(
                 f"more than {self.max_states} reachable states in"
-                f" {self.net.name!r}; net may be unbounded",
+                f" {self.net.name!r}; net may be unbounded{reduced}",
                 witness=child,
                 bound=self.max_states,
                 frontier=child,
@@ -197,14 +265,47 @@ class LazyStateSpace:
                 cursor = link[0] if link is not None else None
         return child
 
+    @property
+    def is_reduced(self) -> bool:
+        """``True`` when stubborn-set partial-order reduction is active."""
+        return self._selector is not None
+
+    def _all_targets_fresh(self, marking: Marking, tids: tuple[int, ...]) -> bool:
+        """Ignoring-prevention proviso: a reduced expansion is accepted
+        only if every reduced successor is a *new* marking.  Any cycle
+        of the reduced graph therefore contains a fully expanded state
+        (its last-expanded state sees an already-discovered successor),
+        so no enabled transition can be postponed forever."""
+        for tid in tids:
+            transition = self._transitions[tid]
+            child = marking.fire(
+                transition.preset - transition.postset,
+                transition.postset - transition.preset,
+            )
+            if self._interner.get(child) is not None:
+                return False
+        return True
+
     def successors(self, marking: Marking) -> tuple[tuple[str, int, Marking], ...]:
         """Outgoing edges of a state as ``(action, tid, target)`` triples,
-        computed on first request and memoised."""
+        computed on first request and memoised.
+
+        Under partial-order reduction this expands only the enabled
+        members of a stubborn set whenever the selector proposes one
+        and the cycle proviso accepts it; otherwise every enabled
+        transition is followed.
+        """
         cached = self._succ.get(marking)
         if cached is not None:
             return cached
+        expand = self._enabled[marking]
+        if self._selector is not None and len(expand) > 1:
+            reduced = self._selector.reduced_enabled(marking, expand)
+            if reduced is not None and self._all_targets_fresh(marking, reduced):
+                expand = reduced
+                self.stats.reduced_states += 1
         edges: list[tuple[str, int, Marking]] = []
-        for tid in self._enabled[marking]:
+        for tid in expand:
             transition = self._transitions[tid]
             if self._filter is not None and not self._filter(transition, marking):
                 continue
@@ -279,6 +380,15 @@ class SynchronousProduct:
     pairings of same-label moves); any other action interleaves.  This
     is the LTS-level reading of Definition 4.7: exhausting the product
     of ``L(N1)`` and ``L(N2)`` without ever composing the nets.
+
+    Component spaces may be partial-order reduced: because the product
+    trace language is determined by the component trace languages
+    (Theorem 4.5), reduction inside a component carries over to the
+    product — *provided* the synchronisation actions stay visible in
+    every reduced component, which is validated here.  (Product
+    deadlocks are not preserved by component-wise reduction; use an
+    unreduced product, or reduce the composed net itself, for deadlock
+    questions.)
     """
 
     def __init__(
@@ -290,6 +400,14 @@ class SynchronousProduct:
         self.space1 = space1
         self.space2 = space2
         self.sync = frozenset(sync)
+        for space in (space1, space2):
+            visible = space.visible_actions
+            if space.is_reduced and visible is not None and not self.sync <= visible:
+                raise ValueError(
+                    "partial-order reduced component spaces must keep every"
+                    f" synchronisation action visible; hidden:"
+                    f" {sorted(self.sync - visible)}"
+                )
         self.initial = (space1.initial, space2.initial)
 
     def successors(
@@ -417,6 +535,7 @@ def compare_languages(
     silent2: Iterable[str] | None = None,
     alphabet: Iterable[str] | None = None,
     max_states: int = 1_000_000,
+    reduction: bool = False,
 ) -> LanguageComparison:
     """Compare visible trace languages without materialising either
     state space: determinise both nets on the fly and walk the pair
@@ -428,6 +547,12 @@ def compare_languages(
     label is silent on the un-contracted side only); it defaults to
     ``silent``.  ``alphabet`` restricts/widens the compared symbol set
     exactly as in :func:`repro.verify.language.dfa_of_net`.
+
+    ``reduction=True`` (the ``engine="por"`` path) explores both sides
+    under stubborn-set partial-order reduction with exactly the
+    non-silent actions visible — the reduced spaces have the same
+    visible languages as the full ones, so the verdict and the
+    counterexample stay exact while silent interleavings collapse.
     """
     if mode not in ("equal", "contained"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -439,8 +564,18 @@ def compare_languages(
         )
     else:
         universe = frozenset(alphabet) - (silent1_set | silent2_set)
-    space1 = LazyStateSpace(net1, max_states=max_states)
-    space2 = LazyStateSpace(net2, max_states=max_states)
+    space1 = LazyStateSpace(
+        net1,
+        max_states=max_states,
+        reduction=reduction,
+        visible_actions=frozenset(net1.actions) - silent1_set,
+    )
+    space2 = LazyStateSpace(
+        net2,
+        max_states=max_states,
+        reduction=reduction,
+        visible_actions=frozenset(net2.actions) - silent2_set,
+    )
     dfa1 = _LazyDfa(space1, silent1_set)
     dfa2 = _LazyDfa(space2, silent2_set)
 

@@ -72,7 +72,9 @@ def check_conformance(
 
     ``engine`` selects the exploration engine for conditions 2 and 3
     (``"onthefly"`` by default — lazy product exploration with early
-    exit; ``"eager"`` forces the full-graph oracle path).
+    exit; ``"por"`` adds stubborn-set partial-order reduction to both
+    the containment check and the mirror-composition receptiveness
+    search; ``"eager"`` forces the full-graph oracle path).
     """
     from repro.petri.product import DEFAULT_ENGINE, resolve_engine
 

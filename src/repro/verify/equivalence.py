@@ -132,8 +132,11 @@ def strongly_bisimilar(
     difference refutes bisimilarity even when they are not.  Only when
     neither shortcut is conclusive does the check fall back to the
     eager partition refinement (``engine="eager"`` goes there directly).
+    ``engine="por"`` behaves like ``"onthefly"`` here: strong
+    bisimulation observes every label, so no transition is invisible
+    and the stubborn-set selector has nothing to reduce.
     """
-    if resolve_engine(engine) == "onthefly":
+    if resolve_engine(engine) != "eager":
         verdict, _ = deterministic_bisimulation(net1, net2, max_states)
         if verdict is not None:
             return verdict
@@ -179,12 +182,21 @@ def weakly_bisimilar(
 
     ``engine="onthefly"`` first refutes via on-the-fly weak-language
     comparison (weak trace inequality implies non-bisimilarity, found
-    with early exit); a positive answer still requires the eager
-    partition refinement over the weak transition relations.
+    with early exit); ``engine="por"`` runs that refutation under
+    stubborn-set partial-order reduction (the weak language is exactly
+    preserved, so the refutation stays sound).  A positive answer still
+    requires the eager partition refinement over the weak transition
+    relations.
     """
-    if resolve_engine(engine) == "onthefly":
+    engine = resolve_engine(engine)
+    if engine != "eager":
         if not compare_languages(
-            net1, net2, mode="equal", silent=silent, max_states=max_states
+            net1,
+            net2,
+            mode="equal",
+            silent=silent,
+            max_states=max_states,
+            reduction=engine == "por",
         ).verdict:
             return False
     silent_set = set(silent)

@@ -223,13 +223,21 @@ def languages_equal(
 
     ``engine="onthefly"`` (default) decides the question on the lazy
     product of the two determinised state spaces, terminating at the
-    first difference; ``engine="eager"`` builds, minimises and compares
-    both full DFAs (the oracle path).  Both are exact, so they always
-    agree.
+    first difference; ``engine="por"`` additionally applies
+    stubborn-set partial-order reduction to both sides (silent
+    interleavings collapse, the language is preserved exactly);
+    ``engine="eager"`` builds, minimises and compares both full DFAs
+    (the oracle path).  All are exact, so they always agree.
     """
-    if resolve_engine(engine) == "onthefly":
+    engine = resolve_engine(engine)
+    if engine != "eager":
         return compare_languages(
-            net1, net2, mode="equal", silent=silent, max_states=max_states
+            net1,
+            net2,
+            mode="equal",
+            silent=silent,
+            max_states=max_states,
+            reduction=engine == "por",
         ).verdict
     common = (net1.actions | net2.actions) - set(silent)
     d1 = dfa_of_net(net1, silent, common, max_states)
@@ -245,9 +253,15 @@ def language_contained(
     engine: str = DEFAULT_ENGINE,
 ) -> bool:
     """Exact visible-trace containment ``L(net1) <= L(net2)``."""
-    if resolve_engine(engine) == "onthefly":
+    engine = resolve_engine(engine)
+    if engine != "eager":
         return compare_languages(
-            net1, net2, mode="contained", silent=silent, max_states=max_states
+            net1,
+            net2,
+            mode="contained",
+            silent=silent,
+            max_states=max_states,
+            reduction=engine == "por",
         ).verdict
     common = (net1.actions | net2.actions) - set(silent)
     d1 = dfa_of_net(net1, silent, common, max_states)
@@ -266,9 +280,15 @@ def distinguishing_trace(
 
     Useful diagnostics when an equivalence check fails.
     """
-    if resolve_engine(engine) == "onthefly":
+    engine = resolve_engine(engine)
+    if engine != "eager":
         return compare_languages(
-            net1, net2, mode="equal", silent=silent, max_states=max_states
+            net1,
+            net2,
+            mode="equal",
+            silent=silent,
+            max_states=max_states,
+            reduction=engine == "por",
         ).counterexample
     common = (net1.actions | net2.actions) - set(silent)
     d1 = dfa_of_net(net1, silent, common, max_states)

@@ -88,9 +88,11 @@ class ReceptivenessReport:
     """Outcome of a receptiveness check.
 
     ``engine`` records which exploration engine answered (``"eager"``,
-    ``"onthefly"``, or ``"-"`` for the structural method);
+    ``"onthefly"``, ``"por"``, or ``"-"`` for the structural method);
     ``states_explored`` the number of composite markings it visited
-    (``None`` for the structural method).
+    (``None`` for the structural method).  Under ``engine="por"``,
+    ``states_reduced`` counts the markings at which the stubborn-set
+    selector expanded a proper subset of the enabled transitions.
     """
 
     composite: Stg
@@ -99,6 +101,7 @@ class ReceptivenessReport:
     method: str
     engine: str = "eager"
     states_explored: int | None = None
+    states_reduced: int | None = None
 
     def is_receptive(self) -> bool:
         return not self.failures
@@ -232,17 +235,42 @@ def _onthefly_failures(
     obligations: list[SyncObligation],
     max_states: int,
     stop_at_first: bool = False,
-) -> tuple[list[ReceptivenessFailure], int]:
+    reduce: bool = False,
+) -> tuple[list[ReceptivenessFailure], int, int]:
     """Demand-driven Proposition 5.5 search: obligations are checked as
     each composite marking is *discovered*, so exploration stops as soon
     as every obligation has a witness (or, with ``stop_at_first``, at
     the very first failure) — long before a full state-space build on
     failing compositions.  Witnesses come with a shortest firable trace
     from the initial marking.
+
+    With ``reduce`` the space is explored under stubborn-set
+    partial-order reduction.  The Prop 5.5 failure predicate only reads
+    the token counts of the obligation places (producer and consumer
+    presets), so those are declared as *visible places*: every
+    transition that changes one of them is visible to the selector, the
+    predicate's value is invariant under invisible firings, and a
+    failure marking is reachable in the reduced space iff one is
+    reachable in the full space.  Reduced edges are real firings of the
+    unreduced net, so witness traces replay unchanged.
     """
     from repro.petri.product import LazyStateSpace
 
-    space = LazyStateSpace(composite.net, max_states=max_states)
+    if reduce:
+        predicate_places: set[str] = set()
+        for obligation in obligations:
+            predicate_places |= obligation.producer_preset
+            for preset in obligation.consumer_presets:
+                predicate_places |= preset
+        space = LazyStateSpace(
+            composite.net,
+            max_states=max_states,
+            reduction=True,
+            visible_actions=(),
+            visible_places=predicate_places,
+        )
+    else:
+        space = LazyStateSpace(composite.net, max_states=max_states)
     pending = list(obligations)
     failures: list[ReceptivenessFailure] = []
     for marking in space.iter_bfs():
@@ -261,11 +289,11 @@ def _onthefly_failures(
                     )
                 )
                 if stop_at_first:
-                    return failures, space.num_explored()
+                    return failures, space.num_explored(), space.stats.reduced_states
             else:
                 remaining.append(obligation)
         pending = remaining
-    return failures, space.num_explored()
+    return failures, space.num_explored(), space.stats.reduced_states
 
 
 def _marked_graph_failures(
@@ -358,10 +386,14 @@ def check_receptiveness(
     ``"onthefly"`` checks obligations while the composite state space is
     being *discovered* and stops as soon as every obligation is resolved
     (failure witnesses come with a shortest firable counterexample
-    trace); ``"eager"`` materialises the full graph first — the oracle
-    path.  ``stop_at_first`` makes the on-the-fly engine return after
-    the first failure (the verdict is already decided at that point;
-    only the per-obligation attribution of *later* failures is lost).
+    trace); ``"por"`` additionally applies stubborn-set partial-order
+    reduction with the obligation places declared visible, so the
+    Prop 5.5 verdict is unchanged while fewer interleavings are
+    explored; ``"eager"`` materialises the full graph first — the
+    oracle path.  ``stop_at_first`` makes the demand-driven engines
+    return after the first failure (the verdict is already decided at
+    that point; only the per-obligation attribution of *later* failures
+    is lost).
     """
     from repro.petri.product import DEFAULT_ENGINE, resolve_engine
 
@@ -381,9 +413,14 @@ def check_receptiveness(
         )
     if method != "reachability":
         raise ValueError(f"unknown method {method!r}")
-    if engine == "onthefly":
-        failures, explored = _onthefly_failures(
-            composite, obligations, max_states, stop_at_first=stop_at_first
+    reduced: int | None = None
+    if engine in ("onthefly", "por"):
+        failures, explored, reduced = _onthefly_failures(
+            composite,
+            obligations,
+            max_states,
+            stop_at_first=stop_at_first,
+            reduce=engine == "por",
         )
     else:
         failures, explored = _reachability_failures(
@@ -396,6 +433,7 @@ def check_receptiveness(
         method,
         engine=engine,
         states_explored=explored,
+        states_reduced=reduced,
     )
 
 

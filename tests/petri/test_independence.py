@@ -1,0 +1,122 @@
+"""Unit tests for the static independence relation and the stubborn-set
+selector — the structural half of ``engine="por"``."""
+
+import pytest
+
+from repro.petri.independence import IndependenceRelation, StubbornSelector
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+def diamond() -> PetriNet:
+    """Two fully independent transitions (concurrent components)."""
+    net = PetriNet("diamond", places=["p1", "p2", "q1", "q2"])
+    net.add_transition({"p1"}, "u", {"p2"})  # t0
+    net.add_transition({"q1"}, "u", {"q2"})  # t1
+    net.set_initial(Marking({"p1": 1, "q1": 1}))
+    return net
+
+
+def choice() -> PetriNet:
+    """Two transitions competing for one input place."""
+    net = PetriNet("choice", places=["p", "a1", "b1"])
+    net.add_transition({"p"}, "a", {"a1"})  # t0
+    net.add_transition({"p"}, "b", {"b1"})  # t1
+    net.set_initial(Marking({"p": 1}))
+    return net
+
+
+class TestIndependenceRelation:
+    def test_disjoint_transitions_are_independent(self):
+        relation = IndependenceRelation(diamond())
+        assert relation.independent(0, 1)
+        assert relation.conflicting(0) == ()
+        assert relation.conflicting(1) == ()
+
+    def test_shared_input_place_is_a_conflict(self):
+        relation = IndependenceRelation(choice())
+        assert not relation.independent(0, 1)
+        assert relation.conflicting(0) == (1,)
+        assert relation.conflicting(1) == (0,)
+
+    def test_no_self_conflict_or_self_independence(self):
+        relation = IndependenceRelation(choice())
+        assert 0 not in relation.conflicting(0)
+        assert not relation.independent(0, 0)
+
+    def test_strict_producers_exclude_self_loops(self):
+        net = PetriNet("loops", places=["p", "q"])
+        net.add_transition({"p"}, "a", {"p", "q"})  # self-loop on p, produces q
+        net.add_transition({"q"}, "b", {"p"})  # strictly produces p
+        relation = IndependenceRelation(net)
+        assert relation.strict_producers("q") == (0,)
+        assert relation.strict_producers("p") == (1,)
+        assert relation.strict_producers("nowhere") == ()
+
+    def test_transitions_changing_tracks_both_directions(self):
+        net = PetriNet("chg", places=["p", "q", "r"])
+        net.add_transition({"p"}, "a", {"q"})  # changes p and q
+        net.add_transition({"r"}, "b", {"r"})  # pure self-loop: changes nothing
+        relation = IndependenceRelation(net)
+        assert relation.transitions_changing(["p"]) == {0}
+        assert relation.transitions_changing(["q"]) == {0}
+        assert relation.transitions_changing(["r"]) == frozenset()
+        assert relation.transitions_changing(["p", "q"]) == {0}
+
+
+class TestStubbornSelector:
+    def test_reduces_independent_diamond_to_one_transition(self):
+        net = diamond()
+        selector = StubbornSelector(net, visible_tids=())
+        reduced = selector.reduced_enabled(net.initial, (0, 1))
+        assert reduced is not None and len(reduced) == 1
+
+    def test_conflicting_pair_is_never_split(self):
+        net = choice()
+        selector = StubbornSelector(net, visible_tids=())
+        assert selector.reduced_enabled(net.initial, (0, 1)) is None
+
+    def test_visible_seed_blocks_reduction(self):
+        net = diamond()
+        selector = StubbornSelector(net, visible_tids=(0, 1))
+        assert selector.reduced_enabled(net.initial, (0, 1)) is None
+
+    def test_partially_visible_diamond_reduces_to_invisible_side(self):
+        net = diamond()
+        selector = StubbornSelector(net, visible_tids=(0,))
+        reduced = selector.reduced_enabled(net.initial, (0, 1))
+        assert reduced == (1,)
+
+    def test_single_enabled_transition_is_not_reduced(self):
+        net = choice()
+        selector = StubbornSelector(net, visible_tids=())
+        assert selector.reduced_enabled(net.initial, (0,)) is None
+
+    def test_disabled_member_pulls_in_scapegoat_producers(self):
+        # t0 and t2 are independent, but t1 (disabled, shares place p
+        # with t0) waits on place m which only t2 produces: a stubborn
+        # set seeded with t0 must also contain t2.
+        net = PetriNet("scape", places=["p", "m", "q1", "q2", "r"])
+        net.add_transition({"p"}, "u", {"r"})  # t0 enabled
+        net.add_transition({"p", "m"}, "u", {"r"})  # t1 disabled (m empty)
+        net.add_transition({"q1"}, "u", {"m", "q2"})  # t2 enabled, produces m
+        net.set_initial(Marking({"p": 1, "q1": 1}))
+        selector = StubbornSelector(net, visible_tids=())
+        reduced = selector.reduced_enabled(net.initial, (0, 2))
+        # Seeding with t2 closes to {t2} alone (nothing conflicts);
+        # seeding with t0 would drag in t1 and then t2.
+        assert reduced == (2,)
+
+    def test_deterministic_across_runs(self):
+        net = diamond()
+        selector = StubbornSelector(net, visible_tids=())
+        first = selector.reduced_enabled(net.initial, (0, 1))
+        for _ in range(5):
+            assert selector.reduced_enabled(net.initial, (0, 1)) == first
+
+    def test_shared_relation_can_be_injected(self):
+        net = diamond()
+        relation = IndependenceRelation(net)
+        selector = StubbornSelector(net, visible_tids=(), relation=relation)
+        assert selector.relation is relation
+        assert selector.reduced_enabled(net.initial, (0, 1)) is not None

@@ -1,0 +1,228 @@
+"""Differential testing of the partial-order reduction engine.
+
+Every property here runs the same verification question through
+``eager`` (the oracle), ``onthefly`` (the lazy engine PR 1 validated
+against the oracle) and ``por`` (the stubborn-set reduced engine), and
+asserts three-way agreement — on verdicts, on the visible-action
+language of the reduced space, and on deadlock sets — over the
+non-safe-net strategies in :mod:`tests.strategies`.
+
+When a property fails, the shrunk counterexample net(s) are persisted
+as JSON under ``tests/petri/por_failures/`` (hypothesis replays the
+minimal example last, so the file left behind is the fully shrunk
+net) for offline replay via :func:`repro.io.json_io.net_from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.io.json_io import net_to_dict
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.product import LazyStateSpace, compare_languages
+from repro.petri.reachability import ReachabilityGraph
+from repro.petri.simulation import TokenGame
+from repro.stg.stg import Stg
+from repro.verify.language import languages_equal
+from repro.verify.receptiveness import check_receptiveness
+
+from tests.strategies import bounded_multi_token_nets, bounded_nets
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+# The acceptance bar for engine agreement: >= 200 random nets.
+THOROUGH = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+#: "u" acts as the hidden/internal label in these properties, so random
+#: nets exercise the reduction (with everything visible the stubborn
+#: selector can never propose anything).
+SILENT = frozenset({EPSILON, "u"})
+
+FAILURE_DIR = Path(__file__).parent / "por_failures"
+
+SIGNAL_ACTIONS = ["a+", "a-", "b+", "b-"]
+
+
+class persists_counterexamples:
+    """On assertion failure, write the example nets to FAILURE_DIR.
+
+    Hypothesis shrinks by re-running the test body on ever-smaller
+    examples and replays the minimal one last, so after a failing run
+    the persisted file holds the fully shrunk counterexample.
+    """
+
+    def __init__(self, label: str, **nets: PetriNet):
+        self.label = label
+        self.nets = nets
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None and issubclass(exc_type, AssertionError):
+            FAILURE_DIR.mkdir(exist_ok=True)
+            payload = {
+                name: net_to_dict(net) for name, net in self.nets.items()
+            }
+            path = FAILURE_DIR / f"{self.label}.json"
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return False
+
+
+def reduced_space_as_lts(space: LazyStateSpace) -> PetriNet:
+    """The fully-explored (reduced) space as a one-token state-machine
+    net, so its language can be compared by the eager DFA oracle."""
+    lts = PetriNet("reduced-lts")
+    names: dict[Marking, str] = {}
+    for marking in space.iter_bfs():
+        names.setdefault(marking, f"s{len(names)}")
+    for marking in list(names):
+        for action, _, target in space.successors(marking):
+            lts.add_transition(
+                {names[marking]}, action, {names[target]}
+            )
+    lts.set_initial(Marking({names[space.initial]: 1}))
+    for name in names.values():
+        lts.add_place(name)
+    return lts
+
+
+@THOROUGH
+@given(net1=bounded_nets(), net2=bounded_nets())
+def test_language_verdicts_agree_across_engines(net1, net2):
+    """Equality and containment verdicts: eager == onthefly == por."""
+    with persists_counterexamples("language_verdicts", net1=net1, net2=net2):
+        for mode in ("equal", "contained"):
+            verdicts = {
+                engine: languages_equal(
+                    net1, net2, silent=SILENT, engine=engine
+                )
+                if mode == "equal"
+                else compare_languages(
+                    net1,
+                    net2,
+                    mode=mode,
+                    silent=SILENT,
+                    reduction=engine == "por",
+                ).verdict
+                for engine in ("eager", "onthefly", "por")
+            }
+            assert verdicts["por"] == verdicts["eager"], (mode, verdicts)
+            assert verdicts["onthefly"] == verdicts["eager"], (mode, verdicts)
+
+
+@THOROUGH
+@given(
+    net1=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+    net2=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+)
+def test_receptiveness_verdicts_agree_across_engines(net1, net2):
+    """Same Prop 5.5 verdict and failing obligations under reduction,
+    and every por witness trace replays on the unreduced composite."""
+    with persists_counterexamples("receptiveness", net1=net1, net2=net2):
+        producer = Stg(net1, outputs={"a", "b"})
+        consumer = Stg(net2, inputs={"a", "b"})
+        reports = {
+            engine: check_receptiveness(
+                producer,
+                consumer,
+                method="reachability",
+                max_states=20_000,
+                engine=engine,
+            )
+            for engine in ("eager", "onthefly", "por")
+        }
+        eager = reports["eager"]
+        for engine in ("onthefly", "por"):
+            report = reports[engine]
+            assert report.is_receptive() == eager.is_receptive(), engine
+            failed = lambda r: {  # noqa: E731
+                (f.obligation.action, f.obligation.producer)
+                for f in r.failures
+            }
+            assert failed(report) == failed(eager), engine
+        # por edges are real firings: witnesses replay on the full net.
+        por = reports["por"]
+        for failure in por.failures:
+            assert failure.trace is not None and failure.tids is not None
+            game = TokenGame(por.composite.net)
+            for tid in failure.tids:
+                game.fire_tid(tid)
+            assert game.marking == failure.marking
+
+
+@RELAXED
+@given(net=bounded_multi_token_nets())
+def test_deadlock_sets_preserved(net):
+    """With nothing visible the reduced space still reaches *exactly*
+    the deadlock markings of the full space."""
+    with persists_counterexamples("deadlocks", net=net):
+        eager = set(ReachabilityGraph(net).deadlocks())
+        space = LazyStateSpace(net, reduction=True, visible_actions=())
+        reduced = {
+            marking
+            for marking in space.iter_bfs()
+            if not space.successors(marking)
+        }
+        assert reduced == eager
+        assert space.num_explored() <= ReachabilityGraph(net).num_states()
+
+
+@RELAXED
+@given(net=bounded_multi_token_nets())
+def test_visible_language_preserved_by_reduction(net):
+    """The reduced space, replayed as an LTS, has the same visible
+    language as the full net (Thm 4.5/4.7 checks stay exact)."""
+    with persists_counterexamples("visible_language", net=net):
+        space = LazyStateSpace(
+            net,
+            reduction=True,
+            visible_actions=frozenset(net.actions) - SILENT,
+        )
+        space.explore_all()
+        lts = reduced_space_as_lts(space)
+        assert languages_equal(lts, net, silent=SILENT, engine="eager")
+
+
+@RELAXED
+@given(net=bounded_nets())
+def test_reduction_never_explores_more(net):
+    """The reduced space is a subgraph of the full space: state and
+    edge counts can only shrink, and every reduced state is reachable
+    in the full graph."""
+    with persists_counterexamples("state_counts", net=net):
+        full = LazyStateSpace(net)
+        full.explore_all()
+        reduced = LazyStateSpace(net, reduction=True, visible_actions=())
+        reduced.explore_all()
+        assert reduced.stats.states <= full.stats.states
+        assert reduced.stats.edges <= full.stats.edges
+        full_states = set(full.iter_bfs())
+        assert set(reduced.iter_bfs()) <= full_states
+
+
+@RELAXED
+@given(net=bounded_multi_token_nets())
+def test_reduction_is_deterministic(net):
+    """Two runs over the same net produce identical reduced spaces —
+    same states in the same BFS order, same stats."""
+    one = LazyStateSpace(net, reduction=True, visible_actions=())
+    two = LazyStateSpace(net, reduction=True, visible_actions=())
+    assert list(one.iter_bfs()) == list(two.iter_bfs())
+    assert one.stats == two.stats

@@ -228,5 +228,97 @@ class TestDeterministicBisimulation:
 def test_resolve_engine_validates():
     assert resolve_engine("eager") == "eager"
     assert resolve_engine("onthefly") == "onthefly"
+    assert resolve_engine("por") == "por"
     with pytest.raises(ValueError):
         resolve_engine("bfs")
+
+
+class TestPartialOrderReduction:
+    def independent_pair(self) -> PetriNet:
+        net = PetriNet("ind", places=["p1", "p2", "q1", "q2"])
+        net.add_transition({"p1"}, "u", {"p2"})
+        net.add_transition({"q1"}, "u", {"q2"})
+        net.set_initial(Marking({"p1": 1, "q1": 1}))
+        return net
+
+    def test_reduction_shrinks_independent_diamond(self):
+        net = self.independent_pair()
+        full = LazyStateSpace(net)
+        assert full.explore_all() == 4
+        reduced = LazyStateSpace(net, reduction=True, visible_actions=())
+        assert reduced.explore_all() == 3
+        assert reduced.is_reduced
+        assert reduced.stats.reduced_states == 1
+        assert not full.is_reduced
+
+    def test_reduction_rejects_transition_filter(self):
+        net = self.independent_pair()
+        with pytest.raises(ValueError, match="transition_filter"):
+            LazyStateSpace(
+                net,
+                reduction=True,
+                transition_filter=lambda t, m: True,
+            )
+
+    def test_unbounded_budget_message_mentions_reduction(self):
+        """Regression: the max_states bound counts states of the
+        *reduced* space, and the error message must say so."""
+        net = loop("n", [f"a{i}" for i in range(10)])
+        reduced = LazyStateSpace(
+            net, max_states=3, reduction=True, visible_actions=()
+        )
+        with pytest.raises(UnboundedNetError) as excinfo:
+            reduced.explore_all()
+        assert "partial-order reduction active" in str(excinfo.value)
+        assert excinfo.value.bound == 3
+        plain = LazyStateSpace(net, max_states=3)
+        with pytest.raises(UnboundedNetError) as plain_info:
+            plain.explore_all()
+        assert "partial-order reduction" not in str(plain_info.value)
+
+    def test_truly_unbounded_detection_still_fires_under_reduction(self):
+        net = PetriNet("pump")
+        net.add_transition({"p"}, "a", {"p", "q"})
+        net.set_initial(Marking({"p": 1}))
+        reduced = LazyStateSpace(net, reduction=True, visible_actions=())
+        with pytest.raises(UnboundedNetError) as excinfo:
+            reduced.explore_all()
+        assert excinfo.value.bound is None  # proven, not a budget abort
+
+    def test_product_requires_sync_actions_visible(self):
+        left = loop("l", ["x", "s"])
+        right = loop("r", ["y", "s"])
+        hidden = LazyStateSpace(
+            left, reduction=True, visible_actions={"x"}
+        )
+        with pytest.raises(ValueError, match="synchronisation action"):
+            SynchronousProduct(hidden, LazyStateSpace(right), sync={"s"})
+
+    def test_product_accepts_reduced_components_with_visible_sync(self):
+        left = loop("l", ["x", "s"])
+        right = loop("r", ["y", "s"])
+        product = SynchronousProduct(
+            LazyStateSpace(left, reduction=True),
+            LazyStateSpace(right, reduction=True),
+            sync={"s"},
+        )
+        states = list(product.iter_bfs())
+        assert states  # explorable end to end
+        oracle = SynchronousProduct(
+            LazyStateSpace(left), LazyStateSpace(right), sync={"s"}
+        )
+        assert languages_equal(
+            product.to_net(), oracle.to_net(), engine="eager"
+        )
+
+    def test_compare_languages_reduction_flag_agrees(self):
+        net = self.independent_pair()
+        net.add_transition({"p2", "q2"}, "a", {"p1", "q1"})
+        other = chain("c", ["a"])
+        for mode in ("equal", "contained"):
+            plain = compare_languages(net, other, mode=mode, silent=("u",))
+            por = compare_languages(
+                net, other, mode=mode, silent=("u",), reduction=True
+            )
+            assert plain.verdict == por.verdict
+            assert por.stats.states <= plain.stats.states

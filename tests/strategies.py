@@ -125,3 +125,46 @@ def hidable_transition_ids(net: PetriNet, label: str) -> list[int]:
         if supported:
             result.append(tid)
     return result
+
+
+def supported_hide(net: PetriNet, labels) -> PetriNet | None:
+    """:func:`repro.algebra.hide.hide`, but guarded *step by step*.
+
+    Proposition 4.6 (order-independence of contraction) only holds while
+    every individual contraction stays inside the fragment the set-based
+    formalism supports — and contracting one transition can push a
+    *remaining* hidden transition outside that fragment (e.g. its fused
+    preset place gains a competing successor).  Checking
+    :func:`hidable_transition_ids` on the original net alone is
+    therefore not enough.  This helper mirrors ``hide``'s contraction
+    loop, re-validating the next candidate against the *current* net at
+    each step, and returns ``None`` as soon as an unsupported
+    contraction would be required.
+    """
+    from repro.algebra.hide import hide_transition
+
+    label_set = {labels} if isinstance(labels, str) else set(labels)
+    current = net.copy()
+    steps = 0
+    while True:
+        candidates = [
+            t
+            for _, t in sorted(current.transitions.items())
+            if t.action in label_set
+        ]
+        if not candidates:
+            break
+        steps += 1
+        if steps > 10_000:
+            return None
+        target = candidates[0]
+        if target.preset == target.postset:
+            # Mirrors hide(): an unobservable no-op, safe to delete.
+            current.remove_transition(target.tid)
+            continue
+        if target.tid not in hidable_transition_ids(current, target.action):
+            return None
+        current = hide_transition(current, target.tid)
+    current.actions -= label_set
+    current.name = f"hide({net.name})"
+    return current

@@ -263,3 +263,91 @@ class TestCounterexampleTraces:
             engine="eager",
         )
         assert report.states_explored == eager.states_explored
+
+class TestPorEngine:
+    """``engine="por"`` must agree with the oracle on every verdict, and
+    its reduced exploration must stay deterministic and replayable."""
+
+    def reports(self, first, second, **kwargs):
+        return {
+            engine: check_receptiveness(
+                first, second, method="reachability", engine=engine, **kwargs
+            )
+            for engine in ("eager", "onthefly", "por")
+        }
+
+    def test_verdicts_agree_on_failing_composition(self):
+        reports = self.reports(impatient_master(), four_phase_slave())
+        assert not reports["eager"].is_receptive()
+        for engine in ("onthefly", "por"):
+            assert not reports[engine].is_receptive()
+            assert (
+                reports[engine].failing_actions()
+                == reports["eager"].failing_actions()
+            )
+
+    def test_verdicts_agree_on_receptive_composition(self):
+        reports = self.reports(four_phase_master(), four_phase_slave())
+        assert all(report.is_receptive() for report in reports.values())
+
+    def test_por_explores_at_most_onthefly(self):
+        reports = self.reports(four_phase_master(), four_phase_slave())
+        assert (
+            reports["por"].states_explored
+            <= reports["onthefly"].states_explored
+        )
+        assert reports["por"].states_reduced is not None
+
+    def test_por_traces_replay_on_the_unreduced_net(self):
+        """Reduced-space edges are real firings: every counterexample
+        trace must replay, tid by tid, on the full composite net."""
+        from repro.petri.simulation import TokenGame
+
+        report = check_receptiveness(
+            impatient_master(),
+            four_phase_slave(),
+            method="reachability",
+            engine="por",
+        )
+        assert report.failures
+        for failure in report.failures:
+            assert failure.trace is not None and failure.tids is not None
+            game = TokenGame(report.composite.net)
+            for tid, action in zip(failure.tids, failure.trace):
+                assert report.composite.net.transitions[tid].action == action
+                game.fire_tid(tid)
+            assert game.marking == failure.marking
+
+    def test_por_runs_are_deterministic(self):
+        """Two identical runs return identical traces, tids, markings
+        and state counts — the stubborn selection has no hidden
+        iteration-order dependence."""
+        runs = [
+            check_receptiveness(
+                impatient_master(),
+                four_phase_slave(),
+                method="reachability",
+                engine="por",
+            )
+            for _ in range(3)
+        ]
+        baseline = runs[0]
+        for run in runs[1:]:
+            assert run.states_explored == baseline.states_explored
+            assert run.states_reduced == baseline.states_reduced
+            assert [f.trace for f in run.failures] == [
+                f.trace for f in baseline.failures
+            ]
+            assert [f.tids for f in run.failures] == [
+                f.tids for f in baseline.failures
+            ]
+            assert [f.marking for f in run.failures] == [
+                f.marking for f in baseline.failures
+            ]
+
+    def test_por_with_hiding(self):
+        report = check_receptiveness_with_hiding(
+            four_phase_master(), four_phase_slave(), engine="por"
+        )
+        assert report.is_receptive()
+        assert report.engine == "por"
