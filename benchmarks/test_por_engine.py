@@ -23,12 +23,12 @@ in reduction strength show up as a diff.
 The ``smoke`` tests are run by CI's quick-mode benchmark job.
 """
 
-import json
 from pathlib import Path
 
 import pytest
 
 from repro.core.circuit import compose_many
+from repro.obs.emit import write_benchmark
 from repro.models.library import four_phase_master, four_phase_slave
 from repro.petri.product import LazyStateSpace
 from repro.verify.receptiveness import check_receptiveness
@@ -64,12 +64,12 @@ def write_trajectory():
     """Flush the collected counts as the BENCH_por.json trajectory entry."""
     yield
     if _TRAJECTORY:
-        entry = {
-            "benchmark": "por-engine-state-counts",
-            "unit": "explored states",
-            "instances": {k: _TRAJECTORY[k] for k in sorted(_TRAJECTORY)},
-        }
-        BENCH_PATH.write_text(json.dumps(entry, indent=2) + "\n")
+        write_benchmark(
+            BENCH_PATH,
+            benchmark="por-engine-state-counts",
+            unit="explored states",
+            instances=_TRAJECTORY,
+        )
 
 
 # -- acceptance gate: strictly fewer on the Fig 5-8 case study ----------

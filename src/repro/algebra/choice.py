@@ -29,6 +29,7 @@ from __future__ import annotations
 from itertools import chain, combinations
 
 from repro.algebra._util import fresh_place, product_place
+from repro.obs import metrics as obs
 from repro.petri.marking import Marking, Place
 from repro.petri.net import PetriNet, disjoint_pair
 
@@ -87,6 +88,18 @@ def choice(n1: PetriNet, n2: PetriNet) -> PetriNet:
     any initial transition of one operand disables every initial
     transition of the other.
     """
+    with obs.span("algebra.choice", left=n1.name, right=n2.name) as span:
+        result = _choice(n1, n2)
+        span.set(
+            places_before=len(n1.places) + len(n2.places),
+            places_after=len(result.places),
+            transitions_before=len(n1.transitions) + len(n2.transitions),
+            transitions_after=len(result.transitions),
+        )
+        return result
+
+
+def _choice(n1: PetriNet, n2: PetriNet) -> PetriNet:
     n1, n2 = disjoint_pair(n1, n2)
     unwound1, eta1 = root_unwinding(n1)
     unwound2, eta2 = root_unwinding(n2)

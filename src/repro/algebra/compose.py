@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.obs import metrics as obs
 from repro.petri.net import Action, PetriNet, disjoint_pair
 
 
@@ -35,6 +36,22 @@ def parallel(
         Useful for the circuit algebra, where only shared *signals*
         synchronize.
     """
+    with obs.span("algebra.parallel", left=n1.name, right=n2.name) as span:
+        result = _parallel(n1, n2, synchronize_on)
+        span.set(
+            places_before=len(n1.places) + len(n2.places),
+            places_after=len(result.places),
+            transitions_before=len(n1.transitions) + len(n2.transitions),
+            transitions_after=len(result.transitions),
+        )
+        return result
+
+
+def _parallel(
+    n1: PetriNet,
+    n2: PetriNet,
+    synchronize_on: Iterable[Action] | None = None,
+) -> PetriNet:
     n1, n2 = disjoint_pair(n1, n2)
     common = (
         set(synchronize_on)

@@ -8,6 +8,7 @@ general bounded nets we fall back to reachability.
 
 from __future__ import annotations
 
+from repro.obs import metrics as obs
 from repro.petri.classify import is_marked_graph
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
@@ -171,11 +172,17 @@ def remove_dead_transitions(net: PetriNet, max_states: int = 1_000_000) -> Petri
     compositional synthesis (the cross product of synchronization
     transitions leaves many dead duplicates).
     """
-    dead = dead_transition_ids(net, max_states=max_states)
-    result = net.copy(name=net.name)
-    for tid in dead:
-        result.remove_transition(tid)
-    return result
+    with obs.span("algebra.remove_dead_transitions", net=net.name) as span:
+        dead = dead_transition_ids(net, max_states=max_states)
+        result = net.copy(name=net.name)
+        for tid in dead:
+            result.remove_transition(tid)
+        span.set(
+            dead=len(dead),
+            transitions_before=len(net.transitions),
+            transitions_after=len(result.transitions),
+        )
+        return result
 
 
 def remove_unreachable_places(net: PetriNet, max_states: int = 1_000_000) -> PetriNet:
@@ -207,22 +214,30 @@ def trim(net: PetriNet, max_states: int = 1_000_000) -> PetriNet:
     unbounded nets (coverability fallback).  A single reachability pass
     supplies both the fired-transition set and the ever-marked places.
     """
-    result = merge_duplicate_places(drop_sink_places(net))
-    try:
-        graph = ReachabilityGraph(result, max_states=max_states)
-    except UnboundedNetError:
-        dead = set(result.transitions) - _coverability_fireable(result)
-        ever_marked = set(result.places)
-    else:
-        dead = set(result.transitions) - graph.fired_tids()
-        ever_marked = set()
-        for marking in graph.states:
-            ever_marked |= marking.marked_places()
-    for tid in dead:
-        result.remove_transition(tid)
-    for place in sorted(result.places):
-        if result.consumers(place) or result.producers(place):
-            continue
-        if place not in ever_marked or result.initial[place] == 0:
-            result.remove_place(place)
-    return result
+    with obs.span("algebra.trim", net=net.name) as span:
+        result = merge_duplicate_places(drop_sink_places(net))
+        try:
+            graph = ReachabilityGraph(result, max_states=max_states)
+        except UnboundedNetError:
+            dead = set(result.transitions) - _coverability_fireable(result)
+            ever_marked = set(result.places)
+        else:
+            dead = set(result.transitions) - graph.fired_tids()
+            ever_marked = set()
+            for marking in graph.states:
+                ever_marked |= marking.marked_places()
+        for tid in dead:
+            result.remove_transition(tid)
+        for place in sorted(result.places):
+            if result.consumers(place) or result.producers(place):
+                continue
+            if place not in ever_marked or result.initial[place] == 0:
+                result.remove_place(place)
+        span.set(
+            dead=len(dead),
+            places_before=len(net.places),
+            places_after=len(result.places),
+            transitions_before=len(net.transitions),
+            transitions_after=len(result.transitions),
+        )
+        return result

@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.algebra._util import product_place
+from repro.obs import metrics as obs
 from repro.petri.marking import Marking, Place
 from repro.petri.net import Action, PetriNet, Transition
 
@@ -202,33 +203,42 @@ def hide(
     successors, which may themselves carry a hidden label).
     """
     labels = {actions} if isinstance(actions, str) else set(actions)
-    result = net.copy()
-    steps = 0
-    while True:
-        candidates = [
-            t
-            for _, t in sorted(result.transitions.items())
-            if t.action in labels
-        ]
-        if not candidates:
-            break
-        steps += 1
-        if steps > max_steps:
-            raise RuntimeError(
-                f"hide({sorted(labels)}) did not converge in {max_steps} steps"
-            )
-        target = candidates[0]
-        if target.preset == target.postset:
-            # A hidden transition whose firing provably changes nothing
-            # (preset equals postset) is an unobservable no-op; deleting
-            # it preserves the visible language.  Such loops arise when
-            # contracting one direction of an internal up/down pair.
-            result.remove_transition(target.tid)
-            continue
-        result = hide_transition(result, target.tid, fast_path=fast_path)
-    result.actions -= labels
-    result.name = f"hide({net.name})"
-    return result
+    with obs.span("algebra.hide", net=net.name, labels=sorted(labels)) as span:
+        result = net.copy()
+        steps = 0
+        while True:
+            candidates = [
+                t
+                for _, t in sorted(result.transitions.items())
+                if t.action in labels
+            ]
+            if not candidates:
+                break
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    f"hide({sorted(labels)}) did not converge in {max_steps} steps"
+                )
+            target = candidates[0]
+            if target.preset == target.postset:
+                # A hidden transition whose firing provably changes nothing
+                # (preset equals postset) is an unobservable no-op; deleting
+                # it preserves the visible language.  Such loops arise when
+                # contracting one direction of an internal up/down pair.
+                result.remove_transition(target.tid)
+                continue
+            result = hide_transition(result, target.tid, fast_path=fast_path)
+        result.actions -= labels
+        result.name = f"hide({net.name})"
+        obs.count("algebra.hide.contractions", steps)
+        span.set(
+            contractions=steps,
+            places_before=len(net.places),
+            places_after=len(result.places),
+            transitions_before=len(net.transitions),
+            transitions_after=len(result.transitions),
+        )
+        return result
 
 
 def hide_to_epsilon(net: PetriNet, actions: Action | Iterable[Action]) -> PetriNet:

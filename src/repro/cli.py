@@ -10,6 +10,15 @@ also accepted, selected by extension):
 * ``cip simplify TARGET ENV -o OUT`` — environment-driven reduction;
 * ``cip synth FILE`` — complex-gate synthesis (prints the netlist);
 * ``cip dot FILE`` — Graphviz export.
+
+Exit codes: ``0`` success, ``1`` verification/synthesis failure,
+``2`` usage or input errors (missing file, unparsable input,
+unrecognized extension, exceeded state bound).
+
+``cip verify`` and ``cip info`` accept ``--profile`` (print a span /
+counter / gauge summary on stdout, ``#``-prefixed) and
+``--metrics-out FILE.json`` (write the full ``repro.obs/v1`` payload);
+see ``docs/OBSERVABILITY.md`` for the schema.
 """
 
 from __future__ import annotations
@@ -17,28 +26,89 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.obs import metrics as obs
 from repro.stg.stg import Stg
+
+
+class CliError(Exception):
+    """A user-facing error: printed as one line, exit code 2."""
 
 
 def _load(path: str) -> Stg:
     if path.endswith(".json"):
-        from repro.io.json_io import load
-
-        return load(path)
-    from repro.io.astg import load_astg
-
-    return load_astg(path)
+        from repro.io.json_io import load as loader
+    elif path.endswith(".g"):
+        from repro.io.astg import load_astg as loader
+    else:
+        raise CliError(
+            f"unrecognized extension for {path!r} (expected .g or .json)"
+        )
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        raise CliError(f"no such file: {path}") from None
+    except OSError as error:
+        raise CliError(
+            f"cannot read {path}: {error.strerror or error}"
+        ) from None
+    except (ValueError, KeyError) as error:
+        raise CliError(f"cannot parse {path}: {error}") from None
 
 
 def _save(stg: Stg, path: str) -> None:
     if path.endswith(".json"):
-        from repro.io.json_io import save
-
-        save(stg, path)
+        from repro.io.json_io import save as saver
+    elif path.endswith(".g"):
+        from repro.io.astg import save_astg as saver
     else:
-        from repro.io.astg import save_astg
+        raise CliError(
+            f"unrecognized extension for output {path!r} (expected .g or .json)"
+        )
+    try:
+        saver(stg, path)
+    except OSError as error:
+        raise CliError(
+            f"cannot write {path}: {error.strerror or error}"
+        ) from None
 
-        save_astg(stg, path)
+
+def _observed(args: argparse.Namespace, body) -> int:
+    """Run ``body`` under a metrics recorder when ``--profile`` or
+    ``--metrics-out`` was given; otherwise run it bare (no recording
+    overhead beyond the no-op dispatch)."""
+    profile = getattr(args, "profile", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not profile and not metrics_out:
+        return body()
+    with obs.record() as recorder:
+        status = body()
+    if metrics_out:
+        from repro.obs.emit import write_metrics
+
+        try:
+            write_metrics(metrics_out, recorder)
+        except OSError as error:
+            raise CliError(
+                f"cannot write {metrics_out}: {error.strerror or error}"
+            ) from None
+    if profile:
+        _print_profile(recorder)
+    return status
+
+
+def _print_profile(recorder: obs.MetricsRecorder) -> None:
+    payload = recorder.to_dict()
+    print(
+        f"# profile: {len(payload['spans'])} spans,"
+        f" {len(payload['counters'])} counters,"
+        f" {len(payload['gauges'])} gauges ({payload['clock']} clock)"
+    )
+    for span in payload["spans"]:
+        print(f"#   span    {span['name']:<40} {span['duration'] * 1e3:10.3f} ms")
+    for name, value in payload["counters"].items():
+        print(f"#   counter {name:<40} {value}")
+    for name, value in payload["gauges"].items():
+        print(f"#   gauge   {name:<40} {value}")
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -47,23 +117,31 @@ def cmd_info(args: argparse.Namespace) -> int:
     from repro.petri.reachability import UnboundedNetError
 
     stg = _load(args.file)
-    stg.validate()
-    stats = stg.net.stats()
-    print(f"model    : {stg.name}")
-    print(f"inputs   : {', '.join(sorted(stg.inputs)) or '-'}")
-    print(f"outputs  : {', '.join(sorted(stg.outputs)) or '-'}")
-    if stg.internals:
-        print(f"internal : {', '.join(sorted(stg.internals))}")
-    print(
-        f"size     : {stats['places']} places, {stats['transitions']}"
-        f" transitions, {stats['arcs']} arcs"
-    )
-    print(f"class    : {classify(stg.net).most_specific()}")
-    try:
-        print(f"behaviour: {analyze(stg.net, max_states=args.max_states)}")
-    except UnboundedNetError as error:
-        print(f"behaviour: UNBOUNDED ({error})")
-    return 0
+
+    def body() -> int:
+        stg.validate()
+        stats = stg.net.stats()
+        print(f"model    : {stg.name}")
+        print(f"inputs   : {', '.join(sorted(stg.inputs)) or '-'}")
+        print(f"outputs  : {', '.join(sorted(stg.outputs)) or '-'}")
+        if stg.internals:
+            print(f"internal : {', '.join(sorted(stg.internals))}")
+        print(
+            f"size     : {stats['places']} places, {stats['transitions']}"
+            f" transitions, {stats['arcs']} arcs"
+        )
+        with obs.span("cli.info.classify", net=stg.name):
+            print(f"class    : {classify(stg.net).most_specific()}")
+        try:
+            with obs.span("cli.info.behaviour", net=stg.name):
+                behaviour = analyze(stg.net, max_states=args.max_states)
+        except UnboundedNetError as error:
+            print(f"behaviour: UNBOUNDED ({error})")
+        else:
+            print(f"behaviour: {behaviour}")
+        return 0
+
+    return _observed(args, body)
 
 
 def cmd_compose(args: argparse.Namespace) -> int:
@@ -84,40 +162,73 @@ def cmd_hide(args: argparse.Namespace) -> int:
 
     stg = _load(args.file)
     result = hide_signals(stg, set(args.signals))
+    if args.trim:
+        from repro.algebra.dead import trim
+
+        result.net = trim(result.net)
     _save(result, args.output)
     print(f"wrote {args.output}: {result.net.stats()}")
     return 0
 
 
+def _print_por_summary(report, max_states: int) -> None:
+    """The ``--engine por`` epilogue: the reduction achieved (straight
+    from the report — no re-exploration) and the eager baseline, which
+    is recomputed under the same state bound and reported as
+    unavailable when the full space does not fit."""
+    from repro.petri.product import LazyStateSpace
+    from repro.petri.reachability import UnboundedNetError
+
+    explored = report.states_explored
+    reduced = report.states_reduced or 0
+    print(
+        f"# states reduced : {reduced}/{explored} markings expanded"
+        " with a proper stubborn subset"
+    )
+    try:
+        baseline = LazyStateSpace(report.composite.net, max_states=max_states)
+        eager_states = baseline.explore_all()
+    except UnboundedNetError:
+        print("# eager baseline : unavailable (bound exceeded)")
+    else:
+        print(
+            f"# eager baseline : {eager_states} states"
+            f" ({explored}/{eager_states} explored)"
+        )
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.petri.reachability import UnboundedNetError
     from repro.verify.receptiveness import check_receptiveness
 
-    report = check_receptiveness(
-        _load(args.first),
-        _load(args.second),
-        method=args.method,
-        engine=args.engine,
-    )
-    print(report)
-    if report.states_explored is not None:
-        print(f"# states explored: {report.states_explored} ({report.engine})")
-    if report.engine == "por" and report.states_explored is not None:
-        from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+    first = _load(args.first)
+    second = _load(args.second)
 
-        print(
-            f"# states reduced : {report.states_reduced}"
-            " (markings expanded with a proper stubborn subset)"
-        )
+    def body() -> int:
         try:
-            eager_states = ReachabilityGraph(report.composite.net).num_states()
-        except UnboundedNetError:
-            pass
-        else:
-            print(
-                f"# eager baseline : {eager_states} states"
-                f" ({report.states_explored}/{eager_states} explored)"
+            report = check_receptiveness(
+                first,
+                second,
+                method=args.method,
+                max_states=args.max_states,
+                engine=args.engine,
             )
-    return 0 if report.is_receptive() else 1
+        except UnboundedNetError as error:
+            raise CliError(
+                f"state space exceeds --max-states={args.max_states}:"
+                f" {error}"
+            ) from None
+        print(report)
+        if report.states_explored is not None:
+            print(
+                f"# states explored: {report.states_explored}"
+                f" ({report.engine})"
+            )
+        if report.engine == "por" and report.states_explored is not None:
+            _print_por_summary(report, args.max_states)
+        return 0 if report.is_receptive() else 1
+
+    return _observed(args, body)
 
 
 def cmd_simplify(args: argparse.Namespace) -> int:
@@ -198,6 +309,28 @@ def cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trim_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trim",
+        action="store_true",
+        help="clean up the result: remove dead transitions and"
+        " unreferenced places (language-preserving)",
+    )
+
+
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a '#'-prefixed span/counter/gauge summary of the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        help="write the full repro.obs/v1 metrics payload as JSON",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cip",
@@ -208,19 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="net statistics and properties")
     info.add_argument("file")
     info.add_argument("--max-states", type=int, default=1_000_000)
+    _add_profile_flags(info)
     info.set_defaults(func=cmd_info)
 
     comp = sub.add_parser("compose", help="circuit-algebra composition")
     comp.add_argument("first")
     comp.add_argument("second")
     comp.add_argument("-o", "--output", required=True)
-    comp.add_argument("--trim", action="store_true", help="remove dead transitions")
+    _add_trim_flag(comp)
     comp.set_defaults(func=cmd_compose)
 
     hide = sub.add_parser("hide", help="hide signals by net contraction")
     hide.add_argument("file")
     hide.add_argument("-s", "--signals", action="append", required=True)
     hide.add_argument("-o", "--output", required=True)
+    _add_trim_flag(hide)
     hide.set_defaults(func=cmd_hide)
 
     verify = sub.add_parser("verify", help="receptiveness of a composition")
@@ -240,6 +375,14 @@ def build_parser() -> argparse.ArgumentParser:
         " stubborn-set partial-order reduction (por, reports"
         " explored-vs-eager state counts), or full construction (eager)",
     )
+    verify.add_argument(
+        "--max-states",
+        type=int,
+        default=1_000_000,
+        help="abort (exit 2) when the composite state space exceeds"
+        " this many markings",
+    )
+    _add_profile_flags(verify)
     verify.set_defaults(func=cmd_verify)
 
     simplify = sub.add_parser(
@@ -276,7 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as error:
+        print(f"cip: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

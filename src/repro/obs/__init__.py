@@ -1,0 +1,75 @@
+"""Dependency-free instrumentation: spans, counters, gauges, JSON emission.
+
+Every layer of the pipeline — the exploration engines
+(:mod:`repro.petri.reachability`, :mod:`repro.petri.product`,
+:mod:`repro.petri.independence`), the algebra operators
+(:mod:`repro.algebra`), and the verification checks
+(:mod:`repro.verify`) — reports what it did through this package:
+wall-time *spans* around each phase, additive *counters* for work
+performed (states discovered, edges expanded, enabledness checks,
+interner hits), and *gauges* for level-style measurements (frontier
+high-water mark, interning hit rate, reduction ratio).
+
+Nothing is collected unless a recorder is active::
+
+    from repro import obs
+
+    with obs.record() as recorder:
+        report = check_receptiveness(a, b, engine="por")
+    payload = recorder.to_dict()          # the documented JSON schema
+
+When no recorder is installed every instrumentation call is a no-op
+with a constant-time fast path, so instrumented hot paths cost nothing
+in ordinary runs.  Recorders nest: an inner ``record()`` (e.g. the one
+:func:`repro.verify.receptiveness.check_receptiveness` uses to attach
+``report.metrics``) forwards every event to the outer recorder as well,
+which is how ``cip verify --metrics-out`` sees the same numbers the
+report carries.
+
+Timing uses a monotonic clock by default; tests inject
+:class:`FakeClock` for deterministic durations.  See
+``docs/OBSERVABILITY.md`` for the JSON schema and the span/counter
+naming scheme.
+"""
+
+from repro.obs.clock import Clock, FakeClock, MonotonicClock
+from repro.obs.emit import (
+    benchmark_trajectory,
+    metrics_payload,
+    validate_metrics,
+    write_benchmark,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    MetricsRecorder,
+    SpanRecord,
+    active,
+    count,
+    current,
+    gauge,
+    gauge_max,
+    record,
+    span,
+)
+
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "MetricsRecorder",
+    "MonotonicClock",
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "active",
+    "benchmark_trajectory",
+    "count",
+    "current",
+    "gauge",
+    "gauge_max",
+    "metrics_payload",
+    "record",
+    "span",
+    "validate_metrics",
+    "write_benchmark",
+    "write_metrics",
+]

@@ -1,0 +1,59 @@
+"""Clocks for span timing.
+
+The recorder never calls :func:`time.perf_counter` directly; it asks
+its clock.  That single indirection is what makes every duration in the
+metrics schema testable: inject a :class:`FakeClock` and spans have
+exact, reproducible lengths.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything with a monotonically non-decreasing ``now()``."""
+
+    name: str
+
+    def now(self) -> float: ...
+
+
+class MonotonicClock:
+    """Wall-time spans via :func:`time.perf_counter` (the default)."""
+
+    name = "monotonic"
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock:
+    """A deterministic clock for tests.
+
+    Every ``now()`` call returns the current value and then advances it
+    by ``tick`` — so with ``tick=1.0`` the n-th reading is exactly
+    ``start + n``, and span durations depend only on how many clock
+    reads happened between open and close, never on the machine.
+    ``advance()`` jumps the clock explicitly (e.g. to model a slow
+    phase).
+    """
+
+    name = "fake"
+    __slots__ = ("_now", "tick")
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0):
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.tick
+        return value
+
+    def advance(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("clocks only move forward")
+        self._now += amount

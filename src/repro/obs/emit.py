@@ -1,0 +1,118 @@
+"""JSON emission and schema validation for collected metrics.
+
+One serializer for everything numeric the project reports: the
+``cip verify --metrics-out`` payload, the ``metrics`` field of
+:class:`~repro.verify.receptiveness.ReceptivenessReport`, and the
+``benchmarks/BENCH_*.json`` trajectory files all go through this
+module, so the CLI, the library, and the benchmarks can never emit
+structurally different numbers for the same run.
+
+The metrics payload layout (validated by :func:`validate_metrics`) is
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.metrics import SCHEMA_VERSION, MetricsRecorder
+
+_NUMBER = (int, float)
+
+
+def _write_json(path: str | Path, payload: dict[str, Any]) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def metrics_payload(source: MetricsRecorder | Mapping[str, Any]) -> dict[str, Any]:
+    """The schema dict of a recorder (dicts pass through unchanged)."""
+    if isinstance(source, MetricsRecorder):
+        return source.to_dict()
+    return dict(source)
+
+
+def write_metrics(
+    path: str | Path, source: MetricsRecorder | Mapping[str, Any]
+) -> dict[str, Any]:
+    """Validate and write a metrics payload; returns the payload."""
+    payload = validate_metrics(metrics_payload(source))
+    _write_json(path, payload)
+    return payload
+
+
+def validate_metrics(payload: Any) -> dict[str, Any]:
+    """Check a payload against the documented schema.
+
+    Returns the payload on success; raises :class:`ValueError` naming
+    the first offending field otherwise.  Used by the emitter itself,
+    by the CLI tests, and by the CI schema-smoke job.
+    """
+
+    def fail(reason: str) -> ValueError:
+        return ValueError(f"invalid metrics payload: {reason}")
+
+    if not isinstance(payload, dict):
+        raise fail(f"expected an object, got {type(payload).__name__}")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise fail(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA_VERSION!r}"
+        )
+    if not isinstance(payload.get("clock"), str):
+        raise fail("clock must be a string")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise fail("spans must be a list")
+    for index, span in enumerate(spans):
+        if not isinstance(span, dict):
+            raise fail(f"spans[{index}] must be an object")
+        if not isinstance(span.get("name"), str) or not span["name"]:
+            raise fail(f"spans[{index}].name must be a non-empty string")
+        if not isinstance(span.get("start"), _NUMBER):
+            raise fail(f"spans[{index}].start must be a number")
+        for key in ("end", "duration"):
+            value = span.get(key)
+            if value is not None and not isinstance(value, _NUMBER):
+                raise fail(f"spans[{index}].{key} must be a number or null")
+        if not isinstance(span.get("meta"), dict):
+            raise fail(f"spans[{index}].meta must be an object")
+    for table in ("counters", "gauges"):
+        entries = payload.get(table)
+        if not isinstance(entries, dict):
+            raise fail(f"{table} must be an object")
+        for name, value in entries.items():
+            if not isinstance(name, str):
+                raise fail(f"{table} keys must be strings")
+            if not isinstance(value, _NUMBER):
+                raise fail(f"{table}[{name!r}] must be a number")
+    return payload
+
+
+def benchmark_trajectory(
+    benchmark: str,
+    unit: str,
+    instances: Mapping[str, Mapping[str, int | float]],
+) -> dict[str, Any]:
+    """The ``BENCH_*.json`` trajectory layout: one named benchmark, a
+    unit, and per-instance measurement dicts (instances sorted by name
+    so regenerated files diff cleanly)."""
+    return {
+        "benchmark": benchmark,
+        "unit": unit,
+        "instances": {
+            name: dict(instances[name]) for name in sorted(instances)
+        },
+    }
+
+
+def write_benchmark(
+    path: str | Path,
+    benchmark: str,
+    unit: str,
+    instances: Mapping[str, Mapping[str, int | float]],
+) -> dict[str, Any]:
+    """Write a benchmark trajectory file; returns the payload."""
+    payload = benchmark_trajectory(benchmark, unit, instances)
+    _write_json(path, payload)
+    return payload

@@ -48,9 +48,26 @@ Soundness sketch (the invariants the differential harness in
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from repro.petri.marking import Marking, Place
 from repro.petri.net import PetriNet
+
+
+@dataclass
+class SelectorStats:
+    """Work counters of one :class:`StubbornSelector`.
+
+    ``calls`` counts :meth:`StubbornSelector.reduced_enabled`
+    invocations, ``seeds_tried`` the closures actually computed, and
+    ``proposals`` the calls that returned a proper reduction.  Flushed
+    to the metrics layer by
+    :meth:`repro.petri.product.LazyStateSpace.publish_metrics`.
+    """
+
+    calls: int = 0
+    seeds_tried: int = 0
+    proposals: int = 0
 
 
 class IndependenceRelation:
@@ -146,6 +163,7 @@ class StubbornSelector:
         self.net = net
         self.relation = relation if relation is not None else IndependenceRelation(net)
         self.visible = frozenset(visible_tids)
+        self.stats = SelectorStats()
         self._transitions = net.transitions
 
     def reduced_enabled(
@@ -162,11 +180,13 @@ class StubbornSelector:
         """
         if len(enabled) <= 1:
             return None
+        self.stats.calls += 1
         enabled_set = frozenset(enabled)
         best: set[int] | None = None
         for seed in enabled:
             if seed in self.visible:
                 continue
+            self.stats.seeds_tried += 1
             chosen = self._closure(seed, marking, enabled_set)
             if chosen is None:
                 continue
@@ -176,6 +196,7 @@ class StubbornSelector:
                     break
         if best is None or len(best) >= len(enabled):
             return None
+        self.stats.proposals += 1
         return tuple(sorted(best))
 
     def _closure(

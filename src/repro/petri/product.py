@@ -49,6 +49,7 @@ from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as obs
 from repro.petri.independence import IndependenceRelation, StubbornSelector
 from repro.petri.marking import Marking, MarkingInterner, Place
 from repro.petri.net import EPSILON, PetriNet, Transition
@@ -80,12 +81,28 @@ class ExplorationStats:
     ``reduced_states`` counts the states at which partial-order
     reduction actually expanded a proper subset of the enabled
     transitions (always ``0`` for the plain on-the-fly engine).
+    ``interner_hits`` counts discoveries that landed on an
+    already-interned marking (re-convergent paths); ``frontier_peak``
+    is the high-water mark of the BFS queue in :meth:`iter_bfs`.
     """
 
     states: int = 0
     edges: int = 0
     enabledness_checks: int = 0
     reduced_states: int = 0
+    interner_hits: int = 0
+    frontier_peak: int = 0
+
+    def interner_hit_rate(self) -> float:
+        """Fraction of interner lookups that found an existing marking.
+
+        Per-space: every :meth:`LazyStateSpace._discover` call performs
+        exactly one lookup, a miss creates a state, and the initial
+        marking is interned without a lookup — so the lookup count is
+        ``interner_hits + states - 1``.
+        """
+        lookups = self.interner_hits + max(self.states - 1, 0)
+        return self.interner_hits / lookups if lookups else 0.0
 
     def __add__(self, other: "ExplorationStats") -> "ExplorationStats":
         return ExplorationStats(
@@ -93,6 +110,8 @@ class ExplorationStats:
             self.edges + other.edges,
             self.enabledness_checks + other.enabledness_checks,
             self.reduced_states + other.reduced_states,
+            self.interner_hits + other.interner_hits,
+            max(self.frontier_peak, other.frontier_peak),
         )
 
 
@@ -230,6 +249,7 @@ class LazyStateSpace:
         )
         canonical = self._interner.get(child)
         if canonical is not None:
+            self.stats.interner_hits += 1
             return canonical
         if len(self._interner) >= self.max_states:
             reduced = (
@@ -334,6 +354,8 @@ class LazyStateSpace:
                 if target not in seen:
                     seen.add(target)
                     queue.append(target)
+                    if len(queue) > self.stats.frontier_peak:
+                        self.stats.frontier_peak = len(queue)
                     yield target
 
     def explore_all(self) -> int:
@@ -345,6 +367,40 @@ class LazyStateSpace:
     def num_explored(self) -> int:
         """States discovered so far (== total states after ``explore_all``)."""
         return len(self._interner)
+
+    # -- observability -----------------------------------------------------
+
+    def publish_metrics(self, prefix: str = "engine.lazy") -> None:
+        """Flush the exploration counters to the active obs recorders.
+
+        Counters are additive across spaces (a language comparison
+        publishes both sides under the same prefix); the frontier peak
+        and hit rate are per-space level measurements, reported as a
+        high-water gauge and a last-write gauge respectively.  A no-op
+        when no recorder is installed.
+        """
+        if not obs.active():
+            return
+        stats = self.stats
+        obs.count(f"{prefix}.states", stats.states)
+        obs.count(f"{prefix}.edges", stats.edges)
+        obs.count(f"{prefix}.enabledness_checks", stats.enabledness_checks)
+        obs.count(f"{prefix}.interner_hits", stats.interner_hits)
+        obs.gauge_max(f"{prefix}.frontier_peak", stats.frontier_peak)
+        obs.gauge(
+            f"{prefix}.interner_hit_rate", round(stats.interner_hit_rate(), 6)
+        )
+        if self._selector is not None:
+            obs.count(f"{prefix}.reduced_states", stats.reduced_states)
+            if stats.states:
+                obs.gauge(
+                    f"{prefix}.reduction_ratio",
+                    round(stats.reduced_states / stats.states, 6),
+                )
+            selector = self._selector.stats
+            obs.count(f"{prefix}.selector.calls", selector.calls)
+            obs.count(f"{prefix}.selector.seeds_tried", selector.seeds_tried)
+            obs.count(f"{prefix}.selector.proposals", selector.proposals)
 
     # -- counterexample reconstruction -------------------------------------
 
@@ -400,6 +456,10 @@ class SynchronousProduct:
         self.space1 = space1
         self.space2 = space2
         self.sync = frozenset(sync)
+        #: Product-level work: ``states`` discovered by :meth:`iter_bfs`,
+        #: ``edges`` returned by :meth:`successors` (component work is
+        #: tracked by the component spaces' own stats).
+        self.stats = ExplorationStats()
         for space in (space1, space2):
             visible = space.visible_actions
             if space.is_reduced and visible is not None and not self.sync <= visible:
@@ -429,10 +489,12 @@ class SynchronousProduct:
                 continue
             for target in targets:
                 edges.append((action, (m1, target)))
+        self.stats.edges += len(edges)
         return edges
 
     def iter_bfs(self) -> Iterator[tuple[Marking, Marking]]:
         yield self.initial
+        self.stats.states += 1
         seen = {self.initial}
         queue: deque[tuple[Marking, Marking]] = deque([self.initial])
         while queue:
@@ -441,7 +503,21 @@ class SynchronousProduct:
                 if target not in seen:
                     seen.add(target)
                     queue.append(target)
+                    if len(queue) > self.stats.frontier_peak:
+                        self.stats.frontier_peak = len(queue)
+                    self.stats.states += 1
                     yield target
+
+    def publish_metrics(self, prefix: str = "engine.product") -> None:
+        """Flush product-level counters (and both components' counters,
+        under ``<prefix>.component``) to the active obs recorders."""
+        if not obs.active():
+            return
+        obs.count(f"{prefix}.states", self.stats.states)
+        obs.count(f"{prefix}.edges", self.stats.edges)
+        obs.gauge_max(f"{prefix}.frontier_peak", self.stats.frontier_peak)
+        self.space1.publish_metrics(f"{prefix}.component")
+        self.space2.publish_metrics(f"{prefix}.component")
 
     def to_net(self, name: str = "product-lts") -> PetriNet:
         """Materialise the product LTS as a one-token state-machine net
@@ -603,30 +679,41 @@ def compare_languages(
     def stats() -> ExplorationStats:
         return space1.stats + space2.stats
 
-    while queue:
-        s1, s2 = queue.popleft()
-        moves1 = dfa1.moves(s1) if s1 is not None else {}
-        moves2 = dfa2.moves(s2) if s2 is not None else {}
-        for symbol in sorted(set(moves1) | set(moves2)):
-            if symbol not in universe:
-                # Labels outside the compared alphabet fall outside the
-                # language on either side (same convention as the eager
-                # DFA construction).
-                continue
-            successor = (moves1.get(symbol), moves2.get(symbol))
-            if successor in parents:
-                continue
-            parents[successor] = ((s1, s2), symbol)
-            if mismatch(*successor):
-                return LanguageComparison(
-                    mode, False, trace_of(successor), stats()
-                )
-            if successor[0] is not None and successor[1] is not None:
-                # A pair with a sink component is terminal: in "equal"
-                # mode it was a mismatch above, in "contained" mode a
-                # dead left side can never violate containment later.
-                queue.append(successor)
-    return LanguageComparison(mode, True, None, stats())
+    def finish(
+        verdict: bool, counterexample: tuple[str, ...] | None
+    ) -> LanguageComparison:
+        space1.publish_metrics()
+        space2.publish_metrics()
+        obs.count("engine.product.pairs", len(parents))
+        return LanguageComparison(mode, verdict, counterexample, stats())
+
+    with obs.span(
+        "engine.product.compare_languages", mode=mode, reduction=reduction
+    ) as span:
+        while queue:
+            s1, s2 = queue.popleft()
+            moves1 = dfa1.moves(s1) if s1 is not None else {}
+            moves2 = dfa2.moves(s2) if s2 is not None else {}
+            for symbol in sorted(set(moves1) | set(moves2)):
+                if symbol not in universe:
+                    # Labels outside the compared alphabet fall outside the
+                    # language on either side (same convention as the eager
+                    # DFA construction).
+                    continue
+                successor = (moves1.get(symbol), moves2.get(symbol))
+                if successor in parents:
+                    continue
+                parents[successor] = ((s1, s2), symbol)
+                if mismatch(*successor):
+                    span.set(verdict=False, pairs=len(parents))
+                    return finish(False, trace_of(successor))
+                if successor[0] is not None and successor[1] is not None:
+                    # A pair with a sink component is terminal: in "equal"
+                    # mode it was a mismatch above, in "contained" mode a
+                    # dead left side can never violate containment later.
+                    queue.append(successor)
+        span.set(verdict=True, pairs=len(parents))
+        return finish(True, None)
 
 
 # -- on-the-fly bisimulation (deterministic fragment) -------------------------
@@ -651,6 +738,11 @@ def deterministic_bisimulation(
     space1 = LazyStateSpace(net1, max_states=max_states)
     space2 = LazyStateSpace(net2, max_states=max_states)
 
+    def combined() -> ExplorationStats:
+        space1.publish_metrics()
+        space2.publish_metrics()
+        return space1.stats + space2.stats
+
     def rows(
         space: LazyStateSpace, marking: Marking
     ) -> dict[str, set[Marking]] | None:
@@ -664,17 +756,21 @@ def deterministic_bisimulation(
     start = (space1.initial, space2.initial)
     seen = {start}
     queue = deque([start])
-    while queue:
-        m1, m2 = queue.popleft()
-        rows1 = rows(space1, m1)
-        rows2 = rows(space2, m2)
-        if rows1 is None or rows2 is None:
-            return None, space1.stats + space2.stats
-        if set(rows1) != set(rows2):
-            return False, space1.stats + space2.stats
-        for label, targets1 in rows1.items():
-            pair = (next(iter(targets1)), next(iter(rows2[label])))
-            if pair not in seen:
-                seen.add(pair)
-                queue.append(pair)
-    return True, space1.stats + space2.stats
+    with obs.span("engine.product.deterministic_bisimulation") as span:
+        while queue:
+            m1, m2 = queue.popleft()
+            rows1 = rows(space1, m1)
+            rows2 = rows(space2, m2)
+            if rows1 is None or rows2 is None:
+                span.set(verdict=None)
+                return None, combined()
+            if set(rows1) != set(rows2):
+                span.set(verdict=False)
+                return False, combined()
+            for label, targets1 in rows1.items():
+                pair = (next(iter(targets1)), next(iter(rows2[label])))
+                if pair not in seen:
+                    seen.add(pair)
+                    queue.append(pair)
+        span.set(verdict=True)
+        return True, combined()

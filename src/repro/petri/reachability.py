@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Iterable
 
+from repro.obs import metrics as obs
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet, Transition
 
@@ -76,7 +77,14 @@ class ReachabilityGraph:
         #: Edges as ``(source, action, tid, target)`` tuples.
         self.edges: list[tuple[Marking, str, int, Marking]] = []
         self._successors: dict[Marking, list[tuple[str, int, Marking]]] = {}
-        self._explore(max_states, transition_filter)
+        #: High-water mark of the BFS queue during construction.
+        self.frontier_peak = 0
+        with obs.span("engine.eager.explore", net=net.name) as span:
+            self._explore(max_states, transition_filter)
+            span.set(states=len(self.states), edges=len(self.edges))
+        obs.count("engine.eager.states", len(self.states))
+        obs.count("engine.eager.edges", len(self.edges))
+        obs.gauge_max("engine.eager.frontier_peak", self.frontier_peak)
 
     def _explore(
         self,
@@ -124,6 +132,8 @@ class ReachabilityGraph:
                             )
                         cursor = ancestors[cursor]
                     queue.append(successor)
+                    if len(queue) > self.frontier_peak:
+                        self.frontier_peak = len(queue)
 
     # -- queries -----------------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import metrics as obs
 from repro.petri.net import EPSILON
 from repro.stg.stg import Stg, mirror
 from repro.verify.language import language_contained
@@ -90,21 +91,25 @@ def check_conformance(
             f"output mismatch: {sorted(implementation.outputs)} vs"
             f" {sorted(specification.outputs)}"
         )
-    contained = language_contained(
-        implementation.net,
-        specification.net,
-        silent={EPSILON},
-        max_states=max_states,
-        engine=engine,
-    )
-    environment = mirror(specification)
-    receptiveness = check_receptiveness(
-        environment,
-        implementation,
-        method="reachability",
-        max_states=max_states,
-        engine=engine,
-    )
+    with obs.span("verify.conformance.containment", engine=engine) as span:
+        contained = language_contained(
+            implementation.net,
+            specification.net,
+            silent={EPSILON},
+            max_states=max_states,
+            engine=engine,
+        )
+        span.set(verdict=contained)
+    with obs.span("verify.conformance.receptiveness", engine=engine) as span:
+        environment = mirror(specification)
+        receptiveness = check_receptiveness(
+            environment,
+            implementation,
+            method="reachability",
+            max_states=max_states,
+            engine=engine,
+        )
+        span.set(verdict=receptiveness.is_receptive())
     return ConformanceReport(
         trace_contained=contained,
         receptiveness=receptiveness,

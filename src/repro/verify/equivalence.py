@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from repro.obs import metrics as obs
 from repro.petri.marking import Marking
 from repro.petri.net import EPSILON, PetriNet
 from repro.petri.product import (
@@ -136,18 +137,26 @@ def strongly_bisimilar(
     bisimulation observes every label, so no transition is invisible
     and the stubborn-set selector has nothing to reduce.
     """
-    if resolve_engine(engine) != "eager":
-        verdict, _ = deterministic_bisimulation(net1, net2, max_states)
-        if verdict is not None:
-            return verdict
-        # Nondeterministic somewhere: strong trace inequality still
-        # refutes bisimilarity (traces are coarser than bisimulation).
-        if not compare_languages(
-            net1, net2, mode="equal", silent=(), max_states=max_states
-        ).verdict:
-            return False
-    lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
-    return _partition_refinement(lts1, lts2, lts1.successors, lts2.successors)
+    engine = resolve_engine(engine)
+    with obs.span("verify.bisim.strong", engine=engine) as span:
+        if engine != "eager":
+            verdict, _ = deterministic_bisimulation(net1, net2, max_states)
+            if verdict is not None:
+                span.set(verdict=verdict)
+                return verdict
+            # Nondeterministic somewhere: strong trace inequality still
+            # refutes bisimilarity (traces are coarser than bisimulation).
+            if not compare_languages(
+                net1, net2, mode="equal", silent=(), max_states=max_states
+            ).verdict:
+                span.set(verdict=False)
+                return False
+        lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
+        verdict = _partition_refinement(
+            lts1, lts2, lts1.successors, lts2.successors
+        )
+        span.set(verdict=verdict)
+        return verdict
 
 
 def _weak_moves(lts: _Lts, silent: set[str]) -> list[dict[str, set[int]]]:
@@ -189,21 +198,25 @@ def weakly_bisimilar(
     relations.
     """
     engine = resolve_engine(engine)
-    if engine != "eager":
-        if not compare_languages(
-            net1,
-            net2,
-            mode="equal",
-            silent=silent,
-            max_states=max_states,
-            reduction=engine == "por",
-        ).verdict:
-            return False
-    silent_set = set(silent)
-    lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
-    return _partition_refinement(
-        lts1, lts2, _weak_moves(lts1, silent_set), _weak_moves(lts2, silent_set)
-    )
+    with obs.span("verify.bisim.weak", engine=engine) as span:
+        if engine != "eager":
+            if not compare_languages(
+                net1,
+                net2,
+                mode="equal",
+                silent=silent,
+                max_states=max_states,
+                reduction=engine == "por",
+            ).verdict:
+                span.set(verdict=False)
+                return False
+        silent_set = set(silent)
+        lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
+        verdict = _partition_refinement(
+            lts1, lts2, _weak_moves(lts1, silent_set), _weak_moves(lts2, silent_set)
+        )
+        span.set(verdict=verdict)
+        return verdict
 
 
 # -- failures semantics ------------------------------------------------------

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+from repro.obs import metrics as obs
 from repro.petri.net import EPSILON, PetriNet
 from repro.petri.product import DEFAULT_ENGINE, compare_languages, resolve_engine
 from repro.petri.reachability import ReachabilityGraph
@@ -230,19 +231,23 @@ def languages_equal(
     (the oracle path).  All are exact, so they always agree.
     """
     engine = resolve_engine(engine)
-    if engine != "eager":
-        return compare_languages(
-            net1,
-            net2,
-            mode="equal",
-            silent=silent,
-            max_states=max_states,
-            reduction=engine == "por",
-        ).verdict
-    common = (net1.actions | net2.actions) - set(silent)
-    d1 = dfa_of_net(net1, silent, common, max_states)
-    d2 = dfa_of_net(net2, silent, common, max_states)
-    return dfa_equal(d1, d2)
+    with obs.span("verify.language.equal", engine=engine) as span:
+        if engine != "eager":
+            verdict = compare_languages(
+                net1,
+                net2,
+                mode="equal",
+                silent=silent,
+                max_states=max_states,
+                reduction=engine == "por",
+            ).verdict
+        else:
+            common = (net1.actions | net2.actions) - set(silent)
+            d1 = dfa_of_net(net1, silent, common, max_states)
+            d2 = dfa_of_net(net2, silent, common, max_states)
+            verdict = dfa_equal(d1, d2)
+        span.set(verdict=verdict)
+        return verdict
 
 
 def language_contained(
@@ -254,19 +259,23 @@ def language_contained(
 ) -> bool:
     """Exact visible-trace containment ``L(net1) <= L(net2)``."""
     engine = resolve_engine(engine)
-    if engine != "eager":
-        return compare_languages(
-            net1,
-            net2,
-            mode="contained",
-            silent=silent,
-            max_states=max_states,
-            reduction=engine == "por",
-        ).verdict
-    common = (net1.actions | net2.actions) - set(silent)
-    d1 = dfa_of_net(net1, silent, common, max_states)
-    d2 = dfa_of_net(net2, silent, common, max_states)
-    return dfa_contained(d1, d2)
+    with obs.span("verify.language.contained", engine=engine) as span:
+        if engine != "eager":
+            verdict = compare_languages(
+                net1,
+                net2,
+                mode="contained",
+                silent=silent,
+                max_states=max_states,
+                reduction=engine == "por",
+            ).verdict
+        else:
+            common = (net1.actions | net2.actions) - set(silent)
+            d1 = dfa_of_net(net1, silent, common, max_states)
+            d2 = dfa_of_net(net2, silent, common, max_states)
+            verdict = dfa_contained(d1, d2)
+        span.set(verdict=verdict)
+        return verdict
 
 
 def distinguishing_trace(

@@ -35,6 +35,7 @@ from itertools import product
 
 import numpy as np
 
+from repro.obs import metrics as obs
 from repro.petri.marking import Marking
 from repro.petri.net import EPSILON, PetriNet, disjoint_pair
 from repro.stg.signals import signal_of
@@ -93,6 +94,14 @@ class ReceptivenessReport:
     (``None`` for the structural method).  Under ``engine="por"``,
     ``states_reduced`` counts the markings at which the stubborn-set
     selector expanded a proper subset of the enabled transitions.
+
+    ``metrics`` carries the full instrumentation payload of the check
+    (schema ``repro.obs/v1``, see ``docs/OBSERVABILITY.md``): spans for
+    the composition and the search phase, state throughput, frontier
+    high-water mark, interning hit rate and reduction ratio.  It is
+    recorded unconditionally — the same events are forwarded to any
+    outer recorder (e.g. ``cip verify --profile``), so the two views
+    can never disagree.
     """
 
     composite: Stg
@@ -102,6 +111,7 @@ class ReceptivenessReport:
     engine: str = "eager"
     states_explored: int | None = None
     states_reduced: int | None = None
+    metrics: dict | None = None
 
     def is_receptive(self) -> bool:
         return not self.failures
@@ -127,6 +137,19 @@ def compose_with_obligations(
 ) -> tuple[Stg, list[SyncObligation]]:
     """Circuit-algebra composition that records, for every producer
     transition of a synchronized action, the consumer alternatives."""
+    with obs.span("algebra.compose", left=stg1.name, right=stg2.name) as span:
+        composite, obligations = _compose_with_obligations(stg1, stg2)
+        span.set(
+            places=len(composite.net.places),
+            transitions=len(composite.net.transitions),
+            obligations=len(obligations),
+        )
+        return composite, obligations
+
+
+def _compose_with_obligations(
+    stg1: Stg, stg2: Stg
+) -> tuple[Stg, list[SyncObligation]]:
     common_outputs = (stg1.outputs | stg1.internals) & (
         stg2.outputs | stg2.internals
     )
@@ -289,10 +312,12 @@ def _onthefly_failures(
                     )
                 )
                 if stop_at_first:
+                    space.publish_metrics("engine.lazy")
                     return failures, space.num_explored(), space.stats.reduced_states
             else:
                 remaining.append(obligation)
         pending = remaining
+    space.publish_metrics("engine.lazy")
     return failures, space.num_explored(), space.stats.reduced_states
 
 
@@ -394,47 +419,103 @@ def check_receptiveness(
     return after the first failure (the verdict is already decided at
     that point; only the per-obligation attribution of *later* failures
     is lost).
+
+    Every check records its own instrumentation (spans, counters and
+    gauges under the ``repro.obs/v1`` schema) on ``report.metrics``; the
+    same events are also forwarded to any recorder already active in the
+    caller, e.g. the one behind ``cip verify --profile``.
     """
     from repro.petri.product import DEFAULT_ENGINE, resolve_engine
 
     engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
-    composite, obligations = compose_with_obligations(stg1, stg2)
-    if method == "auto":
-        from repro.petri.classify import is_marked_graph, marked_graph_is_live
+    with obs.record() as recorder:
+        report = _checked_receptiveness(
+            stg1, stg2, method, max_states, engine, stop_at_first, recorder
+        )
+    report.metrics = recorder.to_dict()
+    return report
 
-        structural_ok = is_marked_graph(composite.net) and marked_graph_is_live(
-            composite.net
+
+def _checked_receptiveness(
+    stg1: Stg,
+    stg2: Stg,
+    method: str,
+    max_states: int,
+    engine: str,
+    stop_at_first: bool,
+    recorder: obs.MetricsRecorder,
+) -> ReceptivenessReport:
+    with obs.span("verify.receptiveness", method=method) as span:
+        composite, obligations = compose_with_obligations(stg1, stg2)
+        if method == "auto":
+            from repro.petri.classify import is_marked_graph, marked_graph_is_live
+
+            structural_ok = is_marked_graph(
+                composite.net
+            ) and marked_graph_is_live(composite.net)
+            method = "structural" if structural_ok else "reachability"
+        if method == "structural":
+            with obs.span("verify.receptiveness.structural"):
+                failures = _marked_graph_failures(composite, obligations)
+            span.set(
+                method=method,
+                engine="-",
+                verdict=not failures,
+                obligations=len(obligations),
+                failures=len(failures),
+            )
+            return ReceptivenessReport(
+                composite, obligations, failures, method, engine="-"
+            )
+        if method != "reachability":
+            raise ValueError(f"unknown method {method!r}")
+        reduced: int | None = None
+        clock = recorder.clock
+        search_start = clock.now()
+        with obs.span("verify.receptiveness.search", engine=engine) as search:
+            if engine in ("onthefly", "por"):
+                failures, explored, reduced = _onthefly_failures(
+                    composite,
+                    obligations,
+                    max_states,
+                    stop_at_first=stop_at_first,
+                    reduce=engine == "por",
+                )
+            else:
+                failures, explored = _reachability_failures(
+                    composite, obligations, max_states
+                )
+            search.set(states=explored)
+        elapsed = clock.now() - search_start
+        obs.gauge("verify.receptiveness.states_explored", explored)
+        if elapsed > 0:
+            obs.gauge(
+                "verify.receptiveness.states_per_second",
+                round(explored / elapsed, 3),
+            )
+        if reduced is not None:
+            obs.gauge("verify.receptiveness.states_reduced", reduced)
+            if explored:
+                obs.gauge(
+                    "verify.receptiveness.reduction_ratio",
+                    round(reduced / explored, 6),
+                )
+        span.set(
+            method=method,
+            engine=engine,
+            verdict=not failures,
+            obligations=len(obligations),
+            failures=len(failures),
         )
-        method = "structural" if structural_ok else "reachability"
-    if method == "structural":
-        failures = _marked_graph_failures(composite, obligations)
         return ReceptivenessReport(
-            composite, obligations, failures, method, engine="-"
-        )
-    if method != "reachability":
-        raise ValueError(f"unknown method {method!r}")
-    reduced: int | None = None
-    if engine in ("onthefly", "por"):
-        failures, explored, reduced = _onthefly_failures(
             composite,
             obligations,
-            max_states,
-            stop_at_first=stop_at_first,
-            reduce=engine == "por",
+            failures,
+            method,
+            engine=engine,
+            states_explored=explored,
+            states_reduced=reduced,
         )
-    else:
-        failures, explored = _reachability_failures(
-            composite, obligations, max_states
-        )
-    return ReceptivenessReport(
-        composite,
-        obligations,
-        failures,
-        method,
-        engine=engine,
-        states_explored=explored,
-        states_reduced=reduced,
-    )
 
 
 def check_receptiveness_with_hiding(

@@ -1,0 +1,164 @@
+"""Tests for the instrumentation subsystem (``repro.obs``)."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.obs.clock import FakeClock, MonotonicClock
+from repro.obs.emit import (
+    SCHEMA_VERSION,
+    benchmark_trajectory,
+    metrics_payload,
+    validate_metrics,
+    write_benchmark,
+    write_metrics,
+)
+
+
+class TestClocks:
+    def test_monotonic_clock_advances(self):
+        clock = MonotonicClock()
+        assert clock.name == "monotonic"
+        assert clock.now() <= clock.now()
+
+    def test_fake_clock_is_deterministic(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.name == "fake"
+        assert clock.now() == 10.0
+        assert clock.now() == 10.5
+        clock.advance(4.0)
+        assert clock.now() == 15.0
+
+    def test_fake_clock_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+
+class TestRecorder:
+    def test_noop_when_inactive(self):
+        assert not obs.active()
+        # None of these may raise or record anything.
+        with obs.span("nothing", extra=1) as handle:
+            handle.set(more=2)
+        obs.count("c", 3)
+        obs.gauge("g", 4)
+        obs.gauge_max("m", 5)
+        assert not obs.active()
+
+    def test_span_durations_from_fake_clock(self):
+        with obs.record(clock=FakeClock(tick=1.0)) as recorder:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        by_name = {span.name: span for span in recorder.spans}
+        assert set(by_name) == {"outer", "inner"}
+        # Every now() call ticks once: outer.start=0, inner.start=1,
+        # inner.end=2, outer.end=3.
+        assert by_name["inner"].duration == 1.0
+        assert by_name["outer"].duration == 3.0
+
+    def test_counters_accumulate_and_gauge_max_keeps_peak(self):
+        with obs.record(clock=FakeClock()) as recorder:
+            obs.count("events", 2)
+            obs.count("events", 3)
+            obs.gauge("ratio", 0.5)
+            obs.gauge("ratio", 0.25)
+            obs.gauge_max("peak", 7)
+            obs.gauge_max("peak", 4)
+        assert recorder.counters == {"events": 5}
+        assert recorder.gauges == {"ratio": 0.25, "peak": 7}
+
+    def test_nested_recorders_both_observe(self):
+        with obs.record(clock=FakeClock()) as outer:
+            obs.count("shared", 1)
+            with obs.record() as inner:
+                obs.count("shared", 1)
+                with obs.span("deep", tag="x"):
+                    pass
+        assert outer.counters == {"shared": 2}
+        assert inner.counters == {"shared": 1}
+        assert [span.name for span in inner.spans] == ["deep"]
+        assert [span.name for span in outer.spans] == ["deep"]
+        # The nested recorder inherits the innermost active clock.
+        assert inner.clock is outer.clock
+
+    def test_span_meta_updates_are_shared(self):
+        with obs.record(clock=FakeClock()) as recorder:
+            with obs.span("work", phase="start") as handle:
+                handle.set(states=42)
+        (span,) = recorder.spans
+        assert span.meta == {"phase": "start", "states": 42}
+
+    def test_stack_is_clean_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.record(clock=FakeClock()) as recorder:
+                with obs.span("doomed"):
+                    raise RuntimeError("boom")
+        assert not obs.active()
+        # The span was still closed on the way out.
+        assert recorder.spans[0].end is not None
+
+
+class TestEmit:
+    def test_payload_round_trips_validation(self):
+        with obs.record(clock=FakeClock()) as recorder:
+            with obs.span("phase", detail="x"):
+                obs.count("n", 1)
+                obs.gauge("r", 0.5)
+        payload = metrics_payload(recorder)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["clock"] == "fake"
+        validate_metrics(payload)
+        # Survives JSON serialisation unchanged.
+        validate_metrics(json.loads(json.dumps(payload)))
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.update(schema="other/v9"), "schema"),
+            (lambda p: p.update(spans={}), "spans"),
+            (lambda p: p["spans"][0].update(duration="fast"), "duration"),
+            (lambda p: p["counters"].update({"bad": "nan"}), "counter"),
+            (lambda p: p["gauges"].update({3: 1.0}), "gauge"),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate, message):
+        with obs.record(clock=FakeClock()) as recorder:
+            with obs.span("s"):
+                pass
+        payload = metrics_payload(recorder)
+        payload["counters"] = dict(payload["counters"])
+        payload["gauges"] = dict(payload["gauges"])
+        mutate(payload)
+        with pytest.raises(ValueError, match=message):
+            validate_metrics(payload)
+
+    def test_write_metrics_file(self, tmp_path):
+        with obs.record(clock=FakeClock()) as recorder:
+            with obs.span("s"):
+                obs.count("c", 1)
+        target = tmp_path / "metrics.json"
+        payload = write_metrics(str(target), recorder)
+        on_disk = json.loads(target.read_text())
+        assert on_disk == payload
+        assert target.read_text().endswith("\n")
+
+    def test_write_benchmark_layout(self, tmp_path):
+        target = tmp_path / "BENCH_x.json"
+        write_benchmark(
+            str(target),
+            benchmark="demo",
+            unit="states",
+            instances={"b": {"eager": 2}, "a": {"eager": 1}},
+        )
+        payload = json.loads(target.read_text())
+        assert list(payload) == ["benchmark", "unit", "instances"]
+        assert list(payload["instances"]) == ["a", "b"]
+        assert target.read_text().endswith("\n")
+
+    def test_benchmark_trajectory_sorts_instances(self):
+        payload = benchmark_trajectory(
+            "demo", "states", {"z": {"n": 1}, "a": {"n": 2}}
+        )
+        assert list(payload["instances"]) == ["a", "z"]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -20,6 +22,20 @@ def slave_file(tmp_path):
     path = tmp_path / "slave.g"
     save_astg(four_phase_slave(), str(path))
     return str(path)
+
+
+@pytest.fixture()
+def case_study_files(tmp_path):
+    """The Fig 5/7 sender and translator as .json inputs (their nets
+    round-trip through the JSON format, not the astg one)."""
+    from repro.io.json_io import save
+    from repro.models.protocol_translator import sender, translator
+
+    sender_path = tmp_path / "sender.json"
+    translator_path = tmp_path / "translator.json"
+    save(sender(), str(sender_path))
+    save(translator(), str(translator_path))
+    return str(sender_path), str(translator_path)
 
 
 class TestInfo:
@@ -91,6 +107,181 @@ class TestVerify:
         save_astg(Stg(net, inputs={"a"}, outputs={"r"}), str(bad_path))
         assert main(["verify", str(bad_path), slave_file]) == 1
         assert "NOT receptive" in capsys.readouterr().out
+
+
+class TestFailurePaths:
+    """Input errors are one-line messages on stderr with exit code 2."""
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "does_not_exist.g"]) == 2
+        err = capsys.readouterr().err
+        assert err == "cip: error: no such file: does_not_exist.g\n"
+
+    def test_malformed_astg(self, tmp_path, capsys):
+        path = tmp_path / "broken.g"
+        path.write_text("this is not an astg file\n.end\n")
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cip: error: cannot parse")
+        assert "\n" not in err.rstrip("\n")
+
+    def test_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["info", str(path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_unknown_input_extension(self, tmp_path, capsys):
+        path = tmp_path / "net.xyz"
+        path.write_text("")
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unrecognized extension" in err
+        assert ".g or .json" in err
+
+    def test_unknown_output_extension(self, master_file, tmp_path, capsys):
+        target = tmp_path / "out.xyz"
+        assert main(["hide", master_file, "-s", "r", "-o", str(target)]) == 2
+        assert "unrecognized extension for output" in capsys.readouterr().err
+        assert not target.exists()
+
+    def test_verify_bound_exceeded_is_a_clean_error(
+        self, case_study_files, capsys
+    ):
+        sender_path, translator_path = case_study_files
+        status = main(
+            ["verify", sender_path, translator_path, "--max-states", "10"]
+        )
+        assert status == 2
+        assert "exceeds --max-states=10" in capsys.readouterr().err
+
+
+class TestVerifyPor:
+    def test_por_reports_reduction_and_baseline(
+        self, case_study_files, capsys
+    ):
+        sender_path, translator_path = case_study_files
+        assert (
+            main(["verify", sender_path, translator_path, "--engine", "por"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# states explored: 228 (por)" in out
+        assert (
+            "# states reduced : 59/228 markings expanded"
+            " with a proper stubborn subset" in out
+        )
+        assert "# eager baseline : 1444 states (228/1444 explored)" in out
+
+    def test_por_baseline_unavailable_when_bound_exceeded(
+        self, case_study_files, capsys
+    ):
+        # 300 admits the 228-state reduced space but not the 1444-state
+        # full one: the verdict must still be printed, with the baseline
+        # marked unavailable rather than silently omitted.
+        sender_path, translator_path = case_study_files
+        status = main(
+            [
+                "verify",
+                sender_path,
+                translator_path,
+                "--engine",
+                "por",
+                "--max-states",
+                "300",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "receptive" in out
+        assert "# eager baseline : unavailable (bound exceeded)" in out
+
+
+class TestObservability:
+    def test_profile_prints_summary(self, master_file, slave_file, capsys):
+        assert (
+            main(["verify", master_file, slave_file, "--profile"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "# profile:" in out
+        assert "verify.receptiveness" in out
+
+    def test_profile_does_not_change_the_answer(
+        self, master_file, slave_file, capsys
+    ):
+        assert main(["verify", master_file, slave_file]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(["verify", master_file, slave_file, "--profile"]) == 0
+        )
+        profiled = capsys.readouterr().out
+        unprefixed = [
+            line
+            for line in profiled.splitlines()
+            if not line.startswith("#   ") and not line.startswith("# profile")
+        ]
+        assert plain.splitlines() == unprefixed
+
+    def test_metrics_out_round_trips_schema(
+        self, master_file, slave_file, tmp_path, capsys
+    ):
+        from repro.obs.emit import validate_metrics
+
+        target = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "verify",
+                    master_file,
+                    slave_file,
+                    "--metrics-out",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(target.read_text())
+        validate_metrics(payload)
+        names = {span["name"] for span in payload["spans"]}
+        assert {"verify.receptiveness", "algebra.compose"} <= names
+        assert payload["clock"] == "monotonic"
+
+    def test_info_profile_and_metrics(self, master_file, tmp_path, capsys):
+        from repro.obs.emit import validate_metrics
+
+        target = tmp_path / "info.json"
+        assert (
+            main(
+                ["info", master_file, "--profile", "--metrics-out", str(target)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# profile:" in out
+        payload = json.loads(target.read_text())
+        validate_metrics(payload)
+        names = {span["name"] for span in payload["spans"]}
+        assert {"cli.info.classify", "cli.info.behaviour"} <= names
+
+
+class TestHideTrim:
+    def test_hide_trim_cleans_result(self, master_file, slave_file, tmp_path):
+        composed = tmp_path / "system.g"
+        main(["compose", master_file, slave_file, "-o", str(composed)])
+        plain = tmp_path / "plain.g"
+        trimmed = tmp_path / "trimmed.g"
+        assert main(["hide", str(composed), "-s", "a", "-o", str(plain)]) == 0
+        assert (
+            main(
+                ["hide", str(composed), "-s", "a", "-o", str(trimmed), "--trim"]
+            )
+            == 0
+        )
+        from repro.io.astg import load_astg
+
+        assert len(load_astg(str(trimmed)).net.places) <= len(
+            load_astg(str(plain)).net.places
+        )
 
 
 class TestSimplify:

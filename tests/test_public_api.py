@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.synth",
     "repro.models",
     "repro.io",
+    "repro.obs",
 ]
 
 
