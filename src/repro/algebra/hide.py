@@ -70,12 +70,26 @@ def hide_transition(
 
 def _collapsible(net: PetriNet, hidden: Transition) -> bool:
     """The Section 4.4 special case: one conflict-free input place and
-    one output place — contraction degenerates to merging the places."""
+    one output place — contraction degenerates to merging the places.
+
+    The merge rewrites ``source`` to ``target`` inside set-valued
+    pre/postsets, so any other transition touching *both* places would
+    silently lose an arc (a postset ``{source, target}`` denotes two
+    produced tokens, the merged ``{target}`` only one); such nets must
+    take the general contraction."""
     if len(hidden.preset) != 1 or len(hidden.postset) != 1:
         return False
     (source,) = hidden.preset
+    (target,) = hidden.postset
     consumers = net.consumers(source)
-    return len(consumers) == 1 and consumers[0].tid == hidden.tid
+    if len(consumers) != 1 or consumers[0].tid != hidden.tid:
+        return False
+    both = {source, target}
+    return not any(
+        both <= t.preset or both <= t.postset
+        for tid, t in net.transitions.items()
+        if tid != hidden.tid
+    )
 
 
 def _collapse(net: PetriNet, hidden: Transition) -> PetriNet:

@@ -134,7 +134,11 @@ def cmd_info(args: argparse.Namespace) -> int:
             print(f"class    : {classify(stg.net).most_specific()}")
         try:
             with obs.span("cli.info.behaviour", net=stg.name):
-                behaviour = analyze(stg.net, max_states=args.max_states)
+                behaviour = analyze(
+                    stg.net,
+                    max_states=args.max_states,
+                    backend=args.backend,
+                )
         except UnboundedNetError as error:
             print(f"behaviour: UNBOUNDED ({error})")
         else:
@@ -171,7 +175,7 @@ def cmd_hide(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_por_summary(report, max_states: int) -> None:
+def _print_por_summary(report, max_states: int, backend: str) -> None:
     """The ``--engine por`` epilogue: the reduction achieved (straight
     from the report — no re-exploration) and the eager baseline, which
     is recomputed under the same state bound and reported as
@@ -186,7 +190,9 @@ def _print_por_summary(report, max_states: int) -> None:
         " with a proper stubborn subset"
     )
     try:
-        baseline = LazyStateSpace(report.composite.net, max_states=max_states)
+        baseline = LazyStateSpace(
+            report.composite.net, max_states=max_states, backend=backend
+        )
         eager_states = baseline.explore_all()
     except UnboundedNetError:
         print("# eager baseline : unavailable (bound exceeded)")
@@ -212,6 +218,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 method=args.method,
                 max_states=args.max_states,
                 engine=args.engine,
+                backend=args.backend,
             )
         except UnboundedNetError as error:
             raise CliError(
@@ -225,7 +232,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 f" ({report.engine})"
             )
         if report.engine == "por" and report.states_explored is not None:
-            _print_por_summary(report, args.max_states)
+            _print_por_summary(report, args.max_states, args.backend)
         return 0 if report.is_receptive() else 1
 
     return _observed(args, body)
@@ -318,6 +325,20 @@ def _add_trim_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.petri.compiled import BACKENDS, DEFAULT_BACKEND
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=DEFAULT_BACKEND,
+        help="state representation for exploration: packed integer"
+        " vectors over a compiled net (compiled, default) or plain"
+        " place-count dictionaries (dict); verdicts are identical,"
+        " see docs/PERFORMANCE.md",
+    )
+
+
 def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -341,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="net statistics and properties")
     info.add_argument("file")
     info.add_argument("--max-states", type=int, default=1_000_000)
+    _add_backend_flag(info)
     _add_profile_flags(info)
     info.set_defaults(func=cmd_info)
 
@@ -382,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort (exit 2) when the composite state space exceeds"
         " this many markings",
     )
+    _add_backend_flag(verify)
     _add_profile_flags(verify)
     verify.set_defaults(func=cmd_verify)
 

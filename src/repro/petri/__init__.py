@@ -10,6 +10,12 @@ of the paper), :class:`~repro.petri.marking.Marking` (Definition 2.2) and
 :class:`~repro.petri.reachability.ReachabilityGraph`.
 """
 
+from repro.petri.compiled import (
+    BACKENDS,
+    CompiledNet,
+    CompiledSpace,
+    resolve_backend,
+)
 from repro.petri.independence import IndependenceRelation, StubbornSelector
 from repro.petri.marking import Marking, MarkingInterner
 from repro.petri.net import PetriNet, Transition
@@ -43,6 +49,9 @@ from repro.petri.traces import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CompiledNet",
+    "CompiledSpace",
     "Marking",
     "MarkingInterner",
     "PetriNet",
@@ -57,6 +66,7 @@ __all__ = [
     "SynchronousProduct",
     "compare_languages",
     "deterministic_bisimulation",
+    "resolve_backend",
     "resolve_engine",
     "SimulationError",
     "TokenGame",

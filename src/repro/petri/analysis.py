@@ -42,13 +42,19 @@ class NetProperties:
         return ", ".join(flags)
 
 
-def analyze(net: PetriNet, max_states: int = 1_000_000) -> NetProperties:
+def analyze(
+    net: PetriNet, max_states: int = 1_000_000, backend: str | None = None
+) -> NetProperties:
     """Compute the behavioural property summary of a bounded net.
 
     Raises :class:`UnboundedNetError` when the net is detected to be
     unbounded (use :mod:`repro.petri.coverability` to analyse those).
+
+    ``backend`` selects the explorer's state representation (packed
+    ``"compiled"`` vectors by default, ``"dict"`` markings otherwise);
+    the computed properties are identical either way.
     """
-    graph = ReachabilityGraph(net, max_states=max_states)
+    graph = ReachabilityGraph(net, max_states=max_states, backend=backend)
     return NetProperties(
         bounded=True,
         bound=graph.bound(),

@@ -86,7 +86,8 @@ class IndependenceRelation:
         consumers: dict[Place, set[int]] = {}
         strict_producers: dict[Place, list[int]] = {}
         changing: dict[Place, set[int]] = {}
-        for tid, transition in sorted(net.transitions.items()):
+        for transition in net.sorted_transitions():
+            tid = transition.tid
             for place in transition.preset:
                 consumers.setdefault(place, set()).add(tid)
             for place in transition.postset - transition.preset:

@@ -14,9 +14,13 @@ integer identity ``tid``.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.petri.marking import Marking, Place
+
+if TYPE_CHECKING:
+    from repro.petri.compiled import CompiledNet
 
 Action = str
 
@@ -32,6 +36,16 @@ class Transition:
     preset: frozenset[Place]
     action: Action
     postset: frozenset[Place]
+    #: Places a firing strictly drains / fills (``preset \ postset`` and
+    #: ``postset \ preset``).  Derived once at construction — firing is
+    #: the hot path of every exploration engine and must not recompute
+    #: these set differences per step.
+    consume: frozenset[Place] = field(init=False, repr=False, compare=False)
+    produce: frozenset[Place] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "consume", self.preset - self.postset)
+        object.__setattr__(self, "produce", self.postset - self.preset)
 
     def is_self_looping(self) -> bool:
         """``True`` iff some place is both consumed and produced."""
@@ -85,6 +99,13 @@ class PetriNet:
         #: Lazily built place -> consumer-tids index (see
         #: :meth:`consumer_index`); invalidated on transition mutation.
         self._consumer_index: dict[Place, tuple[int, ...]] | None = None
+        #: Lazily built tid-sorted transition tuple (see
+        #: :meth:`sorted_transitions`); same invalidation discipline.
+        self._sorted_transitions: tuple[Transition, ...] | None = None
+        #: Lazily built integer-indexed form (see :meth:`compiled`);
+        #: additionally invalidated when places or the initial marking
+        #: change, since the compiled form bakes both in.
+        self._compiled: "CompiledNet | None" = None
         for place in self.initial:
             self.places.add(place)
 
@@ -93,6 +114,7 @@ class PetriNet:
     def add_place(self, place: Place, tokens: int = 0) -> Place:
         """Add a place, optionally with initial tokens.  Idempotent on name."""
         self.places.add(place)
+        self._compiled = None
         if tokens:
             counts = dict(self.initial)
             counts[place] = counts.get(place, 0) + tokens
@@ -124,12 +146,16 @@ class PetriNet:
         self.actions.add(action)
         self.transitions[tid] = transition
         self._consumer_index = None
+        self._sorted_transitions = None
+        self._compiled = None
         return transition
 
     def remove_transition(self, tid: int) -> None:
         """Remove a transition (its adjacent places remain)."""
         transition = self.transitions.pop(tid)
         self._consumer_index = None
+        self._sorted_transitions = None
+        self._compiled = None
         for place in transition.preset:
             self.input_guards.pop((place, tid), None)
 
@@ -139,6 +165,7 @@ class PetriNet:
             if place in transition.preset or place in transition.postset:
                 raise ValueError(f"place {place!r} still used by {transition!r}")
         self.places.discard(place)
+        self._compiled = None
         if place in self.initial:
             self.initial = Marking({p: n for p, n in self.initial.items() if p != place})
 
@@ -146,6 +173,7 @@ class PetriNet:
         """Replace the initial marking (places are created implicitly)."""
         self.initial = Marking(marking)
         self.places.update(self.initial)
+        self._compiled = None
 
     def set_guard(self, place: Place, tid: int, guard: object) -> None:
         """Attach a boolean guard to the input arc ``place -> tid``."""
@@ -164,17 +192,32 @@ class PetriNet:
         """Places marked in the initial marking (the paper's initial places)."""
         return self.initial.marked_places()
 
+    def sorted_transitions(self) -> tuple[Transition, ...]:
+        """All transitions in tid order.
+
+        Cached — the structural queries below and the exploration
+        engines iterate this constantly, and re-sorting
+        ``transitions.items()`` per call dominated their set-up cost.
+        Invalidated together with :meth:`consumer_index` on transition
+        mutation.
+        """
+        if self._sorted_transitions is None:
+            self._sorted_transitions = tuple(
+                t for _, t in sorted(self.transitions.items())
+            )
+        return self._sorted_transitions
+
     def transitions_with_action(self, action: Action) -> list[Transition]:
         """All transitions labeled ``action``, in tid order."""
-        return [t for _, t in sorted(self.transitions.items()) if t.action == action]
+        return [t for t in self.sorted_transitions() if t.action == action]
 
     def consumers(self, place: Place) -> list[Transition]:
         """Transitions with ``place`` in their preset (the place's postset)."""
-        return [t for _, t in sorted(self.transitions.items()) if place in t.preset]
+        return [t for t in self.sorted_transitions() if place in t.preset]
 
     def producers(self, place: Place) -> list[Transition]:
         """Transitions with ``place`` in their postset (the place's preset)."""
-        return [t for _, t in sorted(self.transitions.items()) if place in t.postset]
+        return [t for t in self.sorted_transitions() if place in t.postset]
 
     def consumer_index(self) -> dict[Place, tuple[int, ...]]:
         """Place -> tids of its consuming transitions, in tid order.
@@ -187,13 +230,27 @@ class PetriNet:
         """
         if self._consumer_index is None:
             index: dict[Place, list[int]] = {}
-            for tid, transition in sorted(self.transitions.items()):
+            for transition in self.sorted_transitions():
                 for place in transition.preset:
-                    index.setdefault(place, []).append(tid)
+                    index.setdefault(place, []).append(transition.tid)
             self._consumer_index = {
                 place: tuple(tids) for place, tids in index.items()
             }
         return self._consumer_index
+
+    def compiled(self) -> "CompiledNet":
+        """The integer-indexed compiled form of this net.
+
+        Built once on first use (see :mod:`repro.petri.compiled`) and
+        invalidated by any mutation the compiled form bakes in: place
+        or transition changes and :meth:`set_initial` /
+        :meth:`add_place` with tokens.
+        """
+        if self._compiled is None:
+            from repro.petri.compiled import compile_net
+
+            self._compiled = compile_net(self)
+        return self._compiled
 
     def used_actions(self) -> set[Action]:
         """Labels that actually occur on transitions."""
@@ -212,23 +269,25 @@ class PetriNet:
     def enabled_transitions(self, marking: Marking) -> list[Transition]:
         """All transitions enabled in ``marking``, in tid order."""
         return [
-            t
-            for _, t in sorted(self.transitions.items())
-            if self.is_enabled(t, marking)
+            t for t in self.sorted_transitions() if self.is_enabled(t, marking)
         ]
 
-    def fire(self, transition: Transition, marking: Marking) -> Marking:
+    def fire(
+        self, transition: Transition, marking: Marking, check: bool = True
+    ) -> Marking:
         """Fire an enabled transition and return the successor marking.
 
         Implements Definition 2.2: tokens are removed from ``preset \\
         postset``, added to ``postset \\ preset`` and left untouched on
         self-loop places (which must still be marked for enabling).
+
+        ``check=False`` skips the enabledness re-check for callers that
+        have already filtered on :meth:`is_enabled` (the exploration
+        engines fire only transitions from an enabled set).
         """
-        if not self.is_enabled(transition, marking):
+        if check and not self.is_enabled(transition, marking):
             raise ValueError(f"{transition!r} is not enabled in {marking!r}")
-        return marking.remove(transition.preset - transition.postset).add(
-            transition.postset - transition.preset
-        )
+        return marking.fire(transition.consume, transition.produce)
 
     # -- copying / renaming ----------------------------------------------
 

@@ -50,6 +50,12 @@ from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.obs import metrics as obs
+from repro.petri.compiled import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CompiledSpace,
+    resolve_backend,
+)
 from repro.petri.independence import IndependenceRelation, StubbornSelector
 from repro.petri.marking import Marking, MarkingInterner, Place
 from repro.petri.net import EPSILON, PetriNet, Transition
@@ -132,6 +138,16 @@ class LazyStateSpace:
     ``detect_unbounded`` enables the Karp-Miller strict-covering
     heuristic along the discovery-parent chain.
 
+    ``backend`` selects the state representation: ``"compiled"`` (the
+    default) runs the exploration over the packed integer-indexed core
+    of :mod:`repro.petri.compiled` — same discovery order, same
+    reduction decisions, same errors — while this class keeps its
+    Marking-domain API by translating at the boundary (packed states
+    are decoded at most once each).  ``"dict"`` is the string-keyed
+    reference path.  Callers that can work on token-count vectors
+    directly should use :meth:`iter_raw`/:meth:`decode` to skip the
+    translation entirely.
+
     Partial-order reduction (``engine="por"``) is switched on with
     ``reduction=True`` (or an explicit
     :class:`~repro.petri.independence.StubbornSelector`): at each
@@ -158,14 +174,15 @@ class LazyStateSpace:
         reduction: "StubbornSelector | bool" = False,
         visible_actions: Iterable[str] | None = None,
         visible_places: Iterable[Place] = (),
+        backend: str | None = None,
     ):
         self.net = net
+        self.backend = resolve_backend(backend)
         self.max_states = max_states
         self.stats = ExplorationStats()
         self._filter = transition_filter
         self._detect_unbounded = detect_unbounded
         self._transitions = net.transitions
-        self._consumers = net.consumer_index()
         self.visible_actions: frozenset[str] | None = None
         self._selector: StubbornSelector | None = None
         if reduction:
@@ -191,20 +208,95 @@ class LazyStateSpace:
                 }
                 visible_tids |= relation.transitions_changing(visible_places)
                 self._selector = StubbornSelector(net, visible_tids, relation)
+        self.stats.states = 1
+        self._succ: dict[Marking, tuple[tuple[str, int, Marking], ...]] = {}
+        if self.backend == "compiled":
+            self._init_compiled(net, transition_filter)
+        else:
+            self._init_dict(net)
+
+    def _init_dict(self, net: PetriNet) -> None:
+        self._core: CompiledSpace | None = None
+        self._consumers = net.consumer_index()
         #: Transitions with an empty preset are enabled in every marking.
         self._always_enabled = tuple(
-            tid for tid, t in sorted(net.transitions.items()) if not t.preset
+            t.tid for t in net.sorted_transitions() if not t.preset
         )
         self._interner = MarkingInterner()
         self.initial = self._interner.intern(net.initial)
-        self.stats.states = 1
         self._parent: dict[Marking, tuple[Marking, int] | None] = {
             self.initial: None
         }
         self._enabled: dict[Marking, tuple[int, ...]] = {
             self.initial: self._scan_enabled(self.initial)
         }
-        self._succ: dict[Marking, tuple[tuple[str, int, Marking], ...]] = {}
+
+    def _init_compiled(
+        self,
+        net: PetriNet,
+        transition_filter: Callable[[Transition, Marking], bool] | None,
+    ) -> None:
+        cnet = net.compiled()
+        self._cnet = cnet
+        wrapped: Callable[[int, object], bool] | None = None
+        if transition_filter is not None:
+            transitions = cnet.transitions
+
+            def wrapped(dense: int, state) -> bool:
+                return transition_filter(transitions[dense], self._decode(state))
+
+        self._core = CompiledSpace(
+            cnet,
+            max_states=self.max_states,
+            stats=self.stats,
+            detect_unbounded=self._detect_unbounded,
+            selector=self._selector,
+            transition_filter=wrapped,
+        )
+        self.initial = net.initial
+        #: Bidirectional packed <-> Marking maps, filled on demand; each
+        #: packed state gets one canonical decoded Marking.
+        self._mark_of = {self._core.initial: self.initial}
+        self._pack_of = {self.initial: self._core.initial}
+
+    # -- compiled-backend plumbing -----------------------------------------
+
+    @property
+    def compiled_net(self):
+        """The :class:`~repro.petri.compiled.CompiledNet` behind a
+        compiled-backend space (``None`` for the dict backend)."""
+        return self._cnet if self.backend == "compiled" else None
+
+    def _decode(self, state) -> Marking:
+        marking = self._mark_of.get(state)
+        if marking is None:
+            marking = self._cnet.decode(state)
+            self._mark_of[state] = marking
+            self._pack_of[marking] = state
+        return marking
+
+    def decode(self, state) -> Marking:
+        """The canonical :class:`Marking` of a packed state yielded by
+        :meth:`iter_raw` (identity transform on the dict backend)."""
+        if self.backend == "compiled":
+            return self._decode(state)
+        return state
+
+    def _lookup_packed(self, marking: Marking):
+        """The packed form of an already-discovered marking; raises
+        ``KeyError`` when the marking was never discovered (or cannot
+        even be encoded over this net's places)."""
+        packed = self._pack_of.get(marking)
+        if packed is not None:
+            return packed
+        try:
+            packed = self._cnet.encode(marking)
+        except (KeyError, ValueError):
+            raise KeyError(f"{marking!r} has not been discovered") from None
+        if not self._core.discovered(packed):
+            raise KeyError(f"{marking!r} has not been discovered")
+        self._pack_of[marking] = packed
+        return packed
 
     # -- enabledness (incremental) ----------------------------------------
 
@@ -318,6 +410,15 @@ class LazyStateSpace:
         cached = self._succ.get(marking)
         if cached is not None:
             return cached
+        if self._core is not None:
+            packed = self._lookup_packed(marking)
+            decode = self._decode
+            result = tuple(
+                (action, tid, decode(target))
+                for action, tid, target in self._core.successors(packed)
+            )
+            self._succ[marking] = result
+            return result
         expand = self._enabled[marking]
         if self._selector is not None and len(expand) > 1:
             reduced = self._selector.reduced_enabled(marking, expand)
@@ -358,14 +459,43 @@ class LazyStateSpace:
                         self.stats.frontier_peak = len(queue)
                     yield target
 
+    def iter_raw(self) -> Iterator:
+        """BFS over *packed* states (compiled backend only) — the
+        allocation-light twin of :meth:`iter_bfs` for callers that only
+        probe token counts per state (e.g. the Prop 5.5 predicate) and
+        can decode the rare interesting state via :meth:`decode`.
+        Discovery order is identical to :meth:`iter_bfs`."""
+        if self._core is None:
+            raise ValueError("iter_raw requires the compiled backend")
+        core = self._core
+        stats = self.stats
+        yield core.initial
+        seen = {core.initial}
+        queue: deque = deque([core.initial])
+        while queue:
+            state = queue.popleft()
+            for _, _, target in core.successors(state):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+                    if len(queue) > stats.frontier_peak:
+                        stats.frontier_peak = len(queue)
+                    yield target
+
     def explore_all(self) -> int:
         """Force full exploration; returns the number of reachable states."""
+        if self._core is not None:
+            for _ in self.iter_raw():
+                pass
+            return self._core.num_states()
         for _ in self.iter_bfs():
             pass
         return len(self._interner)
 
     def num_explored(self) -> int:
         """States discovered so far (== total states after ``explore_all``)."""
+        if self._core is not None:
+            return self._core.num_states()
         return len(self._interner)
 
     # -- observability -----------------------------------------------------
@@ -404,9 +534,20 @@ class LazyStateSpace:
 
     # -- counterexample reconstruction -------------------------------------
 
-    def trace_to(self, marking: Marking) -> tuple[tuple[int, str], ...]:
+    def trace_to(self, marking) -> tuple[tuple[int, str], ...]:
         """A firable ``(tid, action)`` path from the initial marking to a
-        discovered state, via the discovery-parent pointers."""
+        discovered state, via the discovery-parent pointers.
+
+        On the compiled backend the argument may be either a
+        :class:`Marking` or a packed state from :meth:`iter_raw`.
+        """
+        if self._core is not None:
+            packed = (
+                self._lookup_packed(marking)
+                if isinstance(marking, Marking)
+                else marking
+            )
+            return self._core.trace_to(packed)
         steps: list[tuple[int, str]] = []
         cursor = self._interner.get(marking)
         if cursor is None:
@@ -612,6 +753,7 @@ def compare_languages(
     alphabet: Iterable[str] | None = None,
     max_states: int = 1_000_000,
     reduction: bool = False,
+    backend: str | None = None,
 ) -> LanguageComparison:
     """Compare visible trace languages without materialising either
     state space: determinise both nets on the fly and walk the pair
@@ -645,12 +787,14 @@ def compare_languages(
         max_states=max_states,
         reduction=reduction,
         visible_actions=frozenset(net1.actions) - silent1_set,
+        backend=backend,
     )
     space2 = LazyStateSpace(
         net2,
         max_states=max_states,
         reduction=reduction,
         visible_actions=frozenset(net2.actions) - silent2_set,
+        backend=backend,
     )
     dfa1 = _LazyDfa(space1, silent1_set)
     dfa2 = _LazyDfa(space2, silent2_set)
@@ -723,6 +867,7 @@ def deterministic_bisimulation(
     net1: PetriNet,
     net2: PetriNet,
     max_states: int = 100_000,
+    backend: str | None = None,
 ) -> tuple[bool | None, ExplorationStats]:
     """Strong-bisimulation check by synchronous walk, exact on
     deterministic systems.
@@ -735,8 +880,8 @@ def deterministic_bisimulation(
     is encountered — the caller must fall back to the eager
     partition-refinement oracle.
     """
-    space1 = LazyStateSpace(net1, max_states=max_states)
-    space2 = LazyStateSpace(net2, max_states=max_states)
+    space1 = LazyStateSpace(net1, max_states=max_states, backend=backend)
+    space2 = LazyStateSpace(net2, max_states=max_states, backend=backend)
 
     def combined() -> ExplorationStats:
         space1.publish_metrics()

@@ -49,6 +49,35 @@ class UnboundedNetError(Exception):
         self.frontier = frontier if frontier is not None else witness
 
 
+class _EdgeView:
+    """Read-only iterable of a graph's edges as ``(source, action, tid,
+    target)`` tuples, flattened on demand from the successor map.
+
+    The eager graph used to materialise this exact list next to
+    ``_successors``, doubling edge memory; since the successor map is
+    keyed in discovery order and states are expanded in discovery
+    order, flattening reproduces the historical append order.
+    """
+
+    __slots__ = ("_successors", "_count")
+
+    def __init__(
+        self,
+        successors: dict[Marking, list[tuple[str, int, Marking]]],
+        count: int,
+    ):
+        self._successors = successors
+        self._count = count
+
+    def __iter__(self):
+        for source, edges in self._successors.items():
+            for action, tid, target in edges:
+                yield (source, action, tid, target)
+
+    def __len__(self) -> int:
+        return self._count
+
+
 class ReachabilityGraph:
     """Explicit-state reachability graph of a bounded Petri net.
 
@@ -63,6 +92,13 @@ class ReachabilityGraph:
     transition_filter:
         Optional predicate limiting which transitions are followed
         (used e.g. for guard-aware exploration at the STG layer).
+    backend:
+        State representation used *during* exploration: ``"compiled"``
+        (default) explores over the packed integer-indexed form of
+        :mod:`repro.petri.compiled` and decodes each state to a
+        :class:`Marking` once at discovery; ``"dict"`` explores over
+        markings directly.  The resulting graph — states, edges, edge
+        order, error behaviour — is identical either way.
     """
 
     def __init__(
@@ -70,20 +106,28 @@ class ReachabilityGraph:
         net: PetriNet,
         max_states: int = 1_000_000,
         transition_filter: Callable[[Transition, Marking], bool] | None = None,
+        backend: str | None = None,
     ):
+        from repro.petri.compiled import resolve_backend
+
         self.net = net
         self.initial = net.initial
+        self.backend = resolve_backend(backend)
         self.states: set[Marking] = set()
-        #: Edges as ``(source, action, tid, target)`` tuples.
-        self.edges: list[tuple[Marking, str, int, Marking]] = []
         self._successors: dict[Marking, list[tuple[str, int, Marking]]] = {}
+        self._num_edges = 0
         #: High-water mark of the BFS queue during construction.
         self.frontier_peak = 0
-        with obs.span("engine.eager.explore", net=net.name) as span:
-            self._explore(max_states, transition_filter)
-            span.set(states=len(self.states), edges=len(self.edges))
+        with obs.span(
+            "engine.eager.explore", net=net.name, backend=self.backend
+        ) as span:
+            if self.backend == "compiled":
+                self._explore_compiled(max_states, transition_filter)
+            else:
+                self._explore(max_states, transition_filter)
+            span.set(states=len(self.states), edges=self._num_edges)
         obs.count("engine.eager.states", len(self.states))
-        obs.count("engine.eager.edges", len(self.edges))
+        obs.count("engine.eager.edges", self._num_edges)
         obs.gauge_max("engine.eager.frontier_peak", self.frontier_peak)
 
     def _explore(
@@ -101,11 +145,11 @@ class ReachabilityGraph:
             for transition in self.net.enabled_transitions(marking):
                 if transition_filter and not transition_filter(transition, marking):
                     continue
-                successor = self.net.fire(transition, marking)
-                self.edges.append((marking, transition.action, transition.tid, successor))
+                successor = self.net.fire(transition, marking, check=False)
                 self._successors[marking].append(
                     (transition.action, transition.tid, successor)
                 )
+                self._num_edges += 1
                 if successor not in self.states:
                     if len(self.states) >= max_states:
                         raise UnboundedNetError(
@@ -135,7 +179,90 @@ class ReachabilityGraph:
                     if len(queue) > self.frontier_peak:
                         self.frontier_peak = len(queue)
 
+    def _explore_compiled(
+        self,
+        max_states: int,
+        transition_filter: Callable[[Transition, Marking], bool] | None,
+    ) -> None:
+        """The same BFS over packed states (see
+        :mod:`repro.petri.compiled`): firing and visited-set membership
+        run in the integer domain, each state is decoded to a
+        :class:`Marking` exactly once at discovery.  Check ordering and
+        error messages mirror :meth:`_explore` verbatim — states, edges
+        and edge order are backend-independent."""
+        cnet = self.net.compiled()
+        initial = cnet.initial_state
+        mark_of = {initial: self.initial}
+        info = {initial: (cnet.initial_deficits, cnet.initial_enabled)}
+        # When compilation certified a bound (a non-increasing weighted
+        # token total), no reachable marking can strictly cover an
+        # ancestor, so the Karp-Miller walk is provably a no-op: skip it
+        # and its ancestor-chain bookkeeping entirely.
+        check_covering = not cnet.bounded_certified
+        ancestors: dict[bytes | tuple, bytes | tuple | None] = {initial: None}
+        queue: deque = deque([initial])
+        self.states.add(self.initial)
+        self._successors[self.initial] = []
+        transitions = cnet.transitions
+        actions = cnet.actions
+        tids = cnet.tids
+        covers = cnet.covers
+        while queue:
+            state = queue.popleft()
+            marking = mark_of[state]
+            row = self._successors[marking]
+            deficits, enabled = info.pop(state)
+            for dense in enabled:
+                if transition_filter and not transition_filter(
+                    transitions[dense], marking
+                ):
+                    continue
+                child, child_deficits, child_enabled, _ = cnet.successor(
+                    state, deficits, enabled, dense
+                )
+                successor = mark_of.get(child)
+                fresh = successor is None
+                if fresh:
+                    successor = cnet.decode(child)
+                row.append((actions[dense], tids[dense], successor))
+                self._num_edges += 1
+                if fresh:
+                    if len(self.states) >= max_states:
+                        raise UnboundedNetError(
+                            f"more than {max_states} reachable states in"
+                            f" {self.net.name!r}; net may be unbounded",
+                            witness=successor,
+                            bound=max_states,
+                            frontier=successor,
+                        )
+                    mark_of[child] = successor
+                    info[child] = (child_deficits, child_enabled)
+                    self.states.add(successor)
+                    self._successors[successor] = []
+                    if check_covering:
+                        ancestors[child] = state
+                        cursor = state
+                        while cursor is not None:
+                            if covers(child, cursor):
+                                raise UnboundedNetError(
+                                    f"net {self.net.name!r} is unbounded:"
+                                    f" {successor!r} strictly covers ancestor"
+                                    f" {mark_of[cursor]!r}",
+                                    witness=successor,
+                                    frontier=successor,
+                                )
+                            cursor = ancestors[cursor]
+                    queue.append(child)
+                    if len(queue) > self.frontier_peak:
+                        self.frontier_peak = len(queue)
+
     # -- queries -----------------------------------------------------------
+
+    @property
+    def edges(self) -> _EdgeView:
+        """Edges as ``(source, action, tid, target)`` tuples — a view
+        derived from the successor map (nothing is stored twice)."""
+        return _EdgeView(self._successors, self._num_edges)
 
     def successors(self, marking: Marking) -> list[tuple[str, int, Marking]]:
         """Outgoing edges of a state as ``(action, tid, target)`` triples."""
@@ -145,7 +272,7 @@ class ReachabilityGraph:
         return len(self.states)
 
     def num_edges(self) -> int:
-        return len(self.edges)
+        return self._num_edges
 
     def deadlocks(self) -> list[Marking]:
         """Reachable markings with no enabled transition."""
@@ -337,7 +464,7 @@ def firing_sequences(
         if len(trace) >= max_depth:
             continue
         for transition in net.enabled_transitions(marking):
-            successor = net.fire(transition, marking)
+            successor = net.fire(transition, marking, check=False)
             extended = trace + (transition.action,)
             yield extended
             queue.append((successor, extended))

@@ -40,8 +40,8 @@ Trace = tuple[str, ...]
 class _Lts:
     """A finite labeled transition system extracted from a net."""
 
-    def __init__(self, net: PetriNet, max_states: int):
-        graph = ReachabilityGraph(net, max_states=max_states)
+    def __init__(self, net: PetriNet, max_states: int, backend: str | None = None):
+        graph = ReachabilityGraph(net, max_states=max_states, backend=backend)
         self.states: list[Marking] = sorted(graph.states, key=repr)
         self.index = {state: i for i, state in enumerate(self.states)}
         self.start = self.index[graph.initial]
@@ -123,6 +123,7 @@ def strongly_bisimilar(
     net2: PetriNet,
     max_states: int = 100_000,
     engine: str = DEFAULT_ENGINE,
+    backend: str | None = None,
 ) -> bool:
     """Strong bisimulation equivalence of two bounded nets' behaviours.
 
@@ -140,18 +141,26 @@ def strongly_bisimilar(
     engine = resolve_engine(engine)
     with obs.span("verify.bisim.strong", engine=engine) as span:
         if engine != "eager":
-            verdict, _ = deterministic_bisimulation(net1, net2, max_states)
+            verdict, _ = deterministic_bisimulation(
+                net1, net2, max_states, backend=backend
+            )
             if verdict is not None:
                 span.set(verdict=verdict)
                 return verdict
             # Nondeterministic somewhere: strong trace inequality still
             # refutes bisimilarity (traces are coarser than bisimulation).
             if not compare_languages(
-                net1, net2, mode="equal", silent=(), max_states=max_states
+                net1,
+                net2,
+                mode="equal",
+                silent=(),
+                max_states=max_states,
+                backend=backend,
             ).verdict:
                 span.set(verdict=False)
                 return False
-        lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
+        lts1 = _Lts(net1, max_states, backend=backend)
+        lts2 = _Lts(net2, max_states, backend=backend)
         verdict = _partition_refinement(
             lts1, lts2, lts1.successors, lts2.successors
         )
@@ -186,6 +195,7 @@ def weakly_bisimilar(
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 100_000,
     engine: str = DEFAULT_ENGINE,
+    backend: str | None = None,
 ) -> bool:
     """Weak bisimulation equivalence with the given silent labels.
 
@@ -207,11 +217,13 @@ def weakly_bisimilar(
                 silent=silent,
                 max_states=max_states,
                 reduction=engine == "por",
+                backend=backend,
             ).verdict:
                 span.set(verdict=False)
                 return False
         silent_set = set(silent)
-        lts1, lts2 = _Lts(net1, max_states), _Lts(net2, max_states)
+        lts1 = _Lts(net1, max_states, backend=backend)
+        lts2 = _Lts(net2, max_states, backend=backend)
         verdict = _partition_refinement(
             lts1, lts2, _weak_moves(lts1, silent_set), _weak_moves(lts2, silent_set)
         )

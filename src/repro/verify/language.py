@@ -58,6 +58,7 @@ def dfa_of_net(
     silent: Iterable[str] = (EPSILON,),
     alphabet: Iterable[str] | None = None,
     max_states: int = 1_000_000,
+    backend: str | None = None,
 ) -> Dfa:
     """The minimal DFA of the visible trace language of a bounded net.
 
@@ -66,7 +67,7 @@ def dfa_of_net(
     silent labels; supplying a larger alphabet lets two nets be compared
     over a common symbol set.
     """
-    graph = ReachabilityGraph(net, max_states=max_states)
+    graph = ReachabilityGraph(net, max_states=max_states, backend=backend)
     silent_set = set(silent)
     if alphabet is None:
         visible = frozenset(net.actions - silent_set)
@@ -219,6 +220,7 @@ def languages_equal(
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 1_000_000,
     engine: str = DEFAULT_ENGINE,
+    backend: str | None = None,
 ) -> bool:
     """Exact visible-trace-language equality of two bounded nets.
 
@@ -240,11 +242,12 @@ def languages_equal(
                 silent=silent,
                 max_states=max_states,
                 reduction=engine == "por",
+                backend=backend,
             ).verdict
         else:
             common = (net1.actions | net2.actions) - set(silent)
-            d1 = dfa_of_net(net1, silent, common, max_states)
-            d2 = dfa_of_net(net2, silent, common, max_states)
+            d1 = dfa_of_net(net1, silent, common, max_states, backend=backend)
+            d2 = dfa_of_net(net2, silent, common, max_states, backend=backend)
             verdict = dfa_equal(d1, d2)
         span.set(verdict=verdict)
         return verdict
@@ -256,6 +259,7 @@ def language_contained(
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 1_000_000,
     engine: str = DEFAULT_ENGINE,
+    backend: str | None = None,
 ) -> bool:
     """Exact visible-trace containment ``L(net1) <= L(net2)``."""
     engine = resolve_engine(engine)
@@ -268,11 +272,12 @@ def language_contained(
                 silent=silent,
                 max_states=max_states,
                 reduction=engine == "por",
+                backend=backend,
             ).verdict
         else:
             common = (net1.actions | net2.actions) - set(silent)
-            d1 = dfa_of_net(net1, silent, common, max_states)
-            d2 = dfa_of_net(net2, silent, common, max_states)
+            d1 = dfa_of_net(net1, silent, common, max_states, backend=backend)
+            d2 = dfa_of_net(net2, silent, common, max_states, backend=backend)
             verdict = dfa_contained(d1, d2)
         span.set(verdict=verdict)
         return verdict
@@ -284,6 +289,7 @@ def distinguishing_trace(
     silent: Iterable[str] = (EPSILON,),
     max_states: int = 1_000_000,
     engine: str = DEFAULT_ENGINE,
+    backend: str | None = None,
 ) -> tuple[str, ...] | None:
     """A shortest trace in exactly one of the two languages, or ``None``.
 
@@ -298,10 +304,11 @@ def distinguishing_trace(
             silent=silent,
             max_states=max_states,
             reduction=engine == "por",
+            backend=backend,
         ).counterexample
     common = (net1.actions | net2.actions) - set(silent)
-    d1 = dfa_of_net(net1, silent, common, max_states)
-    d2 = dfa_of_net(net2, silent, common, max_states)
+    d1 = dfa_of_net(net1, silent, common, max_states, backend=backend)
+    d2 = dfa_of_net(net2, silent, common, max_states, backend=backend)
     start = (d1.start, d2.start)
     parents: dict[tuple[int, int], tuple[tuple[int, int], str] | None] = {
         start: None

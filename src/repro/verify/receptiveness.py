@@ -238,12 +238,15 @@ def _reachability_failures(
     composite: Stg,
     obligations: list[SyncObligation],
     max_states: int,
+    backend: str | None = None,
 ) -> tuple[list[ReceptivenessFailure], int]:
     """The eager oracle: materialise the full composite state space,
     then scan it per obligation."""
     from repro.petri.reachability import ReachabilityGraph
 
-    graph = ReachabilityGraph(composite.net, max_states=max_states)
+    graph = ReachabilityGraph(
+        composite.net, max_states=max_states, backend=backend
+    )
     failures: list[ReceptivenessFailure] = []
     for obligation in obligations:
         for marking in graph.states:
@@ -259,6 +262,7 @@ def _onthefly_failures(
     max_states: int,
     stop_at_first: bool = False,
     reduce: bool = False,
+    backend: str | None = None,
 ) -> tuple[list[ReceptivenessFailure], int, int]:
     """Demand-driven Proposition 5.5 search: obligations are checked as
     each composite marking is *discovered*, so exploration stops as soon
@@ -291,9 +295,14 @@ def _onthefly_failures(
             reduction=True,
             visible_actions=(),
             visible_places=predicate_places,
+            backend=backend,
         )
     else:
-        space = LazyStateSpace(composite.net, max_states=max_states)
+        space = LazyStateSpace(
+            composite.net, max_states=max_states, backend=backend
+        )
+    if space.backend == "compiled":
+        return _onthefly_failures_packed(space, obligations, stop_at_first)
     pending = list(obligations)
     failures: list[ReceptivenessFailure] = []
     for marking in space.iter_bfs():
@@ -316,6 +325,61 @@ def _onthefly_failures(
                     return failures, space.num_explored(), space.stats.reduced_states
             else:
                 remaining.append(obligation)
+        pending = remaining
+    space.publish_metrics("engine.lazy")
+    return failures, space.num_explored(), space.stats.reduced_states
+
+
+def _onthefly_failures_packed(
+    space, obligations: list[SyncObligation], stop_at_first: bool
+) -> tuple[list[ReceptivenessFailure], int, int]:
+    """Prop 5.5 search over the compiled backend's packed states.
+
+    Obligation presets are lowered to dense place indices once, so the
+    failure predicate reads token counts straight out of the packed
+    vectors — no :class:`Marking` is materialised until a witness is
+    found (and then only for the witnesses themselves)."""
+    index = space.compiled_net.place_index
+    packed_obligations = [
+        (
+            obligation,
+            tuple(index[p] for p in sorted(obligation.producer_preset)),
+            tuple(
+                tuple(index[p] for p in sorted(preset))
+                for preset in obligation.consumer_presets
+            ),
+        )
+        for obligation in obligations
+    ]
+    pending = packed_obligations
+    failures: list[ReceptivenessFailure] = []
+    for state in space.iter_raw():
+        if not pending:
+            break
+        remaining = []
+        for entry in pending:
+            obligation, producer, consumers = entry
+            if all(state[i] for i in producer) and not any(
+                all(state[i] for i in preset) for preset in consumers
+            ):
+                steps = space.trace_to(state)
+                failures.append(
+                    ReceptivenessFailure(
+                        obligation,
+                        space.decode(state),
+                        trace=tuple(action for _, action in steps),
+                        tids=tuple(tid for tid, _ in steps),
+                    )
+                )
+                if stop_at_first:
+                    space.publish_metrics("engine.lazy")
+                    return (
+                        failures,
+                        space.num_explored(),
+                        space.stats.reduced_states,
+                    )
+            else:
+                remaining.append(entry)
         pending = remaining
     space.publish_metrics("engine.lazy")
     return failures, space.num_explored(), space.stats.reduced_states
@@ -395,6 +459,7 @@ def check_receptiveness(
     max_states: int = 1_000_000,
     engine: str | None = None,
     stop_at_first: bool = False,
+    backend: str | None = None,
 ) -> ReceptivenessReport:
     """Check Propositions 5.5/5.6 on the composition of two modules.
 
@@ -420,17 +485,31 @@ def check_receptiveness(
     that point; only the per-obligation attribution of *later* failures
     is lost).
 
+    ``backend`` selects the state representation used by the explorer
+    (``"compiled"`` packed vectors by default, ``"dict"`` for the
+    plain-``Marking`` baseline); the verdict, witnesses and traces are
+    identical either way — see ``docs/PERFORMANCE.md``.
+
     Every check records its own instrumentation (spans, counters and
     gauges under the ``repro.obs/v1`` schema) on ``report.metrics``; the
     same events are also forwarded to any recorder already active in the
     caller, e.g. the one behind ``cip verify --profile``.
     """
+    from repro.petri.compiled import resolve_backend
     from repro.petri.product import DEFAULT_ENGINE, resolve_engine
 
     engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
+    backend = resolve_backend(backend)
     with obs.record() as recorder:
         report = _checked_receptiveness(
-            stg1, stg2, method, max_states, engine, stop_at_first, recorder
+            stg1,
+            stg2,
+            method,
+            max_states,
+            engine,
+            stop_at_first,
+            backend,
+            recorder,
         )
     report.metrics = recorder.to_dict()
     return report
@@ -443,6 +522,7 @@ def _checked_receptiveness(
     max_states: int,
     engine: str,
     stop_at_first: bool,
+    backend: str,
     recorder: obs.MetricsRecorder,
 ) -> ReceptivenessReport:
     with obs.span("verify.receptiveness", method=method) as span:
@@ -472,7 +552,9 @@ def _checked_receptiveness(
         reduced: int | None = None
         clock = recorder.clock
         search_start = clock.now()
-        with obs.span("verify.receptiveness.search", engine=engine) as search:
+        with obs.span(
+            "verify.receptiveness.search", engine=engine, backend=backend
+        ) as search:
             if engine in ("onthefly", "por"):
                 failures, explored, reduced = _onthefly_failures(
                     composite,
@@ -480,10 +562,11 @@ def _checked_receptiveness(
                     max_states,
                     stop_at_first=stop_at_first,
                     reduce=engine == "por",
+                    backend=backend,
                 )
             else:
                 failures, explored = _reachability_failures(
-                    composite, obligations, max_states
+                    composite, obligations, max_states, backend=backend
                 )
             search.set(states=explored)
         elapsed = clock.now() - search_start
@@ -523,6 +606,7 @@ def check_receptiveness_with_hiding(
     stg2: Stg,
     max_states: int = 1_000_000,
     engine: str | None = None,
+    backend: str | None = None,
 ) -> ReceptivenessReport:
     """The Section 5.3 refinement: apply ``hide'`` (relabel-to-epsilon)
     to each module's private signals before composing, keeping the
@@ -547,4 +631,5 @@ def check_receptiveness_with_hiding(
         method="reachability",
         max_states=max_states,
         engine=engine,
+        backend=backend,
     )

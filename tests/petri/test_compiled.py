@@ -1,0 +1,430 @@
+"""Compiled backend: lowering correctness and dict-parity guarantees.
+
+The compiled backend must be *observationally identical* to the dict
+backend — same states, same discovery order, same errors (to the byte),
+same witnesses, same reduction decisions — only faster.  This module
+pins that contract:
+
+* unit tests of the lowering itself (indices, codecs, encode/decode,
+  deficit counters);
+* hypothesis differential tests running both backends on random nets
+  (enabledness, firing walks, hashing/equality, eager and lazy BFS,
+  unboundedness witnesses, POR reduction);
+* a CLI differential asserting byte-identical ``cip verify`` output
+  across ``--backend dict/compiled`` x ``--engine eager/onthefly/por``
+  on the Fig 5-8 case-study nets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cli import main
+from repro.petri.compiled import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CompiledNet,
+    PackedMarkingView,
+    compile_net,
+    resolve_backend,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.product import LazyStateSpace
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+
+from tests.strategies import petri_nets, bounded_nets, bounded_multi_token_nets
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+def demo_net() -> PetriNet:
+    """A small conservative net with a conflict and a join."""
+    net = PetriNet("demo")
+    net.add_transition({"p0"}, "a", {"p1"}, tid=0)
+    net.add_transition({"p0"}, "b", {"p2"}, tid=1)
+    net.add_transition({"p1", "p3"}, "c", {"p0", "p3"}, tid=2)
+    net.set_initial(Marking({"p0": 1, "p3": 1}))
+    return net
+
+
+class TestResolveBackend:
+    def test_default(self):
+        assert resolve_backend(None) == DEFAULT_BACKEND
+        assert DEFAULT_BACKEND in BACKENDS
+
+    def test_identity_on_known(self):
+        for backend in BACKENDS:
+            assert resolve_backend(backend) == backend
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("sparse")
+
+
+class TestLowering:
+    def test_dense_indices_cover_sorted_places(self):
+        cnet = demo_net().compiled()
+        assert cnet.place_names == tuple(sorted(demo_net().places))
+        assert [cnet.place_index[p] for p in cnet.place_names] == list(
+            range(cnet.num_places)
+        )
+
+    def test_transitions_in_tid_order(self):
+        cnet = demo_net().compiled()
+        assert cnet.tids == (0, 1, 2)
+        assert cnet.actions == ("a", "b", "c")
+
+    def test_index_tuples_match_transition_sets(self):
+        net = demo_net()
+        cnet = net.compiled()
+        for dense, transition in enumerate(cnet.transitions):
+            assert cnet.pre[dense] == tuple(
+                sorted(cnet.place_index[p] for p in transition.preset)
+            )
+            assert cnet.consume[dense] == tuple(
+                sorted(cnet.place_index[p] for p in transition.consume)
+            )
+            assert cnet.produce[dense] == tuple(
+                sorted(cnet.place_index[p] for p in transition.produce)
+            )
+
+    def test_consumer_adjacency(self):
+        cnet = demo_net().compiled()
+        by_place = {
+            place: tuple(
+                dense
+                for dense, t in enumerate(cnet.transitions)
+                if place in t.preset
+            )
+            for place in cnet.place_names
+        }
+        for i, place in enumerate(cnet.place_names):
+            assert cnet.consumers[i] == by_place[place]
+
+    def test_compile_cached_and_invalidated(self):
+        net = demo_net()
+        first = net.compiled()
+        assert net.compiled() is first
+        net.add_transition({"p2"}, "d", {"p0"})
+        second = net.compiled()
+        assert second is not first
+        assert second.num_transitions == first.num_transitions + 1
+
+
+class TestCodecs:
+    def test_conservative_net_gets_bytes_codec(self):
+        cnet = demo_net().compiled()
+        assert cnet.codec == "bytes"
+        assert cnet.token_bound == 2
+        assert cnet.bounded_certified
+        assert isinstance(cnet.initial_state, bytes)
+
+    def test_small_nonconservative_net_gets_wide_codec(self):
+        net = PetriNet("fork")
+        net.add_transition({"p0"}, "a", {"p1", "p2"}, tid=0)
+        net.set_initial(Marking({"p0": 1}))
+        cnet = net.compiled()
+        assert cnet.codec == "wide"
+        assert not cnet.bounded_certified
+        assert isinstance(cnet.initial_state, tuple)
+
+    def test_invariant_certificate_on_composite_fork_join(self):
+        """The Fig 5/7 composite is not token-conservative (rendez-vous
+        fusion forks), but the LP invariant certifies a bound and the
+        bytes codec applies."""
+        from repro.models.protocol_translator import sender, translator
+        from repro.verify.receptiveness import compose_with_obligations
+
+        composite, _ = compose_with_obligations(sender(), translator())
+        assert any(
+            len(t.produce) > len(t.consume)
+            for t in composite.net.transitions.values()
+        )
+        cnet = composite.net.compiled()
+        assert cnet.codec == "bytes"
+        assert cnet.bounded_certified
+
+    def test_encode_decode_roundtrip(self):
+        net = demo_net()
+        cnet = net.compiled()
+        marking = Marking({"p1": 1, "p3": 1})
+        assert cnet.decode(cnet.encode(marking)) == marking
+
+    def test_encode_rejects_unknown_place(self):
+        cnet = demo_net().compiled()
+        with pytest.raises(KeyError):
+            cnet.encode(Marking({"nowhere": 1}))
+
+    def test_bytes_encode_rejects_overflow(self):
+        cnet = demo_net().compiled()
+        assert cnet.codec == "bytes"
+        with pytest.raises(ValueError):
+            cnet.encode(Marking({"p0": 300}))
+
+    def test_wide_codec_has_no_count_limit(self):
+        net = PetriNet("fork")
+        net.add_transition({"p0"}, "a", {"p1", "p2"}, tid=0)
+        net.set_initial(Marking({"p0": 1}))
+        cnet = net.compiled()
+        big = Marking({"p0": 100_000})
+        assert cnet.decode(cnet.encode(big)) == big
+
+
+class TestPackedMarkingView:
+    def test_mapping_surface(self):
+        net = demo_net()
+        cnet = net.compiled()
+        view = PackedMarkingView(cnet, cnet.initial_state)
+        assert view["p0"] == 1
+        assert view["p1"] == 0
+        assert view["unknown"] == 0
+        assert set(view) == {"p0", "p3"}
+        assert len(view) == 2
+        assert dict(view.items()) == dict(net.initial.items())
+
+
+class TestDeficitCounters:
+    def test_initial_enabled_matches_dict_engine(self):
+        net = demo_net()
+        cnet = net.compiled()
+        expected = tuple(
+            cnet.tid_index[t.tid] for t in net.enabled_transitions(net.initial)
+        )
+        assert cnet.initial_enabled == expected
+
+    def test_successor_matches_full_rescan(self):
+        net = demo_net()
+        cnet = net.compiled()
+        state = cnet.initial_state
+        deficits, enabled = cnet.initial_deficits, cnet.initial_enabled
+        for _ in range(20):
+            if not enabled:
+                break
+            dense = enabled[0]
+            state, deficits, enabled, _ = cnet.successor(
+                state, deficits, enabled, dense
+            )
+            assert (deficits, enabled) == cnet.analyze_state(state)
+
+
+@RELAXED
+@given(net=st.one_of(bounded_nets(), bounded_multi_token_nets()))
+def test_enabledness_and_firing_parity(net):
+    """Walk the whole reachable space firing through both
+    representations in lockstep: enabled sets, successors and the
+    incremental deficit counters agree with the dict engine at every
+    state."""
+    cnet = net.compiled()
+    seen = set()
+    stack = [(net.initial, cnet.encode(net.initial))]
+    info = {stack[0][1]: cnet.analyze_state(stack[0][1])}
+    while stack:
+        marking, state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        assert cnet.decode(state) == marking
+        deficits, enabled = info.pop(state)
+        dict_enabled = net.enabled_transitions(marking)
+        assert [cnet.tids[d] for d in enabled] == [t.tid for t in dict_enabled]
+        for dense, transition in zip(enabled, dict_enabled):
+            assert cnet.is_enabled(dense, state)
+            child, child_deficits, child_enabled, _ = cnet.successor(
+                state, deficits, enabled, dense
+            )
+            assert (child_deficits, child_enabled) == cnet.analyze_state(child)
+            assert child == cnet.fire(state, dense)
+            successor = net.fire(transition, marking, check=False)
+            assert cnet.decode(child) == successor
+            info.setdefault(child, (child_deficits, child_enabled))
+            stack.append((successor, child))
+
+
+@RELAXED
+@given(net=st.one_of(bounded_nets(), bounded_multi_token_nets()))
+def test_hashing_and_equality_parity(net):
+    """Packed states are equal (and hash-equal) exactly when the
+    markings they encode are equal — the visited-set contract."""
+    graph = ReachabilityGraph(net, backend="dict")
+    cnet = net.compiled()
+    packed = {marking: cnet.encode(marking) for marking in graph.states}
+    assert len(set(packed.values())) == len(packed)
+    for marking, state in packed.items():
+        again = cnet.encode(Marking(dict(marking)))
+        assert again == state
+        assert hash(again) == hash(state)
+        assert cnet.decode(state) == marking
+        assert hash(cnet.decode(state)) == hash(marking)
+
+
+@RELAXED
+@given(net=st.one_of(bounded_nets(), bounded_multi_token_nets()))
+def test_eager_graph_parity(net):
+    """Full ReachabilityGraph equality across backends: states, edge
+    lists (including order), deadlocks, bound and frontier peak."""
+    dict_graph = ReachabilityGraph(net, backend="dict")
+    compiled_graph = ReachabilityGraph(net, backend="compiled")
+    assert compiled_graph.states == dict_graph.states
+    assert list(compiled_graph.edges) == list(dict_graph.edges)
+    assert compiled_graph.num_edges() == dict_graph.num_edges()
+    assert sorted(map(repr, compiled_graph.deadlocks())) == sorted(
+        map(repr, dict_graph.deadlocks())
+    )
+    assert compiled_graph.bound() == dict_graph.bound()
+    assert compiled_graph.frontier_peak == dict_graph.frontier_peak
+
+
+@RELAXED
+@given(net=petri_nets())
+def test_unboundedness_witness_parity(net):
+    """On arbitrary (possibly unbounded) nets both backends either
+    succeed with the same space or raise UnboundedNetError with the
+    same message and the same witness marking."""
+    outcomes = {}
+    for backend in BACKENDS:
+        try:
+            graph = ReachabilityGraph(net, max_states=300, backend=backend)
+            outcomes[backend] = ("ok", graph.num_states(), graph.num_edges())
+        except UnboundedNetError as error:
+            outcomes[backend] = ("err", str(error), error.witness)
+    assert outcomes["compiled"] == outcomes["dict"]
+
+
+@RELAXED
+@given(net=st.one_of(bounded_nets(), bounded_multi_token_nets()))
+def test_lazy_space_parity(net):
+    """Demand-driven parity: BFS discovery sequence, successor edges
+    and shortest traces agree across backends."""
+    dict_space = LazyStateSpace(net, backend="dict")
+    compiled_space = LazyStateSpace(net, backend="compiled")
+    dict_seq = list(dict_space.iter_bfs())
+    compiled_seq = list(compiled_space.iter_bfs())
+    assert compiled_seq == dict_seq
+    for marking in dict_seq:
+        assert compiled_space.successors(marking) == dict_space.successors(
+            marking
+        )
+        assert compiled_space.trace_to(marking) == dict_space.trace_to(marking)
+    assert compiled_space.num_explored() == dict_space.num_explored()
+    assert compiled_space.stats.edges == dict_space.stats.edges
+
+
+@RELAXED
+@given(net=st.one_of(bounded_nets(), bounded_multi_token_nets()))
+def test_por_reduction_parity(net):
+    """Stubborn-set decisions are backend-independent: the reduced
+    space has the same states, edges and reduction count."""
+    spaces = {
+        backend: LazyStateSpace(net, reduction=True, backend=backend)
+        for backend in BACKENDS
+    }
+    explored = {b: s.explore_all() for b, s in spaces.items()}
+    assert explored["compiled"] == explored["dict"]
+    assert (
+        spaces["compiled"].stats.reduced_states
+        == spaces["dict"].stats.reduced_states
+    )
+    assert spaces["compiled"].stats.edges == spaces["dict"].stats.edges
+
+
+@pytest.fixture(scope="module")
+def fig_files(tmp_path_factory):
+    """The Fig 5-8 case-study modules as .json CLI inputs."""
+    from repro.io.json_io import save
+    from repro.models.protocol_translator import (
+        inconsistent_sender,
+        receiver,
+        sender,
+        translator,
+    )
+
+    root = tmp_path_factory.mktemp("figs")
+    paths = {}
+    for name, model in (
+        ("fig5_sender", sender),
+        ("fig6_receiver", receiver),
+        ("fig7_translator", translator),
+        ("fig8_inconsistent", inconsistent_sender),
+    ):
+        path = root / f"{name}.json"
+        save(model(), str(path))
+        paths[name] = str(path)
+    return paths
+
+
+class TestCliBackendDifferential:
+    """`cip verify` must print byte-identical output and return the
+    same exit code for every engine x backend combination."""
+
+    @pytest.mark.parametrize("engine", ["eager", "onthefly", "por"])
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [("fig5_sender", "fig7_translator", 0), ("fig8_inconsistent", "fig7_translator", 1)],
+    )
+    def test_verify_outputs_identical(
+        self, fig_files, capsys, engine, left, right, expected
+    ):
+        outputs = {}
+        for backend in BACKENDS:
+            code = main(
+                [
+                    "verify",
+                    fig_files[left],
+                    fig_files[right],
+                    "--engine",
+                    engine,
+                    "--backend",
+                    backend,
+                ]
+            )
+            assert code == expected
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["compiled"] == outputs["dict"]
+
+    def test_info_outputs_identical(self, fig_files, capsys):
+        outputs = {}
+        for backend in BACKENDS:
+            assert (
+                main(["info", fig_files["fig7_translator"], "--backend", backend])
+                == 0
+            )
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["compiled"] == outputs["dict"]
+
+
+class TestObsMetrics:
+    def test_compile_emits_span_and_gauges(self):
+        from repro.obs import metrics as obs
+
+        net = demo_net()
+        with obs.record() as recorder:
+            compile_net(net)
+        payload = recorder.to_dict()
+        spans = [s for s in payload["spans"] if s["name"] == "compile.net"]
+        assert len(spans) == 1
+        assert spans[0]["meta"]["codec"] == "bytes"
+        assert payload["counters"]["compile.nets"] == 1
+        assert payload["gauges"]["compile.encode_width_bytes"] == len(
+            net.places
+        )
+
+    def test_search_span_records_backend(self):
+        from repro.models.library import four_phase_master, four_phase_slave
+        from repro.verify.receptiveness import check_receptiveness
+
+        report = check_receptiveness(
+            four_phase_master(),
+            four_phase_slave(),
+            method="reachability",
+            backend="compiled",
+        )
+        span = next(
+            s
+            for s in report.metrics["spans"]
+            if s["name"] == "verify.receptiveness.search"
+        )
+        assert span["meta"]["backend"] == "compiled"
