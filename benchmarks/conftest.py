@@ -6,6 +6,8 @@ once per session and shared across benchmark files.
 
 import pytest
 
+from tests.conftest import corpus_dir, corpus_paths  # noqa: F401  (shared)
+
 
 @pytest.fixture(scope="session")
 def case_study():

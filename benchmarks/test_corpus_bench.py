@@ -1,0 +1,45 @@
+"""Corpus sweep as a benchmark workload.
+
+Runs the checked-in mini-corpus (the same fixture the unit tests use —
+see ``tests/conftest.py``) through the full engines x backends matrix
+and records the per-engine state totals, so a regression in any
+engine's exploration shows up as a trajectory diff.
+
+The ``smoke`` test is run by CI's quick-mode benchmark job.
+"""
+
+from pathlib import Path
+
+from repro.bench.corpus import run_corpus
+from repro.obs.emit import write_benchmark
+
+BENCH_PATH = Path(__file__).parent / "BENCH_corpus.json"
+
+
+def test_corpus_matrix_smoke(corpus_paths):
+    report = run_corpus(corpus_paths, max_states=50_000)
+    assert report.disagreements == []
+    assert len(report.instances) >= 20
+
+    totals: dict[str, int] = {}
+    for instance in report.instances:
+        for cell in instance.cells:
+            if cell.outcome == "ok":
+                key = f"{cell.engine}.{cell.backend}"
+                totals[key] = totals.get(key, 0) + cell.states
+    # por explores no more than the full engines, corpus-wide.
+    assert totals["por.dict"] <= totals["eager.dict"]
+    assert totals["por.compiled"] == totals["por.dict"]
+
+    instances = {
+        instance.name: {
+            f"{cell.engine}.{cell.backend}": cell.states
+            for cell in instance.cells
+            if cell.outcome == "ok"
+        }
+        for instance in report.instances
+        if any(cell.outcome == "ok" for cell in instance.cells)
+    }
+    write_benchmark(
+        BENCH_PATH, "corpus-matrix-state-counts", "explored states", instances
+    )

@@ -1,0 +1,89 @@
+"""The fragment of nets on which Definition 4.10's contraction is exact.
+
+The paper's transition relation is set-based (``2^P x A x 2^P``), so net
+contraction (hide) only has a faithful construction when no fused place
+would need an arc weight above 1.  These predicates delimit that
+fragment; they are shared by the hypothesis suites
+(``tests/strategies.py`` re-exports them) and the corpus fuzz layer
+(:mod:`repro.bench.corpus`), which replays the algebra laws on parsed
+external nets.
+"""
+
+from __future__ import annotations
+
+from repro.petri.net import PetriNet
+
+
+def hidable_transition_ids(net: PetriNet, label: str) -> list[int]:
+    """Transitions with ``label`` that Definition 4.10's construction
+    supports exactly under the paper's set-based (weight-free) formalism.
+
+    Excluded:
+
+    * self-loops (divergence — the paper excludes them),
+    * transitions whose successors consume from the hidden preset or
+      produce into leftover postset places: the paper's set-based
+      postsets cannot express the arc *weights* those cases need (the
+      formalism's transition relation lives in ``2^P x A x 2^P``).
+    """
+    result = []
+    for tid, t in sorted(net.transitions.items()):
+        if t.action != label or t.is_self_looping():
+            continue
+        if not t.preset or not t.postset:
+            continue
+        supported = True
+        for other_tid, other in net.transitions.items():
+            if other_tid == tid:
+                continue
+            if other.preset & t.postset:
+                if other.preset & t.preset:
+                    supported = False  # successor competing for the preset
+                if other.postset & (t.postset - other.preset):
+                    supported = False  # duplicate would need arc weight 2
+        if supported:
+            result.append(tid)
+    return result
+
+
+def supported_hide(net: PetriNet, labels) -> PetriNet | None:
+    """:func:`repro.algebra.hide.hide`, but guarded *step by step*.
+
+    Proposition 4.6 (order-independence of contraction) only holds while
+    every individual contraction stays inside the fragment the set-based
+    formalism supports — and contracting one transition can push a
+    *remaining* hidden transition outside that fragment (e.g. its fused
+    preset place gains a competing successor).  Checking
+    :func:`hidable_transition_ids` on the original net alone is
+    therefore not enough.  This helper mirrors ``hide``'s contraction
+    loop, re-validating the next candidate against the *current* net at
+    each step, and returns ``None`` as soon as an unsupported
+    contraction would be required.
+    """
+    from repro.algebra.hide import hide_transition
+
+    label_set = {labels} if isinstance(labels, str) else set(labels)
+    current = net.copy()
+    steps = 0
+    while True:
+        candidates = [
+            t
+            for _, t in sorted(current.transitions.items())
+            if t.action in label_set
+        ]
+        if not candidates:
+            break
+        steps += 1
+        if steps > 10_000:
+            return None
+        target = candidates[0]
+        if target.preset == target.postset:
+            # Mirrors hide(): an unobservable no-op, safe to delete.
+            current.remove_transition(target.tid)
+            continue
+        if target.tid not in hidable_transition_ids(current, target.action):
+            return None
+        current = hide_transition(current, target.tid)
+    current.actions -= label_set
+    current.name = f"hide({net.name})"
+    return current

@@ -1,0 +1,29 @@
+"""Corpus differential harness: external nets through engines x backends."""
+
+from repro.bench.corpus import (
+    BACKENDS,
+    ENGINES,
+    CellResult,
+    CorpusError,
+    InstanceResult,
+    diff_cells,
+    discover,
+    explore_cell,
+    fuzz_laws,
+    run_corpus,
+    run_instance,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ENGINES",
+    "CellResult",
+    "CorpusError",
+    "InstanceResult",
+    "diff_cells",
+    "discover",
+    "explore_cell",
+    "fuzz_laws",
+    "run_corpus",
+    "run_instance",
+]

@@ -1,0 +1,480 @@
+"""Corpus differential harness: every net in a directory, swept through
+every exploration engine and state backend, with loud disagreement
+reporting.
+
+The engines answer the same questions by different routes:
+
+* ``eager`` — full :class:`~repro.petri.reachability.ReachabilityGraph`
+  construction;
+* ``onthefly`` — demand-driven
+  :class:`~repro.petri.product.LazyStateSpace`, exhausted;
+* ``por`` — the same lazy space under deadlock-preserving stubborn-set
+  reduction (``visible_actions=()``).
+
+and each runs over both state backends (``dict`` reference /
+``compiled`` packed vectors).  Agreement rules (checked by
+:func:`diff_cells`):
+
+* per engine, ``dict`` and ``compiled`` must be *identical* — outcome,
+  state count, edge count, deadlock set;
+* ``eager`` and ``onthefly`` must be identical to each other (the lazy
+  space is documented as a drop-in for the eager graph);
+* ``por`` preserves deadlock sets exactly and never explores more
+  states/edges than the full space, so on instances where both
+  complete, its deadlock set must equal the reference and its counts
+  must not exceed it.  When the reference completes, ``por`` must too
+  (it explores a subset); the converse is legitimately false under a
+  state budget.
+
+Every instance produces one ``repro.obs/v1`` metrics payload (one span
+per matrix cell plus states/edges/deadlocks gauges), validated against
+the schema before it is reported.
+
+The fuzz layer (:func:`fuzz_laws`) replays the paper's algebra laws —
+Theorem 4.5 (composition), Theorem 4.7 (hiding as contraction) and
+Proposition 4.6 (order-independence) — on *parsed corpus nets* instead
+of only hypothesis-generated ones, restricted to the set-based fragment
+via :mod:`repro.algebra.fragment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io.formats import FORMATS, load_stg
+from repro.obs import metrics as obs
+from repro.obs.emit import validate_metrics
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+
+ENGINES: tuple[str, ...] = ("eager", "onthefly", "por")
+BACKENDS: tuple[str, ...] = ("dict", "compiled")
+
+#: fuzz_laws only touches nets whose full state space fits this budget —
+#: language comparison determinises, so corpus-sized nets must stay tiny.
+LAW_STATE_BUDGET = 300
+
+
+class CorpusError(Exception):
+    """A corpus-level failure: unreadable directory, unparsable net."""
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (engine, backend) cell of the differential matrix.
+
+    ``outcome`` is ``"ok"``, ``"bound-exceeded"`` (state budget hit) or
+    ``"unbounded"`` (Karp-Miller strict covering found); counts and the
+    deadlock set are ``None`` unless the exploration completed.
+    """
+
+    engine: str
+    backend: str
+    outcome: str
+    states: int | None = None
+    edges: int | None = None
+    deadlocks: frozenset[Marking] | None = None
+
+    def summary(self) -> str:
+        if self.outcome != "ok":
+            return self.outcome
+        return (
+            f"{self.states} states, {self.edges} edges,"
+            f" {len(self.deadlocks)} deadlocks"
+        )
+
+
+@dataclass
+class InstanceResult:
+    """All matrix cells of one corpus net, plus its metrics payload."""
+
+    name: str
+    path: str
+    cells: list[CellResult]
+    disagreements: list[str]
+    payload: dict
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+
+@dataclass
+class CorpusReport:
+    """The whole sweep: per-instance results and corpus-level failures."""
+
+    instances: list[InstanceResult] = field(default_factory=list)
+    law_violations: list[str] = field(default_factory=list)
+
+    @property
+    def disagreements(self) -> list[str]:
+        return [
+            f"{instance.name}: {message}"
+            for instance in self.instances
+            for message in instance.disagreements
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and not self.law_violations
+
+
+def discover(directory: str | Path) -> list[Path]:
+    """All net files under ``directory`` (recursive), sorted.
+
+    Files and directories whose name starts with ``_`` are skipped
+    (generator scripts, scratch space).
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise CorpusError(f"no such corpus directory: {root}")
+    found = sorted(
+        path
+        for path in root.rglob("*")
+        if path.is_file()
+        and path.suffix in FORMATS
+        and not any(part.startswith("_") for part in path.relative_to(root).parts)
+    )
+    if not found:
+        raise CorpusError(
+            f"no net files ({', '.join(FORMATS)}) under {root}"
+        )
+    return found
+
+
+def explore_cell(
+    net: PetriNet, engine: str, backend: str, max_states: int
+) -> CellResult:
+    """Run one engine/backend combination over ``net``.
+
+    State, edge and deadlock counts are all derived through each
+    engine's *public* marking-domain API so the comparison is
+    representation-independent — the compiled backend must agree after
+    decoding, not just internally.
+    """
+    with obs.span("bench.cell", engine=engine, backend=backend) as handle:
+        try:
+            if engine == "eager":
+                graph = ReachabilityGraph(
+                    net, max_states=max_states, backend=backend
+                )
+                states = graph.num_states()
+                edges = graph.num_edges()
+                deadlocks = frozenset(graph.deadlocks())
+            elif engine in ("onthefly", "por"):
+                from repro.petri.product import LazyStateSpace
+
+                space = LazyStateSpace(
+                    net,
+                    max_states=max_states,
+                    reduction=(engine == "por"),
+                    visible_actions=() if engine == "por" else None,
+                    backend=backend,
+                )
+                markings = list(space.iter_bfs())
+                successors = [space.successors(m) for m in markings]
+                states = len(markings)
+                edges = sum(len(step) for step in successors)
+                deadlocks = frozenset(
+                    m for m, step in zip(markings, successors) if not step
+                )
+            else:
+                raise CorpusError(f"unknown engine {engine!r}")
+        except UnboundedNetError as error:
+            outcome = "unbounded" if error.bound is None else "bound-exceeded"
+            handle.set(outcome=outcome)
+            return CellResult(engine, backend, outcome)
+        handle.set(outcome="ok", states=states, edges=edges)
+    prefix = f"bench.{engine}.{backend}"
+    obs.gauge(f"{prefix}.states", states)
+    obs.gauge(f"{prefix}.edges", edges)
+    obs.gauge(f"{prefix}.deadlocks", len(deadlocks))
+    return CellResult(engine, backend, "ok", states, edges, deadlocks)
+
+
+def diff_cells(cells: list[CellResult]) -> list[str]:
+    """Cross-engine/backend agreement violations (empty = all agree)."""
+    problems: list[str] = []
+    by_key = {(cell.engine, cell.backend): cell for cell in cells}
+
+    def exact(left: CellResult, right: CellResult, what: str) -> None:
+        if (left.outcome, left.states, left.edges, left.deadlocks) != (
+            right.outcome,
+            right.states,
+            right.edges,
+            right.deadlocks,
+        ):
+            problems.append(
+                f"{what}: {left.engine}/{left.backend} says"
+                f" {left.summary()} but {right.engine}/{right.backend}"
+                f" says {right.summary()}"
+            )
+
+    engines = sorted({cell.engine for cell in cells})
+    backends = sorted({cell.backend for cell in cells})
+    for engine in engines:
+        present = [by_key[(engine, b)] for b in backends if (engine, b) in by_key]
+        for other in present[1:]:
+            exact(present[0], other, "backend mismatch")
+
+    reference = next(
+        (
+            by_key[(engine, backend)]
+            for engine in ("eager", "onthefly")
+            for backend in ("dict", "compiled")
+            if (engine, backend) in by_key
+        ),
+        None,
+    )
+    if reference is None:
+        return problems
+    for backend in backends:
+        for engine in ("eager", "onthefly"):
+            cell = by_key.get((engine, backend))
+            if cell is not None and cell is not reference:
+                exact(reference, cell, "engine mismatch")
+        por = by_key.get(("por", backend))
+        if por is None:
+            continue
+        if reference.outcome == "ok" and por.outcome != "ok":
+            problems.append(
+                f"por/{backend} reports {por.outcome} although the full"
+                f" space completed with {reference.summary()}"
+            )
+        elif reference.outcome == "ok" and por.outcome == "ok":
+            if por.deadlocks != reference.deadlocks:
+                problems.append(
+                    f"por/{backend} deadlock set differs from"
+                    f" {reference.engine}: {len(por.deadlocks)} vs"
+                    f" {len(reference.deadlocks)} markings"
+                )
+            if por.states > reference.states or por.edges > reference.edges:
+                problems.append(
+                    f"por/{backend} explored more than the full space:"
+                    f" {por.summary()} vs {reference.summary()}"
+                )
+    return problems
+
+
+def run_instance(
+    path: str | Path,
+    engines: tuple[str, ...] = ENGINES,
+    backends: tuple[str, ...] = BACKENDS,
+    max_states: int = 200_000,
+) -> InstanceResult:
+    """Sweep one net file through the full matrix.
+
+    Returns the per-cell results, any disagreements, and one validated
+    ``repro.obs/v1`` payload covering the whole instance.
+    """
+    path = Path(path)
+    try:
+        stg = load_stg(str(path))
+    except FileNotFoundError:
+        raise CorpusError(f"no such file: {path}") from None
+    except (ValueError, KeyError) as error:
+        raise CorpusError(f"cannot parse {path}: {error}") from None
+    net = stg.net
+    with obs.record() as recorder:
+        with obs.span("bench.instance", net=net.name, file=path.name):
+            cells = [
+                explore_cell(net, engine, backend, max_states)
+                for engine in engines
+                for backend in backends
+            ]
+            obs.count("bench.cells", len(cells))
+    payload = recorder.to_dict()
+    validate_metrics(payload)
+    return InstanceResult(
+        name=net.name,
+        path=str(path),
+        cells=cells,
+        disagreements=diff_cells(cells),
+        payload=payload,
+    )
+
+
+def run_corpus(
+    paths,
+    engines: tuple[str, ...] = ENGINES,
+    backends: tuple[str, ...] = BACKENDS,
+    max_states: int = 200_000,
+    out_dir: str | Path | None = None,
+    check_laws: bool = False,
+    progress=None,
+) -> CorpusReport:
+    """Sweep every net in ``paths`` (files, or a directory to discover).
+
+    With ``out_dir``, one ``<stem>.obs.json`` payload per instance plus
+    an ``INDEX.json`` manifest are written there.  With ``check_laws``,
+    the algebra-law fuzz layer runs over all parsed nets afterwards.
+    ``progress`` is an optional one-line-per-instance callback.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = discover(paths)
+    report = CorpusReport()
+    nets: list[tuple[str, PetriNet]] = []
+    for path in paths:
+        instance = run_instance(path, engines, backends, max_states)
+        report.instances.append(instance)
+        try:
+            nets.append((instance.name, load_stg(str(path)).net))
+        except (ValueError, KeyError):  # pragma: no cover - parsed above
+            pass
+        if progress is not None:
+            progress(instance)
+    if check_laws:
+        report.law_violations = fuzz_laws(nets, max_states=50_000)
+    if out_dir is not None:
+        _write_payloads(report, Path(out_dir))
+    return report
+
+
+def _write_payloads(report: CorpusReport, out_dir: Path) -> None:
+    import json
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    index = []
+    for instance in report.instances:
+        stem = Path(instance.path).name.replace(".", "_")
+        target = out_dir / f"{stem}.obs.json"
+        target.write_text(
+            json.dumps(instance.payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        index.append(
+            {
+                "net": instance.name,
+                "file": instance.path,
+                "payload": target.name,
+                "ok": instance.ok,
+                "cells": {
+                    f"{cell.engine}/{cell.backend}": cell.summary()
+                    for cell in instance.cells
+                },
+            }
+        )
+    (out_dir / "INDEX.json").write_text(
+        json.dumps(
+            {
+                "instances": index,
+                "disagreements": report.disagreements,
+                "law_violations": report.law_violations,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+# -- algebra-law fuzzing on corpus nets -------------------------------------
+
+
+def _law_eligible(net: PetriNet) -> bool:
+    """Small enough for exact language comparison (which determinises)."""
+    try:
+        ReachabilityGraph(net, max_states=LAW_STATE_BUDGET)
+    except UnboundedNetError:
+        return False
+    return True
+
+
+def _hidable_labels(net: PetriNet) -> list[str]:
+    """Labels every transition of which the set-based contraction
+    supports (see :mod:`repro.algebra.fragment`)."""
+    from repro.algebra.fragment import hidable_transition_ids
+
+    labels = []
+    for label in sorted(net.used_actions() - {EPSILON}):
+        tids = [t.tid for t in net.transitions_with_action(label)]
+        if tids and set(tids) == set(hidable_transition_ids(net, label)):
+            labels.append(label)
+    return labels
+
+
+def fuzz_laws(
+    named_nets: list[tuple[str, PetriNet]], max_states: int = 50_000
+) -> list[str]:
+    """Replay Theorems 4.5/4.7 and Proposition 4.6 on parsed nets.
+
+    Returns human-readable violation messages (empty = all laws hold).
+    Nets outside the supported fragment, or too large for exact language
+    comparison, are skipped per law — the harness reports what it
+    checked via the returned messages only on failure, so a silent []
+    means "every applicable law held on every eligible net".
+    """
+    from repro.algebra.compose import parallel
+    from repro.algebra.fragment import supported_hide
+    from repro.petri.product import (
+        LazyStateSpace,
+        SynchronousProduct,
+        compare_languages,
+    )
+
+    violations: list[str] = []
+    eligible = [(name, net) for name, net in named_nets if _law_eligible(net)]
+
+    # Theorem 4.5 on consecutive corpus pairs: the net-level parallel
+    # composition and the synchronous product of the component spaces
+    # have the same language.
+    for (left_name, left), (right_name, right) in zip(eligible, eligible[1:]):
+        right = right.renamed_places({p: f"r.{p}" for p in right.places})
+        composed = parallel(left, right)
+        if not _law_eligible(composed):
+            continue
+        product = SynchronousProduct(
+            LazyStateSpace(left),
+            LazyStateSpace(right),
+            sync=left.actions & right.actions,
+        ).to_net()
+        result = compare_languages(composed, product, max_states=max_states)
+        if not result.verdict:
+            violations.append(
+                f"Thm 4.5 fails on {left_name} || {right_name}:"
+                f" distinguishing trace {result.counterexample}"
+            )
+
+    for name, net in eligible:
+        labels = _hidable_labels(net)
+        # Theorem 4.7: contraction = making the label silent.
+        for label in labels[:3]:
+            contracted = supported_hide(net, label)
+            if contracted is None:
+                continue
+            result = compare_languages(
+                contracted,
+                net,
+                silent=(EPSILON,),
+                silent2={label, EPSILON},
+                max_states=max_states,
+            )
+            if not result.verdict:
+                violations.append(
+                    f"Thm 4.7 fails hiding {label!r} in {name}:"
+                    f" distinguishing trace {result.counterexample}"
+                )
+        # Proposition 4.6: contraction order does not matter.
+        if len(labels) >= 2:
+            first, second = labels[0], labels[1]
+
+            def both(a: str, b: str) -> PetriNet | None:
+                step = supported_hide(net, a)
+                return supported_hide(step, b) if step is not None else None
+
+            one_way = both(first, second)
+            other_way = both(second, first)
+            if one_way is not None and other_way is not None:
+                result = compare_languages(
+                    one_way, other_way, max_states=max_states
+                )
+                if not result.verdict:
+                    violations.append(
+                        f"Prop 4.6 fails on {name} hiding"
+                        f" {{{first!r}, {second!r}}}: distinguishing"
+                        f" trace {result.counterexample}"
+                    )
+    return violations

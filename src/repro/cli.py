@@ -1,7 +1,8 @@
 """Command-line interface: ``cip`` (or ``python -m repro``).
 
-Subcommands operate on STGs in the astg ``.g`` format (``.json`` is
-also accepted, selected by extension):
+Subcommands operate on nets in any registered format — astg ``.g``,
+native ``.json``, TINA ``.net`` or PNML ``.pnml``, selected by
+extension (see ``docs/INTEROP.md``):
 
 * ``cip info FILE`` — sizes, net class, behavioural properties;
 * ``cip compose A B -o OUT`` — circuit-algebra composition;
@@ -9,7 +10,9 @@ also accepted, selected by extension):
 * ``cip verify A B`` — receptiveness check of the composition;
 * ``cip simplify TARGET ENV -o OUT`` — environment-driven reduction;
 * ``cip synth FILE`` — complex-gate synthesis (prints the netlist);
-* ``cip dot FILE`` — Graphviz export.
+* ``cip dot FILE`` — Graphviz export;
+* ``cip convert IN OUT`` — format translation;
+* ``cip bench DIR`` — corpus differential sweep (engines x backends).
 
 Exit codes: ``0`` success, ``1`` verification/synthesis failure,
 ``2`` usage or input errors (missing file, unparsable input,
@@ -35,16 +38,12 @@ class CliError(Exception):
 
 
 def _load(path: str) -> Stg:
-    if path.endswith(".json"):
-        from repro.io.json_io import load as loader
-    elif path.endswith(".g"):
-        from repro.io.astg import load_astg as loader
-    else:
-        raise CliError(
-            f"unrecognized extension for {path!r} (expected .g or .json)"
-        )
+    from repro.io.formats import FormatError, load_stg
+
     try:
-        return loader(path)
+        return load_stg(path)
+    except FormatError as error:
+        raise CliError(str(error)) from None
     except FileNotFoundError:
         raise CliError(f"no such file: {path}") from None
     except OSError as error:
@@ -56,16 +55,14 @@ def _load(path: str) -> Stg:
 
 
 def _save(stg: Stg, path: str) -> None:
-    if path.endswith(".json"):
-        from repro.io.json_io import save as saver
-    elif path.endswith(".g"):
-        from repro.io.astg import save_astg as saver
-    else:
-        raise CliError(
-            f"unrecognized extension for output {path!r} (expected .g or .json)"
-        )
+    from repro.io.formats import FormatError, save_stg
+
     try:
-        saver(stg, path)
+        save_stg(stg, path)
+    except FormatError as error:
+        raise CliError(str(error)) from None
+    except ValueError as error:
+        raise CliError(f"cannot write {path}: {error}") from None
     except OSError as error:
         raise CliError(
             f"cannot write {path}: {error.strerror or error}"
@@ -316,6 +313,77 @@ def cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_convert(args: argparse.Namespace) -> int:
+    stg = _load(args.input)
+    _save(stg, args.output)
+    print(f"wrote {args.output}: {stg.net.stats()}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.corpus import (
+        BACKENDS,
+        ENGINES,
+        CorpusError,
+        discover,
+        run_corpus,
+    )
+
+    def parse_csv(value: str, universe: tuple[str, ...], what: str):
+        chosen = tuple(item.strip() for item in value.split(",") if item.strip())
+        for item in chosen:
+            if item not in universe:
+                raise CliError(
+                    f"unknown {what} {item!r}; expected a comma-separated"
+                    f" subset of {', '.join(universe)}"
+                )
+        if not chosen:
+            raise CliError(f"empty {what} list")
+        return chosen
+
+    engines = parse_csv(args.engines, ENGINES, "engine")
+    backends = parse_csv(args.backends, BACKENDS, "backend")
+
+    def progress(instance) -> None:
+        status = "ok" if instance.ok else "DISAGREE"
+        cells = "; ".join(
+            f"{cell.engine}/{cell.backend}: {cell.summary()}"
+            for cell in instance.cells
+        )
+        print(f"{instance.name:<24} [{status}] {cells}")
+
+    try:
+        paths = discover(args.directory)
+        report = run_corpus(
+            paths,
+            engines=engines,
+            backends=backends,
+            max_states=args.max_states,
+            out_dir=args.out,
+            check_laws=args.laws,
+            progress=progress,
+        )
+    except CorpusError as error:
+        raise CliError(str(error)) from None
+    print(
+        f"# corpus: {len(report.instances)} instances x {len(engines)}"
+        f" engines x {len(backends)} backends"
+    )
+    failures = report.disagreements + report.law_violations
+    for message in report.disagreements:
+        print(f"cip: disagreement: {message}", file=sys.stderr)
+    for message in report.law_violations:
+        print(f"cip: law violation: {message}", file=sys.stderr)
+    if failures:
+        print(f"# FAIL: {len(failures)} failure(s)")
+        return 1
+    print(
+        "# all engines and backends agree"
+        + ("; all algebra laws hold" if args.laws else "")
+    )
+    return 0
+
+
 def _add_trim_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trim",
@@ -437,6 +505,50 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_cmd.add_argument("file")
     reduce_cmd.add_argument("-o", "--output", required=True)
     reduce_cmd.set_defaults(func=cmd_reduce)
+
+    convert = sub.add_parser(
+        "convert", help="translate between .g/.json/.net/.pnml"
+    )
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.set_defaults(func=cmd_convert)
+
+    bench = sub.add_parser(
+        "bench",
+        help="corpus differential sweep: engines x backends over a"
+        " directory of nets",
+    )
+    bench.add_argument("directory")
+    bench.add_argument(
+        "--engines",
+        default="eager,onthefly,por",
+        help="comma-separated engine subset (default: all)",
+    )
+    bench.add_argument(
+        "--backends",
+        default="dict,compiled",
+        help="comma-separated backend subset (default: all)",
+    )
+    bench.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        help="per-exploration state budget (exceeding it is recorded as"
+        " 'bound-exceeded', not an error)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write one repro.obs/v1 payload per instance (plus"
+        " INDEX.json) into DIR",
+    )
+    bench.add_argument(
+        "--laws",
+        action="store_true",
+        help="replay the algebra laws (Thms 4.5/4.7, Prop 4.6) on the"
+        " parsed corpus nets",
+    )
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

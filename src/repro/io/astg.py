@@ -47,6 +47,17 @@ def _instance_label(name: str) -> tuple[str, int]:
     return name, 1
 
 
+def _is_signal_event(label: str, signal_names) -> bool:
+    """Whether ``label`` is a signal-transition token (``s+``, ``s-``,
+    ...) of one of ``signal_names`` — the shapes the parser classifies
+    as transitions rather than places."""
+    return any(
+        label == f"{signal}{suffix}"
+        for signal in signal_names
+        for suffix in "+-~=#*"
+    )
+
+
 def parse_astg(text: str) -> Stg:
     """Parse a ``.g`` description into an :class:`Stg`."""
     name = "astg"
@@ -97,11 +108,7 @@ def parse_astg(text: str) -> Stg:
         label, _ = _instance_label(token)
         if label in dummies:
             return True
-        return any(
-            label == f"{signal}{suffix}"
-            for signal in signal_names
-            for suffix in "+-~=#*"
-        )
+        return _is_signal_event(label, signal_names)
 
     # First pass: discover transitions and explicit places.
     transition_names: set[str] = set()
@@ -175,7 +182,14 @@ def parse_astg(text: str) -> Stg:
         if "=" in token:
             token, _, count_text = token.partition("=")
             count = int(count_text)
-        if token.startswith("<") and token.endswith(">"):
+        if (
+            token.startswith("<")
+            and token.endswith(">")
+            and token not in net.places
+        ):
+            # An explicit place literally named ``<a+,x+>`` (e.g. one a
+            # previous parse materialised) shadows the implicit-place
+            # notation — only unknown tokens are treated as implicit.
             inner = token[1:-1]
             source, _, target = inner.partition(",")
             place = implicit.get((source, target))
@@ -203,6 +217,20 @@ def write_astg(stg: Stg) -> str:
     transitions become ``.dummy`` events ``eps_<tid>``.
     """
     net = stg.net
+    signal_names = stg.signals()
+    for tid, transition in sorted(net.transitions.items()):
+        if transition.action == EPSILON:
+            continue
+        if not _is_signal_event(transition.action, signal_names):
+            # A non-signal label would be written verbatim and
+            # reclassified as a *place* on reparse — refuse instead of
+            # silently corrupting the net (use .json/.pnml/.net for
+            # plain action alphabets).
+            raise AstgFormatError(
+                f"label {transition.action!r} of t{tid} is not a signal"
+                " event of a declared signal; the astg format cannot"
+                " represent it"
+            )
     lines = [f".model {net.name}"]
     if stg.inputs:
         lines.append(".inputs " + " ".join(sorted(stg.inputs)))
@@ -231,7 +259,31 @@ def write_astg(stg: Stg) -> str:
     lines.append(".graph")
 
     def place_token(place: str) -> str:
-        return place.replace(" ", "_")
+        # .g tokens are whitespace-split, '#' opens a comment, '=' is
+        # the marking-count separator, braces delimit the marking and a
+        # leading '.' would read as a directive; names shaped like
+        # signal events or dummy names would reclassify as transitions
+        # on reparse.  Names like that used to be silently rewritten
+        # (spaces -> underscores), which loses the name and can collide
+        # two places; refuse loudly instead.
+        try:
+            label, _ = _instance_label(place)
+            shadows_event = _is_signal_event(label, signal_names)
+        except AstgFormatError:
+            shadows_event = True  # '/' with a non-numeric suffix
+        if (
+            not place
+            or place != "".join(place.split())
+            or any(ch in place for ch in "#={}")
+            or place.startswith(".")
+            or place in dummies
+            or shadows_event
+        ):
+            raise AstgFormatError(
+                f"place name {place!r} cannot be represented as an astg"
+                " token (use .json/.pnml/.net for such names)"
+            )
+        return place
 
     for tid, transition in sorted(net.transitions.items()):
         targets = " ".join(place_token(p) for p in sorted(transition.postset))

@@ -1,0 +1,95 @@
+"""Extension-dispatched loading/saving across all supported formats.
+
+One registry shared by the CLI, the corpus harness and the tests, so a
+new format plugs in everywhere at once:
+
+========  =========================================  =========
+suffix    format                                     round trip
+========  =========================================  =========
+``.g``    astg / petrify STG                         language
+``.json`` native JSON (``docs`` FORMAT_VERSION 1)    exact
+``.net``  TINA textual nets                          exact
+``.pnml`` PNML P/T nets (ISO/IEC 15909-2)            exact
+========  =========================================  =========
+
+"Exact" means ``load(save(stg))`` reproduces the :class:`Stg` bit for
+bit (:meth:`PetriNet.structurally_equal` plus the signal sets); the
+astg format only preserves the language and requires signal-shaped
+labels — see ``docs/INTEROP.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.stg.stg import Stg
+
+
+class FormatError(ValueError):
+    """Unrecognized file extension (one-line message)."""
+
+
+def _astg() -> tuple[Callable, Callable]:
+    from repro.io.astg import load_astg, save_astg
+
+    return load_astg, save_astg
+
+
+def _json() -> tuple[Callable, Callable]:
+    from repro.io.json_io import load, save
+
+    return load, save
+
+
+def _tina() -> tuple[Callable, Callable]:
+    from repro.io.tina import load_tina, save_tina
+
+    return load_tina, save_tina
+
+
+def _pnml() -> tuple[Callable, Callable]:
+    from repro.io.pnml import load_pnml, save_pnml
+
+    return load_pnml, save_pnml
+
+
+#: suffix -> lazy (loader, saver) pair; ordered for error messages.
+FORMATS: dict[str, Callable[[], tuple[Callable, Callable]]] = {
+    ".g": _astg,
+    ".json": _json,
+    ".net": _tina,
+    ".pnml": _pnml,
+}
+
+_EXPECTED = ".g, .json, .net or .pnml"
+
+
+def format_of(path: str) -> str | None:
+    """The registered suffix of ``path``, or ``None``."""
+    for suffix in FORMATS:
+        if path.endswith(suffix):
+            return suffix
+    return None
+
+
+def load_stg(path: str) -> Stg:
+    """Load an :class:`Stg` from any supported format (by extension)."""
+    suffix = format_of(path)
+    if suffix is None:
+        raise FormatError(
+            f"unrecognized extension for {path!r} (expected {_EXPECTED})"
+        )
+    loader, _ = FORMATS[suffix]()
+    return loader(path)
+
+
+def save_stg(stg: Stg, path: str) -> None:
+    """Save an :class:`Stg` in any supported format (by extension)."""
+    suffix = format_of(path)
+    if suffix is None:
+        raise FormatError(
+            f"unrecognized extension for output {path!r}"
+            f" (expected {_EXPECTED})"
+        )
+    _, saver = FORMATS[suffix]()
+    saver(stg, path)

@@ -1,0 +1,426 @@
+"""Read/write PNML place/transition nets (ISO/IEC 15909-2).
+
+Supported subset — the standard P/T-net core used by the Model Checking
+Contest corpus::
+
+    <pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">
+      <net id="n1" type=".../ptnet">
+        <name><text>my net</text></name>
+        <page id="g1">
+          <place id="p0">
+            <name><text>idle</text></name>
+            <initialMarking><text>2</text></initialMarking>
+          </place>
+          <transition id="t0"><name><text>req+</text></name></transition>
+          <arc id="a0" source="p0" target="t0"/>
+        </page>
+      </net>
+    </pnml>
+
+Mapping onto :class:`~repro.petri.net.PetriNet`:
+
+* the ``<name><text>`` of a place is its place name (the ``id`` is only
+  a referencing handle; it is used as the name when no ``<name>`` is
+  given).  Two places with the same name would merge and are rejected.
+* the ``<name><text>`` of a transition is its *action label* — several
+  transitions may share one label, exactly as in the paper's transition
+  relation.  Transition ids of the form ``t<int>`` round-trip as tids.
+* ``<initialMarking>`` counts > 1 are fine (markings are multisets).
+
+Rejected features (the formalism is set-based, ``2^P x A x 2^P`` — see
+``docs/INTEROP.md`` for the full rationale):
+
+* arc inscriptions with weight != 1, and duplicate arcs (= weight 2);
+* arc ``<type>`` extensions (inhibitor / read / reset arcs);
+* high-level nets (``<declaration>``, ``<hlinitialMarking>``,
+  ``<hlinscription>``) and symmetric-net types;
+* ``<referencePlace>`` / ``<referenceTransition>`` nodes;
+* documents with more than one ``<net>``.
+
+The writer adds a ``<toolspecific tool="cip">`` block carrying the STG
+interpretation (signal sets, initial values, guards) and any alphabet
+labels with no transitions, so ``parse(write(stg))`` is *exact* — other
+tools ignore the block per the PNML standard.  Foreign files without it
+get their signal-shaped labels declared as outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import xml.etree.ElementTree as ET
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.guards import Guard, parse_guard
+from repro.stg.signals import signals_of_net_actions
+from repro.stg.stg import Stg
+
+PNML_NS = "http://www.pnml.org/version-2009/grammar/pnml"
+PTNET_TYPE = "http://www.pnml.org/version-2009/grammar/ptnet"
+TOOL_NAME = "cip"
+TOOL_VERSION = "1"
+
+#: Characters XML 1.0 cannot carry (plus ``\r``, which parsers normalise
+#: to ``\n`` — a silent rename we refuse instead).
+_XML_UNSAFE = re.compile(
+    "[^\t\n -퟿-�\U00010000-\U0010ffff]|\r"
+)
+
+_TID_ID = re.compile(r"t(\d+)\Z")
+
+_HIGH_LEVEL = {
+    "declaration",
+    "hlinitialMarking",
+    "hlinscription",
+    "type",  # only rejected on arcs / hl markings, see _parse_arc
+}
+
+
+class PnmlFormatError(ValueError):
+    """Malformed or unsupported PNML input (one-line message)."""
+
+
+def _local(tag: object) -> str:
+    """The tag name with any ``{namespace}`` prefix stripped."""
+    if not isinstance(tag, str):  # comments / processing instructions
+        return ""
+    return tag.rpartition("}")[2]
+
+
+def _child(element: ET.Element, name: str) -> ET.Element | None:
+    for child in element:
+        if _local(child.tag) == name:
+            return child
+    return None
+
+
+def _label_text(element: ET.Element, default: str) -> str:
+    """The ``<name><text>`` content of a node, or ``default``."""
+    name = _child(element, "name")
+    if name is None:
+        return default
+    text = _child(name, "text")
+    if text is None:
+        return default
+    return text.text if text.text is not None else default
+
+
+def _int_annotation(element: ET.Element, what: str) -> int:
+    text = _child(element, "text")
+    raw = (text.text or "").strip() if text is not None else ""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise PnmlFormatError(f"non-integer {what} {raw!r}") from None
+    return value
+
+
+def parse_pnml(text: str) -> Stg:
+    """Parse a PNML document into an :class:`Stg`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PnmlFormatError(f"malformed XML: {exc}") from None
+    if _local(root.tag) == "pnml":
+        nets = [child for child in root if _local(child.tag) == "net"]
+    elif _local(root.tag) == "net":
+        nets = [root]
+    else:
+        raise PnmlFormatError(
+            f"expected a <pnml> or <net> document, got <{_local(root.tag)}>"
+        )
+    if len(nets) != 1:
+        raise PnmlFormatError(f"expected exactly one <net>, found {len(nets)}")
+    return _parse_net(nets[0])
+
+
+def _parse_net(net_element: ET.Element) -> Stg:
+    places: dict[str, tuple[str, int]] = {}  # id -> (name, marking)
+    transitions: list[tuple[str, str]] = []  # (id, label), document order
+    arcs: list[tuple[str, str]] = []  # (source id, target id)
+    cip_blob: str | None = None
+    seen_ids: set[str] = set()
+
+    def node_id(element: ET.Element) -> str:
+        identifier = element.get("id")
+        if identifier is None:
+            raise PnmlFormatError(
+                f"<{_local(element.tag)}> element without an id"
+            )
+        if identifier in seen_ids:
+            raise PnmlFormatError(f"duplicate id {identifier!r}")
+        seen_ids.add(identifier)
+        return identifier
+
+    def walk(element: ET.Element) -> None:
+        nonlocal cip_blob
+        for child in element:
+            tag = _local(child.tag)
+            if tag == "toolspecific":
+                if child.get("tool") == TOOL_NAME:
+                    text = _child(child, "text")
+                    cip_blob = (text.text or "") if text is not None else ""
+                continue  # foreign tool blocks are opaque: never recursed
+            if tag == "place":
+                places[node_id(child)] = _parse_place(child)
+            elif tag == "transition":
+                transitions.append((node_id(child), _label_text(child, "")))
+            elif tag == "arc":
+                arcs.append(_parse_arc(child))
+            elif tag in ("referencePlace", "referenceTransition"):
+                raise PnmlFormatError(
+                    f"<{tag}> nodes are not supported (flatten the net first)"
+                )
+            elif tag == "declaration":
+                raise PnmlFormatError(
+                    "high-level (symmetric) nets are not supported:"
+                    " <declaration> found"
+                )
+            elif tag == "page":
+                walk(child)  # pages only group nodes; flattened on read
+            # name / graphics / unknown annotations: ignored
+
+    walk(net_element)
+
+    net = PetriNet(_label_text(net_element, net_element.get("id") or "net"))
+    names_seen: dict[str, str] = {}
+    counts: dict[str, int] = {}
+    for identifier, (name, marking) in places.items():
+        if name in names_seen:
+            raise PnmlFormatError(
+                f"places {names_seen[name]!r} and {identifier!r} share the"
+                f" name {name!r} (names are identities here)"
+            )
+        names_seen[name] = identifier
+        net.add_place(name)
+        if marking:
+            counts[name] = marking
+
+    presets: dict[str, set[str]] = {tid: set() for tid, _ in transitions}
+    postsets: dict[str, set[str]] = {tid: set() for tid, _ in transitions}
+    seen_arcs: set[tuple[str, str]] = set()
+    for source, target in arcs:
+        if (source, target) in seen_arcs:
+            raise PnmlFormatError(
+                f"duplicate arc {source!r} -> {target!r} (an arc weight"
+                " of 2; weighted arcs are not supported)"
+            )
+        seen_arcs.add((source, target))
+        if source in places and target in presets:
+            presets[target].add(places[source][0])
+        elif source in presets and target in places:
+            postsets[source].add(places[target][0])
+        elif source in seen_ids and target in seen_ids:
+            raise PnmlFormatError(
+                f"arc {source!r} -> {target!r} does not connect a place"
+                " and a transition"
+            )
+        else:
+            missing = source if source not in seen_ids else target
+            raise PnmlFormatError(f"arc references unknown id {missing!r}")
+
+    explicit = {
+        int(match.group(1)): identifier
+        for identifier, _ in transitions
+        if (match := _TID_ID.match(identifier))
+    }
+    next_tid = max(explicit, default=-1) + 1
+    for identifier, label in transitions:
+        match = _TID_ID.match(identifier)
+        if match:
+            tid = int(match.group(1))
+        else:
+            tid, next_tid = next_tid, next_tid + 1
+        net.add_transition(
+            presets[identifier],
+            label or identifier,
+            postsets[identifier],
+            tid=tid,
+        )
+    net.set_initial(Marking(counts))
+    return _apply_cip_block(net, cip_blob)
+
+
+def _parse_place(element: ET.Element) -> tuple[str, int]:
+    name = _label_text(element, element.get("id") or "")
+    marking = 0
+    for child in element:
+        tag = _local(child.tag)
+        if tag == "initialMarking":
+            marking = _int_annotation(child, "initial marking")
+            if marking < 0:
+                raise PnmlFormatError(f"negative initial marking {marking}")
+        elif tag in _HIGH_LEVEL:
+            raise PnmlFormatError(
+                f"high-level annotation <{tag}> on place"
+                f" {element.get('id')!r} is not supported"
+            )
+    return name, marking
+
+
+def _parse_arc(element: ET.Element) -> tuple[str, str]:
+    source = element.get("source")
+    target = element.get("target")
+    if source is None or target is None:
+        raise PnmlFormatError("arc without source/target attributes")
+    for child in element:
+        tag = _local(child.tag)
+        if tag == "inscription":
+            weight = _int_annotation(child, "arc inscription")
+            if weight != 1:
+                raise PnmlFormatError(
+                    f"arc {source!r} -> {target!r} has weight {weight};"
+                    " only weight-1 arcs are supported (set-based"
+                    " transition relation)"
+                )
+        elif tag == "type":
+            kind = child.get("value") or (
+                (_child(child, "text").text or "").strip()
+                if _child(child, "text") is not None
+                else ""
+            )
+            if kind not in ("", "normal"):
+                raise PnmlFormatError(
+                    f"arc type {kind!r} is not supported (inhibitor/read/"
+                    "reset arcs have no set-based counterpart)"
+                )
+        elif tag == "hlinscription":
+            raise PnmlFormatError(
+                "high-level arc inscriptions are not supported"
+            )
+    return source, target
+
+
+def _apply_cip_block(net: PetriNet, blob: str | None) -> Stg:
+    if blob is None:
+        # Foreign file: declare signal-shaped labels as outputs so the
+        # resulting Stg validates (plain labels need no declaration).
+        return Stg(net, outputs=signals_of_net_actions(net.used_actions()))
+    try:
+        data = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise PnmlFormatError(f"malformed cip toolspecific block: {exc}") from None
+    if not isinstance(data, dict):
+        raise PnmlFormatError("cip toolspecific block must be a JSON object")
+    net.actions.update(data.get("actions", ()))
+    for entry in data.get("guards", ()):
+        try:
+            net.set_guard(
+                entry["place"], entry["tid"], parse_guard(entry["guard"])
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PnmlFormatError(f"bad guard entry in cip block: {exc}") from None
+    values = {
+        signal: (None if level == "X" else level)
+        for signal, level in data.get("initial_values", {}).items()
+    }
+    return Stg(
+        net,
+        inputs=data.get("inputs", ()),
+        outputs=data.get("outputs", ()),
+        internals=data.get("internals", ()),
+        initial_values=values,
+    )
+
+
+def _checked_text(value: str, what: str) -> str:
+    if value == "":
+        raise PnmlFormatError(f"empty {what} cannot be represented in PNML")
+    if _XML_UNSAFE.search(value):
+        raise PnmlFormatError(
+            f"{what} {value!r} contains characters XML cannot carry"
+        )
+    return value
+
+
+def write_pnml(stg: Stg) -> str:
+    """Serialize an :class:`Stg` as a PNML document (exact round trip)."""
+    net = stg.net
+    root = ET.Element("pnml", xmlns=PNML_NS)
+    net_element = ET.SubElement(root, "net", id="net1", type=PTNET_TYPE)
+    _annotate_name(net_element, _checked_text(net.name, "net name"))
+    page = ET.SubElement(net_element, "page", id="page1")
+
+    place_ids = {
+        place: f"p{index}" for index, place in enumerate(sorted(net.places))
+    }
+    for place, identifier in place_ids.items():
+        element = ET.SubElement(page, "place", id=identifier)
+        _annotate_name(element, _checked_text(place, "place name"))
+        count = net.initial[place]
+        if count:
+            marking = ET.SubElement(element, "initialMarking")
+            ET.SubElement(marking, "text").text = str(count)
+
+    arc_index = 0
+    for tid, transition in sorted(net.transitions.items()):
+        element = ET.SubElement(page, "transition", id=f"t{tid}")
+        _annotate_name(
+            element, _checked_text(transition.action, "transition label")
+        )
+        for place in sorted(transition.preset):
+            ET.SubElement(
+                page,
+                "arc",
+                id=f"a{arc_index}",
+                source=place_ids[place],
+                target=f"t{tid}",
+            )
+            arc_index += 1
+        for place in sorted(transition.postset):
+            ET.SubElement(
+                page,
+                "arc",
+                id=f"a{arc_index}",
+                source=f"t{tid}",
+                target=place_ids[place],
+            )
+            arc_index += 1
+
+    blob = {
+        "version": 1,
+        "actions": sorted(net.actions),
+        "inputs": sorted(stg.inputs),
+        "outputs": sorted(stg.outputs),
+        "internals": sorted(stg.internals),
+        "initial_values": {
+            signal: ("X" if level is None else level)
+            for signal, level in sorted(stg.initial_values.items())
+        },
+        "guards": [
+            {"place": place, "tid": tid, "guard": str(guard)}
+            for (place, tid), guard in sorted(
+                net.input_guards.items(), key=lambda item: (item[0][1], item[0][0])
+            )
+            if isinstance(guard, Guard)
+        ],
+    }
+    tool = ET.SubElement(
+        net_element, "toolspecific", tool=TOOL_NAME, version=TOOL_VERSION
+    )
+    ET.SubElement(tool, "text").text = json.dumps(blob, sort_keys=True)
+
+    ET.indent(root)
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        + ET.tostring(root, encoding="unicode")
+        + "\n"
+    )
+
+
+def _annotate_name(element: ET.Element, value: str) -> None:
+    name = ET.SubElement(element, "name")
+    ET.SubElement(name, "text").text = value
+
+
+def load_pnml(path: str) -> Stg:
+    """Read a ``.pnml`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_pnml(handle.read())
+
+
+def save_pnml(stg: Stg, path: str) -> None:
+    """Write a ``.pnml`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_pnml(stg))

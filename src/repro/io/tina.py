@@ -1,0 +1,433 @@
+"""Read/write TINA ``.net`` textual Petri nets.
+
+The format (projects.laas.fr/tina, also consumed by SMPT and ndrio)::
+
+    net {two phase handshake}
+    tr t0 : req+ idle -> waiting
+    tr t1 : ack+ waiting -> busy
+    pl idle (1)
+    pl busy : {the busy state}
+
+* ``tr NAME [: LABEL] PRE -> POST`` declares a transition; ``pl NAME
+  [: LABEL] [(N)]`` declares a place with ``N`` initial tokens.
+* any name may be brace-quoted ``{like this}`` with ``\\``, ``\\{`` and
+  ``\\}`` escapes; unquoted names match ``[A-Za-z0-9_']+``.
+* ``#`` starts a comment (we also *emit* structured ``# cip:`` comment
+  lines carrying the STG interpretation — signal sets, initial values,
+  guards, unused alphabet labels — so ``parse(write(stg))`` is exact;
+  other tools skip them as comments).
+
+Rejected features (see ``docs/INTEROP.md``): arc weights other than 1
+(``p*2``), read/inhibitor arcs (``p?1``, ``p?-1``), timed transitions
+(``[0,w[`` intervals), ``pr`` priorities and the ``.tpn`` extensions.
+The transition relation here is set-based (``2^P x A x 2^P``), so none
+of these have a faithful encoding.
+
+Transition names of the form ``t<int>`` round-trip as transition ids;
+the *label* (after ``:``) is the paper's action label and may be shared
+by several transitions.  Unlabeled transitions use their name as label.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.guards import Guard, parse_guard
+from repro.stg.signals import signals_of_net_actions
+from repro.stg.stg import Stg
+
+_PLAIN_NAME = re.compile(r"[A-Za-z0-9_']+\Z")
+_TID_NAME = re.compile(r"t(\d+)\Z")
+_MULTIPLIERS = {"K": 1000, "M": 1000000}
+
+#: Sentinel comment marking a file written by us: its presence means the
+#: ``# cip:`` lines carry the *complete* STG interpretation.
+_STG_SENTINEL = "stg"
+
+
+class TinaFormatError(ValueError):
+    """Malformed or unsupported ``.net`` input (one-line message)."""
+
+
+# -- tokenizer --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Tok:
+    """One whitespace-delimited token: a (possibly brace-quoted) name
+    plus any unquoted suffix glued to it (``{a place}*2`` has name
+    ``"a place"``, suffix ``"*2"``)."""
+
+    name: str
+    suffix: str
+    braced: bool
+
+    @property
+    def text(self) -> str:
+        return self.name + self.suffix
+
+
+def _tokenize(line: str, lineno: int) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    i, n = 0, len(line)
+    while i < n:
+        if line[i].isspace():
+            i += 1
+            continue
+        if line[i] == "#":
+            break  # comment to end of line
+        if line[i] == "{":
+            parts: list[str] = []
+            i += 1
+            while i < n and line[i] != "}":
+                if line[i] == "\\" and i + 1 < n:
+                    parts.append(line[i + 1])
+                    i += 2
+                else:
+                    parts.append(line[i])
+                    i += 1
+            if i >= n:
+                raise TinaFormatError(
+                    f"line {lineno}: unterminated brace-quoted name"
+                )
+            i += 1  # closing brace
+            start = i
+            while i < n and not line[i].isspace() and line[i] != "#":
+                i += 1
+            tokens.append(_Tok("".join(parts), line[start:i], True))
+        else:
+            start = i
+            while i < n and not line[i].isspace() and line[i] not in "#{":
+                i += 1
+            tokens.append(_Tok(line[start:i], "", False))
+    return tokens
+
+
+def _quote(name: str, what: str) -> str:
+    if name == "" or "\n" in name or "\r" in name:
+        raise TinaFormatError(
+            f"{what} {name!r} cannot be represented in the .net format"
+        )
+    if _PLAIN_NAME.match(name):
+        return name
+    escaped = name.replace("\\", "\\\\").replace("{", "\\{").replace("}", "\\}")
+    return "{" + escaped + "}"
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def parse_tina(text: str) -> Stg:
+    """Parse TINA ``.net`` source into an :class:`Stg`."""
+    name = "net"
+    transitions: dict[str, tuple[int, str, set[str], set[str]]] = {}
+    place_marks: dict[str, int] = {}
+    cip_lines: list[list[_Tok]] = []
+    has_sentinel = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.lstrip()
+        if stripped.startswith("# cip:"):
+            toks = _tokenize(stripped[len("# cip:") :], lineno)
+            if toks and toks[0].text == _STG_SENTINEL:
+                has_sentinel = True
+            elif toks:
+                cip_lines.append(toks)
+            continue
+        tokens = _tokenize(raw, lineno)
+        if not tokens:
+            continue
+        kind = tokens[0].text
+        if kind == "net":
+            if len(tokens) != 2:
+                raise TinaFormatError(
+                    f"line {lineno}: expected 'net NAME'"
+                )
+            name = tokens[1].name
+        elif kind == "tr":
+            _parse_tr(tokens[1:], lineno, transitions)
+        elif kind == "pl":
+            _parse_pl(tokens[1:], lineno, place_marks)
+        elif kind in ("lb", "nt"):
+            continue  # label/note annotations carry no net structure
+        else:
+            raise TinaFormatError(
+                f"line {lineno}: unsupported directive {kind!r}"
+                " (only net/tr/pl are recognized)"
+            )
+
+    if not transitions and not place_marks:
+        raise TinaFormatError("no net/tr/pl declarations found")
+
+    net = PetriNet(name)
+    for place in place_marks:
+        net.add_place(place)
+    used: dict[int, str] = {}
+    next_fresh = (
+        max(
+            (tid for tid, _, _, _ in transitions.values()),
+            default=-1,
+        )
+        + 1
+    )
+    for tname, (tid, label, pre, post) in transitions.items():
+        if tid < 0:
+            tid, next_fresh = next_fresh, next_fresh + 1
+        if tid in used:
+            raise TinaFormatError(
+                f"transitions {used[tid]!r} and {tname!r} map to the"
+                f" same transition id {tid}"
+            )
+        used[tid] = tname
+        for place in pre | post:
+            net.add_place(place)
+        net.add_transition(pre, label, post, tid=tid)
+    net.set_initial(
+        Marking({p: count for p, count in place_marks.items() if count})
+    )
+    return _apply_cip_lines(net, cip_lines, has_sentinel)
+
+
+def _parse_tr(
+    tokens: list[_Tok],
+    lineno: int,
+    transitions: dict[str, tuple[int, str, set[str], set[str]]],
+) -> None:
+    if not tokens:
+        raise TinaFormatError(f"line {lineno}: 'tr' without a name")
+    tname = tokens[0].name
+    if tname in transitions:
+        raise TinaFormatError(
+            f"line {lineno}: duplicate transition {tname!r}"
+        )
+    rest = tokens[1:]
+    label = tname
+    if rest and rest[0].text == ":":
+        if len(rest) < 2:
+            raise TinaFormatError(f"line {lineno}: ':' without a label")
+        label = rest[1].name
+        rest = rest[2:]
+    for tok in rest:
+        if not tok.braced and (
+            tok.text.startswith("[") or tok.text.startswith("]")
+        ):
+            raise TinaFormatError(
+                f"line {lineno}: timed transitions ({tok.text!r}) are"
+                " not supported"
+            )
+    pre: set[str] = set()
+    post: set[str] = set()
+    side = pre
+    seen_arrow = False
+    for tok in rest:
+        if not tok.braced and tok.text == "->":
+            if seen_arrow:
+                raise TinaFormatError(f"line {lineno}: duplicate '->'")
+            seen_arrow = True
+            side = post
+            continue
+        place = _parse_arc(tok, lineno)
+        if place in side:
+            raise TinaFormatError(
+                f"line {lineno}: duplicate arc to {place!r} (a weight-2"
+                " arc; weighted arcs are not supported)"
+            )
+        side.add(place)
+    if not seen_arrow:
+        raise TinaFormatError(
+            f"line {lineno}: transition {tname!r} has no '->'"
+        )
+    match = _TID_NAME.match(tname)
+    tid = int(match.group(1)) if match else -1
+    transitions[tname] = (tid, label, pre, post)
+
+
+def _parse_arc(tok: _Tok, lineno: int) -> str:
+    """An arc operand ``place``, ``place*W`` or ``place?N``."""
+    if tok.braced:
+        place, annotation = tok.name, tok.suffix
+    else:
+        match = re.search(r"[*?]", tok.text)
+        if match:
+            place = tok.text[: match.start()]
+            annotation = tok.text[match.start() :]
+        else:
+            place, annotation = tok.text, ""
+    if not annotation:
+        return place
+    if annotation.startswith("?"):
+        raise TinaFormatError(
+            f"line {lineno}: read/inhibitor arc {tok.text!r} is not"
+            " supported (no set-based counterpart)"
+        )
+    weight_text = annotation[1:]
+    multiplier = 1
+    if weight_text and weight_text[-1] in _MULTIPLIERS:
+        multiplier = _MULTIPLIERS[weight_text[-1]]
+        weight_text = weight_text[:-1]
+    try:
+        weight = int(weight_text) * multiplier
+    except ValueError:
+        raise TinaFormatError(
+            f"line {lineno}: malformed arc weight {annotation!r}"
+        ) from None
+    if weight != 1:
+        raise TinaFormatError(
+            f"line {lineno}: arc weight {weight} on {place!r}; only"
+            " weight-1 arcs are supported (set-based transition relation)"
+        )
+    return place
+
+
+def _parse_pl(
+    tokens: list[_Tok], lineno: int, place_marks: dict[str, int]
+) -> None:
+    if not tokens:
+        raise TinaFormatError(f"line {lineno}: 'pl' without a name")
+    pname = tokens[0].name
+    if pname in place_marks:
+        raise TinaFormatError(f"line {lineno}: duplicate place {pname!r}")
+    rest = tokens[1:]
+    if rest and rest[0].text == ":":
+        rest = rest[2:]  # place labels are ignored (names are identities)
+    marking = 0
+    if rest:
+        text = rest[0].text
+        if len(rest) > 1 or not (text.startswith("(") and text.endswith(")")):
+            raise TinaFormatError(
+                f"line {lineno}: expected '(N)' marking after place"
+                f" {pname!r}"
+            )
+        body = text[1:-1]
+        multiplier = 1
+        if body and body[-1] in _MULTIPLIERS:
+            multiplier = _MULTIPLIERS[body[-1]]
+            body = body[:-1]
+        try:
+            marking = int(body) * multiplier
+        except ValueError:
+            raise TinaFormatError(
+                f"line {lineno}: malformed marking {text!r}"
+            ) from None
+        if marking < 0:
+            raise TinaFormatError(
+                f"line {lineno}: negative marking {marking}"
+            )
+    place_marks[pname] = marking
+
+
+def _apply_cip_lines(
+    net: PetriNet, cip_lines: list[list[_Tok]], has_sentinel: bool
+) -> Stg:
+    inputs: set[str] = set()
+    outputs: set[str] = set()
+    internals: set[str] = set()
+    values: dict[str, int | None] = {}
+    for toks in cip_lines:
+        key = toks[0].text
+        args = toks[1:]
+        if key == "actions":
+            net.actions.update(tok.name for tok in args)
+        elif key == "inputs":
+            inputs.update(tok.name for tok in args)
+        elif key == "outputs":
+            outputs.update(tok.name for tok in args)
+        elif key == "internals":
+            internals.update(tok.name for tok in args)
+        elif key == "value":
+            if len(args) != 2 or args[1].text not in ("0", "1", "X"):
+                raise TinaFormatError(
+                    "malformed '# cip:value SIGNAL 0|1|X' line"
+                )
+            level = args[1].text
+            values[args[0].name] = None if level == "X" else int(level)
+        elif key == "guard":
+            if len(args) != 3:
+                raise TinaFormatError(
+                    "malformed '# cip:guard PLACE TID EXPR' line"
+                )
+            try:
+                net.set_guard(
+                    args[0].name,
+                    int(args[1].text),
+                    parse_guard(args[2].name),
+                )
+            except (KeyError, ValueError) as exc:
+                raise TinaFormatError(f"bad cip:guard line: {exc}") from None
+        else:
+            raise TinaFormatError(f"unknown '# cip:{key}' directive")
+    if not has_sentinel and not (inputs or outputs or internals):
+        # Foreign file: declare signal-shaped labels as outputs.
+        outputs = signals_of_net_actions(net.used_actions())
+    return Stg(
+        net,
+        inputs=inputs,
+        outputs=outputs,
+        internals=internals,
+        initial_values=values,
+    )
+
+
+# -- writing ----------------------------------------------------------------
+
+
+def write_tina(stg: Stg) -> str:
+    """Serialize an :class:`Stg` as TINA ``.net`` source (exact round
+    trip, via ``# cip:`` comment lines)."""
+    net = stg.net
+    lines = [f"net {_quote(net.name, 'net name')}"]
+    lines.append(f"# cip:{_STG_SENTINEL} v1")
+    extras = sorted(net.actions - net.used_actions())
+    if extras:
+        quoted = " ".join(_quote(a, "action label") for a in extras)
+        lines.append(f"# cip:actions {quoted}")
+    for key, signals in (
+        ("inputs", stg.inputs),
+        ("outputs", stg.outputs),
+        ("internals", stg.internals),
+    ):
+        if signals:
+            quoted = " ".join(_quote(s, "signal") for s in sorted(signals))
+            lines.append(f"# cip:{key} {quoted}")
+    for signal, level in sorted(stg.initial_values.items()):
+        if level != 0:
+            shown = "X" if level is None else level
+            lines.append(f"# cip:value {_quote(signal, 'signal')} {shown}")
+    for (place, tid), guard in sorted(
+        net.input_guards.items(), key=lambda item: (item[0][1], item[0][0])
+    ):
+        if isinstance(guard, Guard):
+            lines.append(
+                f"# cip:guard {_quote(place, 'place name')} {tid}"
+                " {" + str(guard).replace("\\", "\\\\")
+                .replace("{", "\\{").replace("}", "\\}") + "}"
+            )
+    for tid, transition in sorted(net.transitions.items()):
+        pre = " ".join(
+            _quote(p, "place name") for p in sorted(transition.preset)
+        )
+        post = " ".join(
+            _quote(p, "place name") for p in sorted(transition.postset)
+        )
+        label = _quote(transition.action, "transition label")
+        lines.append(f"tr t{tid} : {label} {pre} -> {post}".rstrip())
+    for place in sorted(net.places):
+        count = net.initial[place]
+        suffix = f" ({count})" if count else ""
+        lines.append(f"pl {_quote(place, 'place name')}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def load_tina(path: str) -> Stg:
+    """Read a ``.net`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_tina(handle.read())
+
+
+def save_tina(stg: Stg, path: str) -> None:
+    """Write a ``.net`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_tina(stg))

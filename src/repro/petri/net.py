@@ -376,6 +376,34 @@ class PetriNet:
             if place not in self.transitions[tid].preset:
                 raise ValueError(f"guard on non-existent arc {place!r}->{tid}")
 
+    def structurally_equal(self, other: "PetriNet") -> bool:
+        """Exact structural identity: same name, alphabet, places,
+        initial marking, transition relation (keyed by tid) and guards
+        (compared by their textual form).
+
+        This is the round-trip contract of the lossless formats
+        (``.json``, ``.pnml``, ``.net``) — stricter than language
+        equivalence, weaker than object identity.
+        """
+        if not isinstance(other, PetriNet):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.actions == other.actions
+            and self.places == other.places
+            and self.initial == other.initial
+            and {
+                tid: (t.preset, t.action, t.postset)
+                for tid, t in self.transitions.items()
+            }
+            == {
+                tid: (t.preset, t.action, t.postset)
+                for tid, t in other.transitions.items()
+            }
+            and {key: str(guard) for key, guard in self.input_guards.items()}
+            == {key: str(guard) for key, guard in other.input_guards.items()}
+        )
+
     def stats(self) -> dict[str, int]:
         """Size statistics: places, transitions, arcs, tokens."""
         return {

@@ -1,0 +1,228 @@
+"""The corpus differential harness over the checked-in mini-corpus.
+
+This is the PR's acceptance gate: every net in ``tests/corpus/``
+through engines x backends with zero disagreements, one schema-valid
+``repro.obs/v1`` payload per instance, and the algebra laws holding on
+the parsed nets.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.corpus import (
+    BACKENDS,
+    ENGINES,
+    CellResult,
+    CorpusError,
+    diff_cells,
+    discover,
+    fuzz_laws,
+    run_corpus,
+    run_instance,
+)
+from repro.cli import main
+from repro.io.formats import load_stg
+from repro.obs.emit import validate_metrics
+from repro.petri.marking import Marking
+
+
+@pytest.fixture(scope="module")
+def report(corpus_paths):
+    return run_corpus(corpus_paths, check_laws=True)
+
+
+class TestDiscovery:
+    def test_finds_at_least_twenty_nets(self, corpus_paths):
+        assert len(corpus_paths) >= 20
+
+    def test_covers_all_four_formats(self, corpus_paths):
+        assert {path.suffix for path in corpus_paths} == {
+            ".g",
+            ".json",
+            ".net",
+            ".pnml",
+        }
+
+    def test_underscore_files_skipped(self, corpus_paths):
+        assert not [p for p in corpus_paths if p.name.startswith("_")]
+
+    def test_missing_directory_is_loud(self, tmp_path):
+        with pytest.raises(CorpusError, match="no such corpus directory"):
+            discover(tmp_path / "ghost")
+
+    def test_empty_directory_is_loud(self, tmp_path):
+        with pytest.raises(CorpusError, match="no net files"):
+            discover(tmp_path)
+
+
+class TestFullMatrix:
+    def test_zero_disagreements(self, report):
+        assert report.disagreements == []
+
+    def test_zero_law_violations(self, report):
+        assert report.law_violations == []
+
+    def test_every_instance_ran_the_full_matrix(self, report):
+        for instance in report.instances:
+            assert len(instance.cells) == len(ENGINES) * len(BACKENDS)
+
+    def test_one_valid_payload_per_instance(self, report):
+        for instance in report.instances:
+            payload = validate_metrics(instance.payload)
+            names = {span["name"] for span in payload["spans"]}
+            assert "bench.instance" in names
+            assert "bench.cell" in names
+
+    def test_unbounded_instance_is_proven_by_every_cell(self, report):
+        (unbounded,) = [
+            i for i in report.instances if i.name == "unbounded_source"
+        ]
+        assert {cell.outcome for cell in unbounded.cells} == {"unbounded"}
+
+    def test_deadlocking_instance_agrees_on_the_deadlock(self, report):
+        (phils,) = [
+            i for i in report.instances if i.name == "philosophers_2"
+        ]
+        deadlock_sets = {cell.deadlocks for cell in phils.cells}
+        assert len(deadlock_sets) == 1
+        (deadlocks,) = deadlock_sets
+        assert len(deadlocks) == 1  # both philosophers holding one fork
+
+
+class TestBoundExceeded:
+    def test_recorded_as_outcome_not_error(self, corpus_dir):
+        instance = run_instance(
+            corpus_dir / "fig7_translator.net", max_states=10
+        )
+        assert all(
+            cell.outcome == "bound-exceeded" for cell in instance.cells
+        )
+        assert instance.ok  # agreeing on the budget miss is agreement
+
+
+class TestDiffCells:
+    def ok(self, engine, backend, states=5, edges=7, dead=()):
+        return CellResult(
+            engine, backend, "ok", states, edges, frozenset(dead)
+        )
+
+    def test_backend_count_mismatch_flagged(self):
+        problems = diff_cells(
+            [self.ok("eager", "dict"), self.ok("eager", "compiled", states=6)]
+        )
+        assert any("backend mismatch" in p for p in problems)
+
+    def test_engine_count_mismatch_flagged(self):
+        problems = diff_cells(
+            [self.ok("eager", "dict"), self.ok("onthefly", "dict", edges=9)]
+        )
+        assert any("engine mismatch" in p for p in problems)
+
+    def test_por_deadlock_divergence_flagged(self):
+        marking = Marking({"p": 1})
+        problems = diff_cells(
+            [
+                self.ok("eager", "dict", dead=(marking,)),
+                self.ok("por", "dict", states=3, edges=3),
+            ]
+        )
+        assert any("deadlock set differs" in p for p in problems)
+
+    def test_por_exploring_more_flagged(self):
+        problems = diff_cells(
+            [self.ok("eager", "dict"), self.ok("por", "dict", states=9)]
+        )
+        assert any("explored more" in p for p in problems)
+
+    def test_por_bound_exceeded_when_reference_ok_flagged(self):
+        problems = diff_cells(
+            [
+                self.ok("eager", "dict"),
+                CellResult("por", "dict", "bound-exceeded"),
+            ]
+        )
+        assert any("although the full space completed" in p for p in problems)
+
+    def test_por_smaller_space_is_fine(self):
+        problems = diff_cells(
+            [self.ok("eager", "dict"), self.ok("por", "dict", states=3, edges=3)]
+        )
+        assert problems == []
+
+    def test_outcome_mismatch_across_backends_flagged(self):
+        problems = diff_cells(
+            [
+                self.ok("eager", "dict"),
+                CellResult("eager", "compiled", "unbounded"),
+            ]
+        )
+        assert any("backend mismatch" in p for p in problems)
+
+
+class TestFuzzLaws:
+    def test_corpus_nets_satisfy_the_laws(self, corpus_paths):
+        nets = [
+            (path.name, load_stg(str(path)).net) for path in corpus_paths
+        ]
+        assert fuzz_laws(nets) == []
+
+    def test_violations_are_reported(self):
+        # A deliberately broken "hide": feed two nets with different
+        # languages through the Thm 4.5 comparison by lying about the
+        # composition — fuzz_laws itself must not be fooled by order.
+        from repro.petri.net import PetriNet
+
+        net = PetriNet("tiny")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.set_initial(Marking({"p0": 1}))
+        # Sanity: a single well-formed net yields no pair and no
+        # hidable labels -> no checks, no violations.
+        assert fuzz_laws([("tiny", net)]) == []
+
+
+class TestCliBench:
+    def test_clean_corpus_exits_zero(self, corpus_dir, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        status = main(
+            [
+                "bench",
+                str(corpus_dir),
+                "--engines",
+                "eager,onthefly",
+                "--backends",
+                "dict",
+                "--max-states",
+                "5000",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "# all engines and backends agree" in out
+        payloads = sorted(out_dir.glob("*.obs.json"))
+        assert len(payloads) >= 20
+        for payload_path in payloads:
+            validate_metrics(json.loads(payload_path.read_text()))
+        index = json.loads((out_dir / "INDEX.json").read_text())
+        assert index["disagreements"] == []
+        assert len(index["instances"]) == len(payloads)
+
+    def test_missing_directory_exits_two(self, tmp_path, capsys):
+        status = main(["bench", str(tmp_path / "ghost")])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cip: error: no such corpus directory")
+
+    def test_unknown_engine_exits_two(self, corpus_dir, capsys):
+        status = main(["bench", str(corpus_dir), "--engines", "psychic"])
+        assert status == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unparsable_net_exits_two(self, tmp_path, capsys):
+        (tmp_path / "broken.net").write_text("tr t0 p*2 -> q\n")
+        status = main(["bench", str(tmp_path)])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "cannot parse" in err and "weight" in err

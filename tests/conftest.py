@@ -1,0 +1,27 @@
+"""Shared fixtures: the checked-in mini-corpus under ``tests/corpus/``.
+
+The same fixtures back the unit tests (``tests/bench/``) and the
+benchmark suite (``benchmarks/conftest.py`` imports them), so both
+always sweep the same instance set.  Regenerate the model-derived files
+with ``PYTHONPATH=src python tests/corpus/_generate.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(scope="session")
+def corpus_dir() -> Path:
+    """The checked-in mini-corpus directory."""
+    return CORPUS_DIR
+
+
+@pytest.fixture(scope="session")
+def corpus_paths(corpus_dir) -> list[Path]:
+    """Every net file in the mini-corpus (all four formats), sorted."""
+    from repro.bench.corpus import discover
+
+    return discover(corpus_dir)

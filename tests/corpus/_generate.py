@@ -1,0 +1,82 @@
+"""Regenerate the model-derived half of the checked-in mini-corpus.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/corpus/_generate.py
+
+The hand-written ``mcc_*`` instances in this directory are NOT touched
+— they exercise foreign-file parsing (no ``# cip:`` / toolspecific
+carriers) and deliberately odd shapes (deadlocks, non-safe markings,
+unicode names, a proven-unbounded source), so they are maintained by
+hand.  The leading underscore keeps this file out of corpus discovery.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+CORPUS = Path(__file__).parent
+
+
+def channel_bank(channels: int):
+    from repro.core.circuit import compose_many
+    from repro.models.library import four_phase_master, four_phase_slave
+
+    modules = []
+    for index in range(channels):
+        modules.append(
+            four_phase_master(req=f"r{index}", ack=f"a{index}", name=f"m{index}")
+        )
+        modules.append(
+            four_phase_slave(req=f"r{index}", ack=f"a{index}", name=f"s{index}")
+        )
+    bank = compose_many(modules)
+    bank.net.name = f"channel_bank_{channels}"
+    return bank
+
+
+def pipeline_chain(stages: int):
+    from repro.core.circuit import compose_many
+    from repro.models.library import pipeline
+
+    chain = compose_many(pipeline(stages))
+    chain.net.name = f"pipeline_{stages}"
+    return chain
+
+
+def main() -> int:
+    from repro.io.formats import save_stg
+    from repro.models.library import four_phase_master
+    from repro.models.protocol_translator import (
+        inconsistent_sender,
+        receiver,
+        sender,
+        translator,
+    )
+
+    figures = {
+        "fig5_sender": sender(),
+        "fig6_receiver": receiver(),
+        "fig7_translator": translator(),
+        "fig8_inconsistent": inconsistent_sender(),
+    }
+    families = {
+        "channel_bank_1": channel_bank(1),
+        "channel_bank_2": channel_bank(2),
+        "pipeline_2": pipeline_chain(2),
+        "pipeline_3": pipeline_chain(3),
+    }
+    for stem, stg in {**figures, **families}.items():
+        save_stg(stg, str(CORPUS / f"{stem}.pnml"))
+        save_stg(stg, str(CORPUS / f"{stem}.net"))
+    # One instance each in the two pre-existing formats, so the corpus
+    # sweep covers all four loaders.
+    save_stg(sender(), str(CORPUS / "fig5_sender.json"))
+    save_stg(four_phase_master(), str(CORPUS / "four_phase_master.g"))
+    print(f"wrote {2 * len(figures) + 2 * len(families) + 2} files to {CORPUS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

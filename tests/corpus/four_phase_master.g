@@ -1,0 +1,14 @@
+.model master
+.inputs a
+.outputs r
+.graph
+r+ m1
+a+ m2
+r- m3
+a- m0
+m0 r+
+m1 a+
+m2 r-
+m3 a-
+.marking { m0 }
+.end

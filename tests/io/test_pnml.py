@@ -1,0 +1,164 @@
+"""Directed PNML tests: foreign-file defaults and loud rejection of the
+unsupported feature space (weights, arc types, HL nets, references)."""
+
+import pytest
+
+from repro.io.pnml import PnmlFormatError, parse_pnml, write_pnml
+
+NS = 'xmlns="http://www.pnml.org/version-2009/grammar/pnml"'
+
+
+def doc(body: str) -> str:
+    return f'<pnml {NS}><net id="n1"><page id="g1">{body}</page></net></pnml>'
+
+
+class TestForeignFiles:
+    def test_ids_fall_back_as_names_and_labels(self):
+        stg = parse_pnml(
+            doc(
+                '<place id="p0"><initialMarking><text>1</text></initialMarking>'
+                '</place><transition id="go"/>'
+                '<arc id="a0" source="p0" target="go"/>'
+            )
+        )
+        assert stg.net.places == {"p0"}
+        assert [t.action for t in stg.net.sorted_transitions()] == ["go"]
+        assert stg.net.initial["p0"] == 1
+
+    def test_signal_shaped_labels_become_outputs(self):
+        stg = parse_pnml(
+            doc(
+                '<place id="p0"/><transition id="t0">'
+                "<name><text>req+</text></name></transition>"
+                '<arc id="a0" source="p0" target="t0"/>'
+            )
+        )
+        assert stg.outputs == {"req"}
+
+    def test_numeric_transition_ids_become_tids(self):
+        stg = parse_pnml(
+            doc(
+                '<place id="p0"/>'
+                '<transition id="t7"/><transition id="other"/>'
+            )
+        )
+        assert set(stg.net.transitions) == {7, 8}
+
+    def test_unnamespaced_and_bare_net_accepted(self):
+        stg = parse_pnml('<net id="n"><place id="p0"/></net>')
+        assert stg.net.places == {"p0"}
+
+    def test_multi_token_marking(self):
+        stg = parse_pnml(
+            doc('<place id="p0"><initialMarking><text>3</text>'
+                "</initialMarking></place>")
+        )
+        assert stg.net.initial["p0"] == 3
+
+    def test_foreign_toolspecific_is_skipped(self):
+        stg = parse_pnml(
+            doc(
+                '<place id="p0"/><toolspecific tool="tina" version="1">'
+                "<anything/></toolspecific>"
+            )
+        )
+        assert stg.net.places == {"p0"}
+
+
+class TestRejection:
+    def reject(self, body: str, match: str) -> None:
+        with pytest.raises(PnmlFormatError, match=match):
+            parse_pnml(doc(body))
+
+    def test_truncated_xml(self):
+        with pytest.raises(PnmlFormatError, match="malformed XML"):
+            parse_pnml('<pnml><net id="n"><place id=')
+
+    def test_arc_weight(self):
+        self.reject(
+            '<place id="p0"/><transition id="t0"/>'
+            '<arc id="a0" source="p0" target="t0">'
+            "<inscription><text>2</text></inscription></arc>",
+            "weight 2",
+        )
+
+    def test_duplicate_arc_is_weight_two(self):
+        self.reject(
+            '<place id="p0"/><transition id="t0"/>'
+            '<arc id="a0" source="p0" target="t0"/>'
+            '<arc id="a1" source="p0" target="t0"/>',
+            "duplicate arc",
+        )
+
+    def test_inhibitor_arc_type(self):
+        self.reject(
+            '<place id="p0"/><transition id="t0"/>'
+            '<arc id="a0" source="p0" target="t0">'
+            '<type value="inhibitor"/></arc>',
+            "inhibitor",
+        )
+
+    def test_reference_place(self):
+        self.reject('<referencePlace id="r0" ref="p0"/>', "referencePlace")
+
+    def test_high_level_declaration(self):
+        self.reject("<declaration/>", "high-level")
+
+    def test_negative_marking(self):
+        self.reject(
+            '<place id="p0"><initialMarking><text>-1</text>'
+            "</initialMarking></place>",
+            "negative",
+        )
+
+    def test_arc_to_unknown_node(self):
+        self.reject(
+            '<place id="p0"/><arc id="a0" source="p0" target="ghost"/>',
+            "unknown id",
+        )
+
+    def test_place_place_arc(self):
+        self.reject(
+            '<place id="p0"/><place id="p1"/>'
+            '<arc id="a0" source="p0" target="p1"/>',
+            "place",
+        )
+
+    def test_duplicate_ids(self):
+        self.reject('<place id="p0"/><place id="p0"/>', "duplicate id")
+
+    def test_duplicate_place_names(self):
+        self.reject(
+            '<place id="p0"><name><text>x</text></name></place>'
+            '<place id="p1"><name><text>x</text></name></place>',
+            "share the name",
+        )
+
+    def test_two_nets(self):
+        with pytest.raises(PnmlFormatError, match="exactly one"):
+            parse_pnml(f'<pnml {NS}><net id="a"/><net id="b"/></pnml>')
+
+    def test_wrong_root(self):
+        with pytest.raises(PnmlFormatError, match="expected a <pnml>"):
+            parse_pnml("<html/>")
+
+
+class TestWriterRejection:
+    def test_control_characters_refused(self):
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("n")
+        net.add_place("bad\x00name")
+        with pytest.raises(PnmlFormatError, match="cannot carry"):
+            write_pnml(Stg(net))
+
+    def test_carriage_return_refused(self):
+        # XML parsers normalise \r to \n — a silent rename, so refuse.
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("n")
+        net.add_place("a\rb")
+        with pytest.raises(PnmlFormatError, match="cannot carry"):
+            write_pnml(Stg(net))

@@ -1,0 +1,116 @@
+"""Directed TINA ``.net`` tests: the published grammar (brace quoting,
+markings, labels), foreign-file defaults, and loud rejection of arc
+weights, read/inhibitor arcs and timed transitions."""
+
+import pytest
+
+from repro.io.tina import TinaFormatError, parse_tina, write_tina
+
+
+class TestGrammar:
+    def test_minimal_net(self):
+        stg = parse_tina("net n\ntr t0 p0 -> p1\npl p0 (1)\n")
+        assert stg.net.name == "n"
+        assert stg.net.places == {"p0", "p1"}
+        assert stg.net.initial["p0"] == 1
+
+    def test_brace_quoted_names(self):
+        stg = parse_tina(
+            "net {two words}\n"
+            "tr t0 : {a label} {pl ace} -> {esc\\{aped\\}}\n"
+        )
+        assert stg.net.name == "two words"
+        assert stg.net.places == {"pl ace", "esc{aped}"}
+        assert [t.action for t in stg.net.sorted_transitions()] == ["a label"]
+
+    def test_label_defaults_to_transition_name(self):
+        stg = parse_tina("net n\ntr fire p0 -> p1\n")
+        assert [t.action for t in stg.net.sorted_transitions()] == ["fire"]
+
+    def test_numeric_names_become_tids(self):
+        stg = parse_tina("net n\ntr t5 p -> q\ntr go q -> p\n")
+        assert set(stg.net.transitions) == {5, 6}
+
+    def test_weight_one_accepted(self):
+        stg = parse_tina("net n\ntr t0 p*1 -> q\n")
+        assert stg.net.places == {"p", "q"}
+
+    def test_kilo_marking(self):
+        stg = parse_tina("net n\ntr t0 p -> q\npl p (2K)\n")
+        assert stg.net.initial["p"] == 2000
+
+    def test_comments_and_blank_lines(self):
+        stg = parse_tina("# header\nnet n\n\ntr t0 p -> q # trailing\n")
+        assert stg.net.places == {"p", "q"}
+
+    def test_place_label_ignored(self):
+        stg = parse_tina("net n\ntr t0 p -> q\npl p : {a label} (1)\n")
+        assert stg.net.initial["p"] == 1
+
+    def test_signal_shaped_labels_become_outputs(self):
+        stg = parse_tina("net n\ntr t0 : req+ p -> q\n")
+        assert stg.outputs == {"req"}
+
+    def test_empty_presets_and_postsets(self):
+        stg = parse_tina("net n\ntr t0 : go p ->\npl p (1)\n")
+        (transition,) = stg.net.sorted_transitions()
+        assert transition.postset == frozenset()
+
+
+class TestRejection:
+    def reject(self, text: str, match: str) -> None:
+        with pytest.raises(TinaFormatError, match=match):
+            parse_tina(text)
+
+    def test_arc_weight(self):
+        self.reject("net n\ntr t0 p*2 -> q\n", "weight 2")
+
+    def test_kilo_arc_weight(self):
+        self.reject("net n\ntr t0 p*3K -> q\n", "weight 3000")
+
+    def test_inhibitor_arc(self):
+        self.reject("net n\ntr t0 p?-1 -> q\n", "inhibitor")
+
+    def test_read_arc(self):
+        self.reject("net n\ntr t0 p?1 -> q\n", "inhibitor")
+
+    def test_timed_transition(self):
+        self.reject("net n\ntr t0 [0,w[ p -> q\n", "timed")
+
+    def test_missing_arrow(self):
+        self.reject("net n\ntr t0 p q\n", "no '->'")
+
+    def test_duplicate_arc(self):
+        self.reject("net n\ntr t0 p p -> q\n", "duplicate arc")
+
+    def test_duplicate_transition(self):
+        self.reject("net n\ntr t0 p -> q\ntr t0 q -> p\n", "duplicate")
+
+    def test_duplicate_place(self):
+        self.reject("net n\npl p (1)\npl p (2)\n", "duplicate place")
+
+    def test_unterminated_brace(self):
+        self.reject("net n\ntr t0 {open -> q\n", "unterminated")
+
+    def test_unsupported_directive(self):
+        self.reject("net n\npr t0 > t1\n", "unsupported directive")
+
+    def test_priority_like_garbage(self):
+        self.reject("this is not a net file\n", "unsupported directive")
+
+    def test_empty_file(self):
+        self.reject("# only a comment\n", "no net")
+
+    def test_negative_marking(self):
+        self.reject("net n\npl p (-1)\n", "negative|malformed")
+
+
+class TestWriterRejection:
+    def test_newline_in_name_refused(self):
+        from repro.petri.net import PetriNet
+        from repro.stg.stg import Stg
+
+        net = PetriNet("n")
+        net.add_place("a\nb")
+        with pytest.raises(TinaFormatError, match="cannot be represented"):
+            write_tina(Stg(net))

@@ -9,12 +9,47 @@ from __future__ import annotations
 
 from hypothesis import assume, strategies as st
 
+from repro.algebra.fragment import (  # noqa: F401  (re-exported for tests)
+    hidable_transition_ids,
+    supported_hide,
+)
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
 
 ACTIONS = ["a", "b", "c", "u"]
 PLACES = ["p0", "p1", "p2", "p3", "p4"]
+
+#: Name material for the interop round-trip suite: whitespace, unicode,
+#: the .net reserved/structural tokens (braces, ``->``, ``*``/``?``
+#: weight suffixes, ``#`` comments, ``:``), astg-style tuples and
+#: XML-hostile text.  Newlines/CR are excluded — every format rejects
+#: them loudly instead of escaping them.
+NASTY_NAMES = [
+    "plain",
+    "two words",
+    " leading",
+    "trailing ",
+    "tökén",
+    "操作",
+    "br{ace}s",
+    "back\\slash",
+    "a->b",
+    "p*2",
+    "p?1",
+    "<a+,x->",
+    "# not a comment",
+    ".label",
+    "a=b",
+    "a/b",
+    "tr",
+    "pl",
+    "net",
+    "t0",
+    "(1)",
+    ":",
+    "a'b",
+]
 
 
 @st.composite
@@ -95,76 +130,35 @@ def bounded_multi_token_nets(draw, max_states: int = 3000, **kwargs) -> PetriNet
     return net
 
 
-def hidable_transition_ids(net: PetriNet, label: str) -> list[int]:
-    """Transitions with ``label`` that Definition 4.10's construction
-    supports exactly under the paper's set-based (weight-free) formalism.
-
-    Excluded:
-
-    * self-loops (divergence — the paper excludes them),
-    * transitions whose successors consume from the hidden preset or
-      produce into leftover postset places: the paper's set-based
-      postsets cannot express the arc *weights* those cases need (the
-      formalism's transition relation lives in ``2^P x A x 2^P``).
-    """
-    result = []
-    for tid, t in sorted(net.transitions.items()):
-        if t.action != label or t.is_self_looping():
-            continue
-        if not t.preset or not t.postset:
-            continue
-        supported = True
-        for other_tid, other in net.transitions.items():
-            if other_tid == tid:
-                continue
-            if other.preset & t.postset:
-                if other.preset & t.preset:
-                    supported = False  # successor competing for the preset
-                if other.postset & (t.postset - other.preset):
-                    supported = False  # duplicate would need arc weight 2
-        if supported:
-            result.append(tid)
-    return result
-
-
-def supported_hide(net: PetriNet, labels) -> PetriNet | None:
-    """:func:`repro.algebra.hide.hide`, but guarded *step by step*.
-
-    Proposition 4.6 (order-independence of contraction) only holds while
-    every individual contraction stays inside the fragment the set-based
-    formalism supports — and contracting one transition can push a
-    *remaining* hidden transition outside that fragment (e.g. its fused
-    preset place gains a competing successor).  Checking
-    :func:`hidable_transition_ids` on the original net alone is
-    therefore not enough.  This helper mirrors ``hide``'s contraction
-    loop, re-validating the next candidate against the *current* net at
-    each step, and returns ``None`` as soon as an unsupported
-    contraction would be required.
-    """
-    from repro.algebra.hide import hide_transition
-
-    label_set = {labels} if isinstance(labels, str) else set(labels)
-    current = net.copy()
-    steps = 0
-    while True:
-        candidates = [
-            t
-            for _, t in sorted(current.transitions.items())
-            if t.action in label_set
-        ]
-        if not candidates:
-            break
-        steps += 1
-        if steps > 10_000:
-            return None
-        target = candidates[0]
-        if target.preset == target.postset:
-            # Mirrors hide(): an unobservable no-op, safe to delete.
-            current.remove_transition(target.tid)
-            continue
-        if target.tid not in hidable_transition_ids(current, target.action):
-            return None
-        current = hide_transition(current, target.tid)
-    current.actions -= label_set
-    current.name = f"hide({net.name})"
-    return current
+@st.composite
+def interop_nets(draw, max_places: int = 4, max_transitions: int = 4) -> PetriNet:
+    """A random net built from :data:`NASTY_NAMES`: hostile place and
+    action names, isolated places, non-safe markings, unused alphabet
+    labels — the torture input for the exact-round-trip formats."""
+    names = draw(
+        st.lists(
+            st.sampled_from(NASTY_NAMES),
+            min_size=2,
+            max_size=max_places,
+            unique=True,
+        )
+    )
+    net = PetriNet(draw(st.sampled_from(NASTY_NAMES)))
+    for name in names:
+        net.add_place(name)
+    num_transitions = draw(st.integers(0, max_transitions))
+    for _ in range(num_transitions):
+        preset = draw(st.sets(st.sampled_from(names), min_size=0, max_size=2))
+        postset = draw(st.sets(st.sampled_from(names), min_size=0, max_size=2))
+        action = draw(st.sampled_from(NASTY_NAMES + ["a+", "b-", "eps"]))
+        net.add_transition(preset, action, postset)
+    if draw(st.booleans()):
+        net.actions.add(draw(st.sampled_from(NASTY_NAMES)))
+    counts = {
+        place: draw(st.integers(0, 3))
+        for place in draw(
+            st.lists(st.sampled_from(names), max_size=max_places, unique=True)
+        )
+    }
+    net.set_initial(Marking(counts))
+    return net

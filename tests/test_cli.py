@@ -137,13 +137,51 @@ class TestFailurePaths:
         assert main(["info", str(path)]) == 2
         err = capsys.readouterr().err
         assert "unrecognized extension" in err
-        assert ".g or .json" in err
+        assert ".g, .json, .net or .pnml" in err
 
     def test_unknown_output_extension(self, master_file, tmp_path, capsys):
         target = tmp_path / "out.xyz"
         assert main(["hide", master_file, "-s", "r", "-o", str(target)]) == 2
         assert "unrecognized extension for output" in capsys.readouterr().err
         assert not target.exists()
+
+    def test_malformed_pnml(self, tmp_path, capsys):
+        path = tmp_path / "broken.pnml"
+        path.write_text('<pnml><net id="n"><place id=')
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cip: error: cannot parse")
+        assert "\n" not in err.rstrip("\n")
+
+    def test_malformed_tina(self, tmp_path, capsys):
+        path = tmp_path / "broken.net"
+        path.write_text("net n\ntr t0 p*2 -> q\n")
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cip: error: cannot parse")
+        assert "weight 2" in err
+        assert "\n" not in err.rstrip("\n")
+
+    def test_truncated_tina(self, tmp_path, capsys):
+        path = tmp_path / "broken.net"
+        path.write_text("net n\ntr t0 {unterminated")
+        assert main(["info", str(path)]) == 2
+        assert "unterminated" in capsys.readouterr().err
+
+    def test_unwritable_output_format_is_clean(self, tmp_path, capsys):
+        # A plain-labeled net cannot be written as .g: one line, exit 2,
+        # no partial file.
+        from repro.io.json_io import save
+        from repro.models.paper_figures import fig1_left
+        from repro.stg.stg import Stg
+
+        source = tmp_path / "fig1.json"
+        save(Stg(fig1_left()), str(source))
+        target = tmp_path / "out.g"
+        assert main(["convert", str(source), str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "cip: error: cannot write" in err
+        assert "\n" not in err.rstrip("\n")
 
     def test_verify_bound_exceeded_is_a_clean_error(
         self, case_study_files, capsys
@@ -154,6 +192,32 @@ class TestFailurePaths:
         )
         assert status == 2
         assert "exceeds --max-states=10" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_g_to_all_formats_and_back(self, master_file, tmp_path, capsys):
+        from repro.io.astg import load_astg
+        from repro.verify.language import languages_equal
+
+        original = load_astg(master_file)
+        previous = master_file
+        for suffix in (".json", ".pnml", ".net", ".g"):
+            target = tmp_path / f"step{suffix}"
+            assert main(["convert", previous, str(target)]) == 0
+            assert f"wrote {target}" in capsys.readouterr().out
+            previous = str(target)
+        final = load_astg(previous)
+        assert languages_equal(original.net, final.net)
+        assert final.inputs == original.inputs
+        assert final.outputs == original.outputs
+
+    def test_every_format_feeds_every_subcommand(self, master_file, tmp_path, capsys):
+        for suffix in (".pnml", ".net"):
+            target = tmp_path / f"master{suffix}"
+            assert main(["convert", master_file, str(target)]) == 0
+            capsys.readouterr()
+            assert main(["info", str(target)]) == 0
+            assert "4 places" in capsys.readouterr().out
 
 
 class TestVerifyPor:
