@@ -145,7 +145,12 @@ def discover(directory: str | Path) -> list[Path]:
 
 
 def explore_cell(
-    net: PetriNet, engine: str, backend: str, max_states: int
+    net: PetriNet,
+    engine: str,
+    backend: str,
+    max_states: int,
+    workers: int = 1,
+    memory_budget: int | None = None,
 ) -> CellResult:
     """Run one engine/backend combination over ``net``.
 
@@ -153,10 +158,36 @@ def explore_cell(
     engine's *public* marking-domain API so the comparison is
     representation-independent — the compiled backend must agree after
     decoding, not just internally.
+
+    ``workers`` > 1 (or a ``memory_budget``) routes the ``eager`` and
+    ``onthefly`` cells through the sharded parallel explorer
+    (:mod:`repro.petri.parallel`); ``por`` stays serial (stubborn-set
+    selection is sequential), which keeps the matrix an honest
+    parallel-vs-serial differential.  The parallel explorer performs no
+    covering-based unboundedness detection, so on genuinely unbounded
+    nets its cells report ``"bound-exceeded"`` where a serial run would
+    report ``"unbounded"`` — consistent across all parallel cells of a
+    sweep, hence still a clean diff within one run.
     """
-    with obs.span("bench.cell", engine=engine, backend=backend) as handle:
+    parallel = (workers > 1 or memory_budget is not None) and engine != "por"
+    with obs.span(
+        "bench.cell", engine=engine, backend=backend, workers=workers
+    ) as handle:
         try:
-            if engine == "eager":
+            if parallel:
+                from repro.petri.parallel import parallel_explore
+
+                result = parallel_explore(
+                    net,
+                    workers=workers,
+                    max_states=max_states,
+                    memory_budget=memory_budget,
+                    backend=backend,
+                )
+                states = result.states
+                edges = result.edges
+                deadlocks = result.deadlock_set()
+            elif engine == "eager":
                 graph = ReachabilityGraph(
                     net, max_states=max_states, backend=backend
                 )
@@ -263,11 +294,16 @@ def run_instance(
     engines: tuple[str, ...] = ENGINES,
     backends: tuple[str, ...] = BACKENDS,
     max_states: int = 200_000,
+    workers: int = 1,
+    memory_budget: int | None = None,
 ) -> InstanceResult:
     """Sweep one net file through the full matrix.
 
     Returns the per-cell results, any disagreements, and one validated
-    ``repro.obs/v1`` payload covering the whole instance.
+    ``repro.obs/v1`` payload covering the whole instance.  The worker
+    count rides along in the payload (``bench.workers`` gauge and the
+    instance span's ``workers`` meta) so archived sweeps stay
+    attributable to their execution mode.
     """
     path = Path(path)
     try:
@@ -278,13 +314,23 @@ def run_instance(
         raise CorpusError(f"cannot parse {path}: {error}") from None
     net = stg.net
     with obs.record() as recorder:
-        with obs.span("bench.instance", net=net.name, file=path.name):
+        with obs.span(
+            "bench.instance", net=net.name, file=path.name, workers=workers
+        ):
             cells = [
-                explore_cell(net, engine, backend, max_states)
+                explore_cell(
+                    net,
+                    engine,
+                    backend,
+                    max_states,
+                    workers=workers,
+                    memory_budget=memory_budget,
+                )
                 for engine in engines
                 for backend in backends
             ]
             obs.count("bench.cells", len(cells))
+            obs.gauge("bench.workers", workers)
     payload = recorder.to_dict()
     validate_metrics(payload)
     return InstanceResult(
@@ -304,6 +350,8 @@ def run_corpus(
     out_dir: str | Path | None = None,
     check_laws: bool = False,
     progress=None,
+    workers: int = 1,
+    memory_budget: int | None = None,
 ) -> CorpusReport:
     """Sweep every net in ``paths`` (files, or a directory to discover).
 
@@ -311,13 +359,22 @@ def run_corpus(
     an ``INDEX.json`` manifest are written there.  With ``check_laws``,
     the algebra-law fuzz layer runs over all parsed nets afterwards.
     ``progress`` is an optional one-line-per-instance callback.
+    ``workers``/``memory_budget`` select parallel/spill exploration per
+    cell — see :func:`explore_cell`.
     """
     if isinstance(paths, (str, Path)):
         paths = discover(paths)
     report = CorpusReport()
     nets: list[tuple[str, PetriNet]] = []
     for path in paths:
-        instance = run_instance(path, engines, backends, max_states)
+        instance = run_instance(
+            path,
+            engines,
+            backends,
+            max_states,
+            workers=workers,
+            memory_budget=memory_budget,
+        )
         report.instances.append(instance)
         try:
             nets.append((instance.name, load_stg(str(path)).net))

@@ -114,6 +114,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     from repro.petri.reachability import UnboundedNetError
 
     stg = _load(args.file)
+    workers, memory_budget = _resolve_parallel(args)
 
     def body() -> int:
         stg.validate()
@@ -135,6 +136,8 @@ def cmd_info(args: argparse.Namespace) -> int:
                     stg.net,
                     max_states=args.max_states,
                     backend=args.backend,
+                    workers=workers,
+                    memory_budget=memory_budget,
                 )
         except UnboundedNetError as error:
             print(f"behaviour: UNBOUNDED ({error})")
@@ -206,6 +209,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     first = _load(args.first)
     second = _load(args.second)
+    workers, memory_budget = _resolve_parallel(args)
+    if (workers > 1 or memory_budget is not None) and args.engine == "por":
+        raise CliError(
+            "--engine por does not compose with --parallel/--memory-budget;"
+            " use --engine eager or onthefly"
+        )
 
     def body() -> int:
         try:
@@ -216,6 +225,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 max_states=args.max_states,
                 engine=args.engine,
                 backend=args.backend,
+                workers=workers,
+                memory_budget=memory_budget,
             )
         except UnboundedNetError as error:
             raise CliError(
@@ -227,6 +238,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print(
                 f"# states explored: {report.states_explored}"
                 f" ({report.engine})"
+            )
+        if workers > 1 or memory_budget is not None:
+            budget = (
+                "default" if memory_budget is None else str(memory_budget)
+            )
+            print(
+                f"# parallel       : {workers} worker(s),"
+                f" memory budget {budget}"
             )
         if report.engine == "por" and report.states_explored is not None:
             _print_por_summary(report, args.max_states, args.backend)
@@ -343,6 +362,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     engines = parse_csv(args.engines, ENGINES, "engine")
     backends = parse_csv(args.backends, BACKENDS, "backend")
+    workers, memory_budget = _resolve_parallel(args)
 
     def progress(instance) -> None:
         status = "ok" if instance.ok else "DISAGREE"
@@ -362,6 +382,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             out_dir=args.out,
             check_laws=args.laws,
             progress=progress,
+            workers=workers,
+            memory_budget=memory_budget,
         )
     except CorpusError as error:
         raise CliError(str(error)) from None
@@ -407,6 +429,53 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel",
+        metavar="N",
+        default=None,
+        help="shard the exploration across N worker processes"
+        " (hash-partitioned visited sets, batched cross-shard"
+        " exchange); verdicts and state/edge counts are identical to"
+        " the serial engines, and N=1 degrades to the serial loop —"
+        " see docs/PERFORMANCE.md",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        metavar="BYTES[K|M|G]",
+        default=None,
+        help="in-memory byte budget for the visited set(s); past it"
+        " shards spill to an on-disk SQLite table, so huge spaces stop"
+        " being memory-bound (accepts binary suffixes, e.g. 64M)",
+    )
+
+
+def _resolve_parallel(args: argparse.Namespace) -> tuple[int, int | None]:
+    """Validate ``--parallel`` / ``--memory-budget`` into
+    ``(workers, memory_budget)``, raising a one-line :class:`CliError`
+    (exit 2) on anything malformed."""
+    from repro.petri.parallel import MAX_WORKERS, parse_memory_budget
+
+    workers = 1
+    if args.parallel is not None:
+        try:
+            workers = int(args.parallel)
+        except ValueError:
+            workers = -1
+        if not 1 <= workers <= MAX_WORKERS:
+            raise CliError(
+                f"invalid --parallel value {args.parallel!r}: expected an"
+                f" integer between 1 and {MAX_WORKERS}"
+            )
+    memory_budget = None
+    if args.memory_budget is not None:
+        try:
+            memory_budget = parse_memory_budget(args.memory_budget)
+        except ValueError as error:
+            raise CliError(f"invalid --memory-budget value: {error}") from None
+    return workers, memory_budget
+
+
 def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -431,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("file")
     info.add_argument("--max-states", type=int, default=1_000_000)
     _add_backend_flag(info)
+    _add_parallel_flags(info)
     _add_profile_flags(info)
     info.set_defaults(func=cmd_info)
 
@@ -473,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         " this many markings",
     )
     _add_backend_flag(verify)
+    _add_parallel_flags(verify)
     _add_profile_flags(verify)
     verify.set_defaults(func=cmd_verify)
 
@@ -548,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the algebra laws (Thms 4.5/4.7, Prop 4.6) on the"
         " parsed corpus nets",
     )
+    _add_parallel_flags(bench)
     bench.set_defaults(func=cmd_bench)
     return parser
 

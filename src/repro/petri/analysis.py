@@ -43,7 +43,11 @@ class NetProperties:
 
 
 def analyze(
-    net: PetriNet, max_states: int = 1_000_000, backend: str | None = None
+    net: PetriNet,
+    max_states: int = 1_000_000,
+    backend: str | None = None,
+    workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> NetProperties:
     """Compute the behavioural property summary of a bounded net.
 
@@ -52,9 +56,24 @@ def analyze(
 
     ``backend`` selects the explorer's state representation (packed
     ``"compiled"`` vectors by default, ``"dict"`` markings otherwise);
-    the computed properties are identical either way.
+    the computed properties are identical either way.  ``workers`` > 1
+    (or a ``memory_budget``) builds the graph with the sharded parallel
+    explorer of :mod:`repro.petri.parallel` — again with identical
+    results, minus covering-based unboundedness detection (the budget
+    abort still applies).
     """
-    graph = ReachabilityGraph(net, max_states=max_states, backend=backend)
+    if (workers is not None and workers > 1) or memory_budget is not None:
+        from repro.petri.parallel import parallel_reachability_graph
+
+        graph = parallel_reachability_graph(
+            net,
+            workers=workers,
+            max_states=max_states,
+            memory_budget=memory_budget,
+            backend=backend,
+        )
+    else:
+        graph = ReachabilityGraph(net, max_states=max_states, backend=backend)
     return NetProperties(
         bounded=True,
         bound=graph.bound(),

@@ -385,6 +385,44 @@ def _onthefly_failures_packed(
     return failures, space.num_explored(), space.stats.reduced_states
 
 
+def _parallel_failures(
+    composite: Stg,
+    obligations: list[SyncObligation],
+    max_states: int,
+    backend: str | None,
+    workers: int,
+    memory_budget: int | None,
+) -> tuple[list[ReceptivenessFailure], int]:
+    """Prop 5.5 over the sharded parallel explorer.
+
+    The full composite space is explored (sharded workers cannot stop
+    early the way the serial on-the-fly engine does), each discovered
+    state is tested against every obligation by its owning shard, and
+    the canonical (minimum packed key) witness per failing obligation
+    is returned.  Verdicts and the set of failing obligations are
+    byte-identical to the serial engines; witnesses carry no trace
+    (``trace=None``), exactly like the eager oracle.
+    """
+    from repro.petri.parallel import parallel_explore
+
+    result = parallel_explore(
+        composite.net,
+        workers=workers,
+        max_states=max_states,
+        memory_budget=memory_budget,
+        backend=backend,
+        obligations=[
+            (obligation.producer_preset, obligation.consumer_presets)
+            for obligation in obligations
+        ],
+    )
+    failures = [
+        ReceptivenessFailure(obligations[index], marking)
+        for index, marking in sorted(result.failing.items())
+    ]
+    return failures, result.states
+
+
 def _marked_graph_failures(
     composite: Stg, obligations: list[SyncObligation]
 ) -> list[ReceptivenessFailure]:
@@ -460,6 +498,8 @@ def check_receptiveness(
     engine: str | None = None,
     stop_at_first: bool = False,
     backend: str | None = None,
+    workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> ReceptivenessReport:
     """Check Propositions 5.5/5.6 on the composition of two modules.
 
@@ -490,16 +530,33 @@ def check_receptiveness(
     plain-``Marking`` baseline); the verdict, witnesses and traces are
     identical either way — see ``docs/PERFORMANCE.md``.
 
+    ``workers`` > 1 (or any ``memory_budget``) routes the reachability
+    method through the sharded parallel explorer
+    (:mod:`repro.petri.parallel`): hash-partitioned visited sets with
+    spill-to-disk shards, full-space exploration, schedule-independent
+    verdicts, canonical per-obligation witnesses without traces.  It
+    composes with the ``eager`` and ``onthefly`` engines but not with
+    ``por`` (stubborn-set selection is inherently sequential), and
+    ``stop_at_first`` is ignored on this path.  The structural method
+    never explores states, so these knobs do not apply to it.
+
     Every check records its own instrumentation (spans, counters and
     gauges under the ``repro.obs/v1`` schema) on ``report.metrics``; the
     same events are also forwarded to any recorder already active in the
     caller, e.g. the one behind ``cip verify --profile``.
     """
     from repro.petri.compiled import resolve_backend
+    from repro.petri.parallel import resolve_workers
     from repro.petri.product import DEFAULT_ENGINE, resolve_engine
 
     engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
     backend = resolve_backend(backend)
+    workers = resolve_workers(workers)
+    if (workers > 1 or memory_budget is not None) and engine == "por":
+        raise ValueError(
+            "engine 'por' does not compose with parallel/spill"
+            " exploration; use engine 'eager' or 'onthefly'"
+        )
     with obs.record() as recorder:
         report = _checked_receptiveness(
             stg1,
@@ -510,6 +567,8 @@ def check_receptiveness(
             stop_at_first,
             backend,
             recorder,
+            workers,
+            memory_budget,
         )
     report.metrics = recorder.to_dict()
     return report
@@ -524,6 +583,8 @@ def _checked_receptiveness(
     stop_at_first: bool,
     backend: str,
     recorder: obs.MetricsRecorder,
+    workers: int = 1,
+    memory_budget: int | None = None,
 ) -> ReceptivenessReport:
     with obs.span("verify.receptiveness", method=method) as span:
         composite, obligations = compose_with_obligations(stg1, stg2)
@@ -552,10 +613,23 @@ def _checked_receptiveness(
         reduced: int | None = None
         clock = recorder.clock
         search_start = clock.now()
+        parallel = workers > 1 or memory_budget is not None
         with obs.span(
-            "verify.receptiveness.search", engine=engine, backend=backend
+            "verify.receptiveness.search",
+            engine=engine,
+            backend=backend,
+            workers=workers,
         ) as search:
-            if engine in ("onthefly", "por"):
+            if parallel:
+                failures, explored = _parallel_failures(
+                    composite,
+                    obligations,
+                    max_states,
+                    backend,
+                    workers,
+                    memory_budget,
+                )
+            elif engine in ("onthefly", "por"):
                 failures, explored, reduced = _onthefly_failures(
                     composite,
                     obligations,
@@ -607,6 +681,8 @@ def check_receptiveness_with_hiding(
     max_states: int = 1_000_000,
     engine: str | None = None,
     backend: str | None = None,
+    workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> ReceptivenessReport:
     """The Section 5.3 refinement: apply ``hide'`` (relabel-to-epsilon)
     to each module's private signals before composing, keeping the
@@ -632,4 +708,6 @@ def check_receptiveness_with_hiding(
         max_states=max_states,
         engine=engine,
         backend=backend,
+        workers=workers,
+        memory_budget=memory_budget,
     )

@@ -1,0 +1,304 @@
+"""Unit tests for the sharded parallel explorer.
+
+The differential suite (:mod:`tests.petri.test_parallel_differential`)
+proves parity on random nets; these tests pin the contract piece by
+piece on known nets — budget aborts, deadlock decoding, obligation
+witnesses, worker validation, graph reconstruction, metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.circuit import compose_many
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.obs import metrics as obs
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.parallel import (
+    MAX_WORKERS,
+    parallel_explore,
+    parallel_reachability_graph,
+    parse_memory_budget,
+    resolve_workers,
+)
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def channel_bank(channels: int):
+    modules = []
+    for index in range(channels):
+        modules.append(
+            four_phase_master(req=f"r{index}", ack=f"a{index}", name=f"m{index}")
+        )
+        modules.append(
+            four_phase_slave(req=f"r{index}", ack=f"a{index}", name=f"s{index}")
+        )
+    return compose_many(modules)
+
+
+def deadlocking_net() -> PetriNet:
+    """Two tokens racing into a sink: several distinct deadlocks."""
+    net = PetriNet("race")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p0"}, "b", {"p2"})
+    net.add_transition({"p1"}, "c", {"p3"})
+    net.set_initial(Marking.from_places(["p0", "p0"]))
+    return net
+
+
+# -- knob validation ---------------------------------------------------------
+
+
+def test_resolve_workers_accepts_range():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(MAX_WORKERS) == MAX_WORKERS
+
+
+@pytest.mark.parametrize("bad", [0, -1, MAX_WORKERS + 1, 1.5, "2", True])
+def test_resolve_workers_rejects_invalid(bad):
+    with pytest.raises(ValueError):
+        resolve_workers(bad)
+
+
+def test_parse_memory_budget():
+    assert parse_memory_budget("0") == 0
+    assert parse_memory_budget("4096") == 4096
+    assert parse_memory_budget("64K") == 64 * 1024
+    assert parse_memory_budget("64m") == 64 * 1024**2
+    assert parse_memory_budget(" 2G ") == 2 * 1024**3
+
+
+@pytest.mark.parametrize("bad", ["", "x", "12Q", "-5", "1.5M", "M"])
+def test_parse_memory_budget_rejects_invalid(bad):
+    with pytest.raises(ValueError):
+        parse_memory_budget(bad)
+
+
+# -- exploration contract ----------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["dict", "compiled"])
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_counts_and_deadlocks_match_serial(backend, workers):
+    net = deadlocking_net()
+    serial = ReachabilityGraph(net)
+    result = parallel_explore(net, workers=workers, backend=backend)
+    assert result.states == serial.num_states()
+    assert result.edges == serial.num_edges()
+    assert result.deadlock_set() == frozenset(serial.deadlocks())
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_more_workers_than_states(workers):
+    net = PetriNet("tiny")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.set_initial(Marking.from_places(["p0"]))
+    result = parallel_explore(net, workers=workers)
+    assert result.states == 2
+    assert result.edges == 1
+    assert result.deadlocks == [Marking.from_places(["p1"])]
+
+
+def test_transitionless_net_is_its_own_deadlock():
+    net = PetriNet("static")
+    net.add_place("p0")
+    net.set_initial(Marking.from_places(["p0"]))
+    for workers in WORKER_COUNTS:
+        result = parallel_explore(net, workers=workers)
+        assert result.states == 1
+        assert result.edges == 0
+        assert result.deadlocks == [net.initial]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_max_states_budget_raises_with_bound(workers):
+    net = channel_bank(3).net  # 64 states
+    with pytest.raises(UnboundedNetError) as excinfo:
+        parallel_explore(net, workers=workers, max_states=10)
+    assert excinfo.value.bound == 10
+    # Exactly at the budget: completes (same contract as the serial
+    # engines, which only raise past max_states).
+    assert parallel_explore(net, workers=workers, max_states=64).states == 64
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_obligation_witnesses_are_canonical(workers):
+    """The Prop 5.5 predicate evaluated shard-side: same failing
+    obligations as a serial scan, and the witness is the *minimum* key
+    match — identical across worker counts and repeated runs."""
+    net = deadlocking_net()
+    graph = ReachabilityGraph(net)
+    # Obligation: "p3 marked" producer with an unsatisfiable consumer.
+    obligations = [
+        (frozenset({"p3"}), (frozenset({"p0", "p1", "p2", "p3"}),)),
+        (frozenset({"p0"}), (frozenset({"p0"}),)),  # never fails
+    ]
+    expected = {
+        marking
+        for marking in graph.states
+        if marking["p3"] > 0
+        and not (marking["p0"] and marking["p1"] and marking["p2"])
+    }
+    runs = [
+        parallel_explore(net, workers=workers, obligations=obligations)
+        for _ in range(2)
+    ]
+    for result in runs:
+        assert set(result.failing) == {0}
+        assert result.failing[0] in expected
+    assert runs[0].failing == runs[1].failing
+
+
+def test_witnesses_agree_across_worker_counts():
+    net = channel_bank(2).net
+    place = sorted(net.places)[0]
+    obligations = [(frozenset({place}), (frozenset(net.places),))]
+    witnesses = {
+        workers: parallel_explore(
+            net, workers=workers, obligations=obligations
+        ).failing
+        for workers in WORKER_COUNTS
+    }
+    assert witnesses[1] == witnesses[2] == witnesses[4]
+
+
+# -- the 1-safe bitmask fast path --------------------------------------------
+
+
+def _explore_kernel(recorder) -> str:
+    span = next(
+        s
+        for s in recorder.to_dict()["spans"]
+        if s["name"] == "engine.parallel.explore"
+    )
+    return span["meta"]["kernel"]
+
+
+def overflow_net() -> PetriNet:
+    """Statically eligible (byte codec, <=1-token initial) but not
+    1-safe: two producers race tokens into ``c``."""
+    net = PetriNet("unsafe")
+    net.add_transition({"a"}, "t1", {"c"})
+    net.add_transition({"b"}, "t2", {"c"})
+    net.set_initial(Marking.from_places(["a", "b"]))
+    return net
+
+
+def test_one_safe_net_selects_bitmask_kernel():
+    net = channel_bank(2).net
+    with obs.record() as recorder:
+        parallel_explore(net, workers=1, backend="compiled")
+    assert _explore_kernel(recorder) == "bitmask"
+
+
+def test_multi_token_initial_marking_selects_general_kernel():
+    with obs.record() as recorder:
+        parallel_explore(deadlocking_net(), workers=1, backend="compiled")
+    assert _explore_kernel(recorder) == "compiled"
+
+
+def test_dict_backend_never_uses_bitmask():
+    net = channel_bank(2).net
+    with obs.record() as recorder:
+        parallel_explore(net, workers=1, backend="dict")
+    assert _explore_kernel(recorder) == "dict"
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bitmask_overflow_falls_back_to_general_kernel(workers):
+    """A firing that would put a second token anywhere aborts the
+    bitmask attempt and restarts on the packed kernel — transparently:
+    same counts and deadlocks as serial, at every worker count."""
+    net = overflow_net()
+    serial = ReachabilityGraph(net)
+    with obs.record() as recorder:
+        result = parallel_explore(net, workers=workers, backend="compiled")
+    assert _explore_kernel(recorder) == "compiled"
+    assert result.states == serial.num_states()
+    assert result.edges == serial.num_edges()
+    assert result.deadlock_set() == frozenset(serial.deadlocks())
+    # The non-1-safe marking itself survives the fallback intact.
+    assert Marking.from_places(["c", "c"]) in result.deadlock_set()
+
+
+def test_bitmask_graph_keeps_exact_successor_order():
+    """Exact (not just multiset) successor-list parity on a 1-safe net
+    that takes the bitmask path end to end."""
+    net = channel_bank(2).net
+    serial = ReachabilityGraph(net)
+    graph = parallel_reachability_graph(net, workers=2)
+    for marking in serial.states:
+        assert graph.successors(marking) == serial.successors(marking)
+
+
+# -- graph reconstruction ----------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["dict", "compiled"])
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_reachability_graph_reconstruction(backend, workers):
+    """The gathered graph is indistinguishable from a serial build:
+    same states, same per-state successor multisets, same queries."""
+    net = channel_bank(2).net
+    serial = ReachabilityGraph(net)
+    graph = parallel_reachability_graph(net, workers=workers, backend=backend)
+    assert graph.states == serial.states
+    assert graph.num_states() == serial.num_states()
+    assert graph.num_edges() == serial.num_edges()
+    for marking in serial.states:
+        assert sorted(graph.successors(marking), key=repr) == sorted(
+            serial.successors(marking), key=repr
+        )
+    assert set(graph.deadlocks()) == set(serial.deadlocks())
+    assert graph.is_live() == serial.is_live()
+    assert graph.is_reversible() == serial.is_reversible()
+    assert graph.is_safe() == serial.is_safe()
+    assert graph.fired_tids() == serial.fired_tids()
+    assert graph.dead_transitions() == serial.dead_transitions()
+
+
+def test_successor_edges_keep_engine_order():
+    """Per-state successor lists come out in dense/tid order, exactly
+    as the serial engines append them."""
+    net = deadlocking_net()
+    serial = ReachabilityGraph(net)
+    graph = parallel_reachability_graph(net, workers=2)
+    for marking in serial.states:
+        assert graph.successors(marking) == serial.successors(marking)
+
+
+# -- instrumentation ---------------------------------------------------------
+
+
+def test_parallel_metrics_published():
+    net = channel_bank(2).net
+    with obs.record() as recorder:
+        parallel_explore(net, workers=2)
+    payload = recorder.to_dict()
+    assert any(
+        span["name"] == "engine.parallel.explore"
+        and span["meta"]["workers"] == 2
+        for span in payload["spans"]
+    )
+    gauges = payload["gauges"]
+    assert gauges["parallel.workers"] == 2
+    shard_states = [
+        gauges[f"parallel.worker{i}.shard_states"] for i in range(2)
+    ]
+    assert sum(shard_states) == 16
+    assert payload["counters"]["parallel.states"] == 16
+    assert "parallel.batch_flush_ms_max" in gauges
+    assert payload["counters"]["parallel.batches"] >= 1
+
+
+def test_single_worker_spill_metrics_published():
+    net = channel_bank(2).net
+    with obs.record() as recorder:
+        parallel_explore(net, workers=1, memory_budget=0)
+    payload = recorder.to_dict()
+    assert payload["counters"]["parallel.spill_count"] >= 1
+    assert payload["counters"]["parallel.spilled_keys"] > 0

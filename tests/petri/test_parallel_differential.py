@@ -1,0 +1,191 @@
+"""Differential testing of the sharded parallel explorer.
+
+Every property runs the same exploration question serially (the eager
+oracle) and through :func:`repro.petri.parallel.parallel_explore` at
+``workers in {1, 2, 4}`` x ``{dict, compiled}``, and asserts agreement
+on state counts, edge counts, deadlock sets and Prop 5.5 verdicts.
+The parallel engine's whole value rests on these being byte-identical:
+a sharded exploration that drops, double-counts or re-orders even one
+state is worse than no parallel engine at all.
+
+Failing examples are persisted fully shrunk under
+``tests/petri/parallel_failures/`` (same persistence contract as the
+POR harness) for offline replay via
+:func:`repro.io.json_io.net_from_dict`.
+
+Worker subprocesses are expensive relative to these tiny nets, so the
+in-process paths (``workers=1``, with and without a spill budget) get
+the high example counts, while the multiprocess matrix runs fewer,
+fatter examples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.io.json_io import net_to_dict
+from repro.petri.net import PetriNet
+from repro.petri.parallel import parallel_explore
+from repro.petri.reachability import ReachabilityGraph
+from repro.stg.stg import Stg
+from repro.verify.receptiveness import check_receptiveness
+
+from tests.strategies import bounded_multi_token_nets, bounded_nets
+
+BACKENDS = ("dict", "compiled")
+WORKER_COUNTS = (1, 2, 4)
+
+#: In-process (workers=1) properties: cheap, so run many examples.
+THOROUGH = settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+#: Multiprocess matrix: each example spawns 2+4 workers per backend.
+HEAVY = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+FAILURE_DIR = Path(__file__).parent / "parallel_failures"
+
+SIGNAL_ACTIONS = ["a+", "a-", "b+", "b-"]
+
+
+class persists_counterexamples:
+    """On assertion failure, write the example nets to FAILURE_DIR
+    (hypothesis replays the minimal example last, so the file left
+    behind holds the fully shrunk net)."""
+
+    def __init__(self, label: str, **nets: PetriNet):
+        self.label = label
+        self.nets = nets
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None and issubclass(exc_type, AssertionError):
+            FAILURE_DIR.mkdir(exist_ok=True)
+            payload = {
+                name: net_to_dict(net) for name, net in self.nets.items()
+            }
+            path = FAILURE_DIR / f"{self.label}.json"
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return False
+
+
+def serial_reference(net: PetriNet):
+    graph = ReachabilityGraph(net, max_states=5000)
+    return (
+        graph.num_states(),
+        graph.num_edges(),
+        frozenset(graph.deadlocks()),
+    )
+
+
+def assert_cell_matches(net: PetriNet, reference, workers: int, backend: str):
+    result = parallel_explore(
+        net, workers=workers, max_states=5000, backend=backend
+    )
+    states, edges, deadlocks = reference
+    label = f"workers={workers}/{backend}"
+    assert result.states == states, label
+    assert result.edges == edges, label
+    assert result.deadlock_set() == deadlocks, label
+
+
+@THOROUGH
+@given(net=bounded_multi_token_nets())
+def test_single_worker_matches_serial_both_backends(net):
+    """workers=1 (the serial degradation) over both backends, plus the
+    forced-spill path: identical counts and deadlock sets."""
+    with persists_counterexamples("single_worker", net=net):
+        reference = serial_reference(net)
+        for backend in BACKENDS:
+            assert_cell_matches(net, reference, workers=1, backend=backend)
+        spilled = parallel_explore(
+            net, workers=1, max_states=5000, memory_budget=0
+        )
+        assert (
+            spilled.states,
+            spilled.edges,
+            spilled.deadlock_set(),
+        ) == reference
+
+
+@HEAVY
+@given(net=bounded_multi_token_nets())
+def test_worker_matrix_matches_serial(net):
+    """The full workers x backends matrix agrees with the oracle."""
+    with persists_counterexamples("worker_matrix", net=net):
+        reference = serial_reference(net)
+        for backend in BACKENDS:
+            for workers in WORKER_COUNTS[1:]:
+                assert_cell_matches(
+                    net, reference, workers=workers, backend=backend
+                )
+
+
+@HEAVY
+@given(net=bounded_nets())
+def test_sharded_run_is_deterministic(net):
+    """Two sharded runs of the same net agree with each other exactly —
+    including the canonically-ordered deadlock list, not just the set."""
+    with persists_counterexamples("determinism", net=net):
+        one = parallel_explore(net, workers=2, max_states=5000)
+        two = parallel_explore(net, workers=2, max_states=5000)
+        assert one.states == two.states
+        assert one.edges == two.edges
+        assert one.deadlocks == two.deadlocks
+
+
+@HEAVY
+@given(
+    net1=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+    net2=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+)
+def test_receptiveness_verdicts_agree_with_serial(net1, net2):
+    """Prop 5.5 through the parallel path: same verdict and the same
+    failing obligations as the serial eager engine, at every worker
+    count."""
+    with persists_counterexamples("receptiveness", net1=net1, net2=net2):
+        producer = Stg(net1, outputs={"a", "b"})
+        consumer = Stg(net2, inputs={"a", "b"})
+
+        def check(workers):
+            return check_receptiveness(
+                producer,
+                consumer,
+                method="reachability",
+                max_states=20_000,
+                engine="eager",
+                workers=workers,
+            )
+
+        eager = check(workers=None)
+        failed = lambda r: {  # noqa: E731
+            (f.obligation.action, f.obligation.producer) for f in r.failures
+        }
+        for workers in (1, 2):
+            report = check_receptiveness(
+                producer,
+                consumer,
+                method="reachability",
+                max_states=20_000,
+                engine="eager",
+                workers=workers,
+                memory_budget=0 if workers == 1 else None,
+            )
+            assert report.is_receptive() == eager.is_receptive(), workers
+            assert failed(report) == failed(eager), workers
+            assert report.states_explored == eager.states_explored, workers

@@ -1,0 +1,81 @@
+"""Characterization of POR's channel-bank blind spot (ROADMAP item 5).
+
+``BENCH_por.json`` records the stubborn-set engine achieving *zero*
+reduction on channel banks — ``channel-bank(4)`` explores 256 states
+with and without ``reduction=True`` — because the ignoring-prevention
+proviso re-expands every pure cycle.  These tests pin that behaviour
+from both sides:
+
+* an ``xfail(strict=False)`` anchor asserting strict reduction, which
+  today fails and will flip to XPASS the moment a weaker proviso (e.g.
+  a DFS-stack condition, or sleep sets on top of the existing
+  ``StubbornSelector``) lands — making the fix visible in the test
+  report without blocking CI until then;
+* a plain passing test asserting today's 256 == 256 equality and its
+  consistency with the committed ``BENCH_por.json`` trajectory, so a
+  *silent* change in either direction (reduction appearing, or the
+  full space growing) shows up as a hard failure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.circuit import compose_many
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.product import LazyStateSpace
+
+BENCH_POR = Path(__file__).parent.parent.parent / "benchmarks" / "BENCH_por.json"
+
+CHANNELS = 4
+
+
+def channel_bank(channels: int):
+    modules = []
+    for index in range(channels):
+        modules.append(
+            four_phase_master(req=f"r{index}", ack=f"a{index}", name=f"m{index}")
+        )
+        modules.append(
+            four_phase_slave(req=f"r{index}", ack=f"a{index}", name=f"s{index}")
+        )
+    return compose_many(modules)
+
+
+def explored_states(reduction: bool) -> int:
+    net = channel_bank(CHANNELS).net
+    space = LazyStateSpace(net, reduction=reduction, visible_actions=())
+    space.explore_all()
+    return space.stats.states
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason=(
+        "ROADMAP item 5: the ignoring-prevention proviso re-expands every "
+        "pure cycle, so channel banks get zero reduction (256 -> 256 in "
+        "BENCH_por.json). A weaker proviso or sleep sets should flip this "
+        "to XPASS."
+    ),
+)
+def test_por_reduces_channel_bank_below_full_space():
+    assert explored_states(reduction=True) < 4**CHANNELS
+
+
+def test_channel_bank_blind_spot_is_pinned():
+    """Today's reality, asserted exactly: the reduced exploration visits
+    the *entire* 4^n torus, matching the committed benchmark entry."""
+    full = explored_states(reduction=False)
+    reduced = explored_states(reduction=True)
+    assert full == 4**CHANNELS
+    assert reduced == full  # the blind spot
+
+    if BENCH_POR.exists():
+        recorded = json.loads(BENCH_POR.read_text())["instances"][
+            f"channel-bank({CHANNELS}) deadlock-preserving"
+        ]
+        assert recorded["onthefly"] == full
+        assert recorded["por"] == reduced

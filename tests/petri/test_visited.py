@@ -1,0 +1,139 @@
+"""Stress tests for the spill-to-disk visited store.
+
+The store's one job is *exact* membership under any memory budget: the
+tests here squeeze it through the nastiest regimes — a zero budget that
+forces disk on the very first insert, reopen-after-close durability,
+and a real exploration (a channel bank) completing under a budget far
+smaller than its visited set.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.circuit import compose_many
+from repro.models.library import four_phase_master, four_phase_slave
+from repro.petri.parallel import parallel_explore
+from repro.petri.reachability import ReachabilityGraph
+from repro.petri.visited import VisitedStore, pack_wide_key
+
+
+def keys(n: int, width: int = 8) -> list[bytes]:
+    return [i.to_bytes(width, "little") for i in range(n)]
+
+
+def channel_bank(channels: int):
+    modules = []
+    for index in range(channels):
+        modules.append(
+            four_phase_master(req=f"r{index}", ack=f"a{index}", name=f"m{index}")
+        )
+        modules.append(
+            four_phase_slave(req=f"r{index}", ack=f"a{index}", name=f"s{index}")
+        )
+    return compose_many(modules)
+
+
+def test_zero_budget_spills_immediately_and_stays_exact():
+    """Budget 0: the first insert already exceeds the budget, so every
+    key ends up on disk — membership and counts must not notice."""
+    with VisitedStore(memory_budget=0) as store:
+        material = keys(500)
+        for key in material:
+            assert store.add(key) is True
+        assert store.spilled
+        assert store.spill_count >= 1
+        assert store.spilled_keys >= 1
+        assert len(store) == 500
+        # Exact dedup across the memory/disk boundary.
+        for key in material:
+            assert store.add(key) is False
+            assert key in store
+        assert len(store) == 500
+        assert b"not-there" not in store
+
+
+def test_every_insert_crosses_the_spill_boundary():
+    """Interleave duplicate inserts with fresh ones while spilled: the
+    new-key verdict of ``add`` must stay correct insert by insert."""
+    store = VisitedStore(memory_budget=0)
+    seen = set()
+    for i in range(300):
+        key = (i % 100).to_bytes(4, "big")
+        assert store.add(key) is (key not in seen)
+        seen.add(key)
+    assert len(store) == 100
+    store.close()
+
+
+def test_in_memory_regime_never_touches_disk():
+    store = VisitedStore(memory_budget=1024 * 1024)
+    assert store.update(keys(100)) == 100
+    assert not store.spilled
+    assert store.spill_count == 0
+    assert store.memory_keys == 100
+    assert store.memory_bytes > 0
+    store.close()
+
+
+def test_reopen_after_close_sees_every_key(tmp_path):
+    """The reopen contract: with an explicit path, close() persists
+    everything — including keys that never left memory."""
+    path = tmp_path / "visited.sqlite"
+    store = VisitedStore(memory_budget=10_000, path=path)
+    material = keys(1000)
+    store.update(material[:600])
+    store.close()
+    assert path.exists()
+
+    reopened = VisitedStore(memory_budget=10_000, path=path)
+    assert len(reopened) == 600
+    for key in material[:600]:
+        assert key in reopened
+        assert reopened.add(key) is False
+    assert reopened.update(material[600:]) == 400
+    reopened.close()
+
+    third = VisitedStore(path=path)
+    assert len(third) == 1000
+    third.close()
+
+
+def test_temporary_spill_file_is_removed_on_close():
+    store = VisitedStore(memory_budget=0)
+    store.add(b"k")
+    spill_path = store.path
+    assert spill_path is not None and os.path.exists(spill_path)
+    store.close()
+    assert not os.path.exists(spill_path)
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        VisitedStore(memory_budget=-1)
+
+
+def test_pack_wide_key_is_injective_on_samples():
+    states = [(0, 1, 2), (1, 0, 2), (2, 1, 0), (0, 1, 3), (255, 256, 257)]
+    packed = {pack_wide_key(state) for state in states}
+    assert len(packed) == len(states)
+    assert pack_wide_key((0, 1, 2)) == pack_wide_key((0, 1, 2))
+
+
+def test_channel_bank_completes_under_tiny_budget():
+    """Scalability marker: channel-bank(4) (256 states, 32 places -> a
+    32-byte packed key each, ~24 KiB of key material with overhead)
+    completes under a 2 KiB budget — the visited set does not fit in
+    memory, yet counts match the unconstrained serial exploration."""
+    net = channel_bank(4).net
+    serial = ReachabilityGraph(net)
+    result = parallel_explore(net, workers=1, memory_budget=2048)
+    assert result.states == serial.num_states() == 4**4
+    assert result.edges == serial.num_edges()
+    report = result.worker_reports[0]
+    assert report["spill_count"] >= 1
+    assert report["spilled_keys"] > 0
+    # The whole set never sat in memory at once.
+    assert report["visited_memory_keys"] < result.states

@@ -423,3 +423,136 @@ class TestReduce:
         assert main(["reduce", str(source), "-o", str(target)]) == 0
         reduced = load_astg(str(target))
         assert not reduced.net.transitions_with_action(EPSILON)
+
+
+class TestParallelFlags:
+    """--parallel / --memory-budget: loud one-line rejection of invalid
+    values (exit 2), identical verdicts to serial on the happy path."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "65", "1.5", "lots"])
+    def test_invalid_parallel_value(self, master_file, capsys, value):
+        assert main(["info", master_file, "--parallel", value]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cip: error: invalid --parallel value")
+        assert err.count("\n") == 1
+
+    @pytest.mark.parametrize("value", ["", "big", "-5", "1.5M", "M"])
+    def test_invalid_memory_budget_value(self, master_file, capsys, value):
+        assert main(["info", master_file, "--memory-budget", value]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("cip: error: invalid --memory-budget value")
+        assert err.count("\n") == 1
+
+    def test_por_engine_conflicts_with_parallel(
+        self, master_file, slave_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "verify",
+                    master_file,
+                    slave_file,
+                    "--engine",
+                    "por",
+                    "--parallel",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "does not compose with --parallel" in err
+        assert err.count("\n") == 1
+
+    def test_por_engine_conflicts_with_memory_budget(
+        self, master_file, slave_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "verify",
+                    master_file,
+                    slave_file,
+                    "--engine",
+                    "por",
+                    "--memory-budget",
+                    "64K",
+                ]
+            )
+            == 2
+        )
+        assert "does not compose" in capsys.readouterr().err
+
+    def test_parallel_verify_matches_serial(
+        self, master_file, slave_file, capsys
+    ):
+        assert main(["verify", master_file, slave_file]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["verify", master_file, slave_file, "--parallel", "2"]) == 0
+        )
+        parallel = capsys.readouterr().out
+        assert "# parallel       : 2 worker(s), memory budget default" in (
+            parallel
+        )
+        # Everything except the parallel banner is byte-identical.
+        stripped = "".join(
+            line
+            for line in parallel.splitlines(keepends=True)
+            if not line.startswith("# parallel")
+        )
+        assert stripped == serial
+
+    def test_memory_budget_verify_matches_serial(
+        self, master_file, slave_file, capsys
+    ):
+        assert main(["verify", master_file, slave_file]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["verify", master_file, slave_file, "--memory-budget", "0"])
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        assert "memory budget 0" in parallel
+        stripped = "".join(
+            line
+            for line in parallel.splitlines(keepends=True)
+            if not line.startswith("# parallel")
+        )
+        assert stripped == serial
+
+    def test_info_parallel_output_matches_serial(self, master_file, capsys):
+        assert main(["info", master_file]) == 0
+        serial = capsys.readouterr().out
+        assert main(["info", master_file, "--parallel", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_bench_records_worker_count_in_payloads(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        save_astg(four_phase_master(), str(corpus / "master.g"))
+        out_dir = tmp_path / "obs"
+        assert (
+            main(
+                [
+                    "bench",
+                    str(corpus),
+                    "--engines",
+                    "eager,onthefly",
+                    "--backends",
+                    "compiled",
+                    "--max-states",
+                    "5000",
+                    "--parallel",
+                    "2",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        payloads = sorted(out_dir.glob("*.obs.json"))
+        assert payloads
+        for payload_path in payloads:
+            payload = json.loads(payload_path.read_text())
+            assert payload["gauges"]["bench.workers"] == 2
