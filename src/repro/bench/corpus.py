@@ -161,9 +161,10 @@ def explore_cell(
 
     ``workers`` > 1 (or a ``memory_budget``) routes the ``eager`` and
     ``onthefly`` cells through the sharded parallel explorer
-    (:mod:`repro.petri.parallel`); ``por`` stays serial (stubborn-set
-    selection is sequential), which keeps the matrix an honest
-    parallel-vs-serial differential.  The parallel explorer performs no
+    (:mod:`repro.petri.parallel`); ``por`` stays serial (partial-order
+    reduction is order-sensitive: its DFS-stack proviso and sleep sets
+    assume one sequential search order), which keeps the matrix an
+    honest parallel-vs-serial differential.  The parallel explorer performs no
     covering-based unboundedness detection, so on genuinely unbounded
     nets its cells report ``"bound-exceeded"`` where a serial run would
     report ``"unbounded"`` — consistent across all parallel cells of a

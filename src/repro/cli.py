@@ -189,6 +189,20 @@ def _print_por_summary(report, max_states: int, backend: str) -> None:
         f"# states reduced : {reduced}/{explored} markings expanded"
         " with a proper stubborn subset"
     )
+    counters = (report.metrics or {}).get("counters", {})
+    if report.proviso == "stack":
+        cycles = counters.get("engine.lazy.cycle_expansions", 0)
+        skips = counters.get("engine.lazy.sleep_skips", 0)
+        print(
+            f"# por proviso    : stack — depth-first, sleep sets"
+            f" ({cycles} cycle re-expansions, {skips} enabled"
+            " transitions skipped asleep)"
+        )
+    else:
+        print(
+            "# por proviso    : fresh — breadth-first, full expansion"
+            " on cycle re-entry"
+        )
     try:
         baseline = LazyStateSpace(
             report.composite.net, max_states=max_states, backend=backend
@@ -212,8 +226,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
     workers, memory_budget = _resolve_parallel(args)
     if (workers > 1 or memory_budget is not None) and args.engine == "por":
         raise CliError(
-            "--engine por does not compose with --parallel/--memory-budget;"
-            " use --engine eager or onthefly"
+            "--engine por does not compose with --parallel/--memory-budget"
+            " (partial-order reduction is inherently order-sensitive: the"
+            " DFS-stack proviso and sleep sets need one sequential search"
+            " order); drop --parallel/--memory-budget to run por serially,"
+            " or keep them with --engine eager or onthefly"
+        )
+    if args.proviso is not None and args.engine != "por":
+        raise CliError(
+            "--proviso tunes stubborn-set partial-order reduction and"
+            " requires --engine por"
         )
 
     def body() -> int:
@@ -227,6 +249,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 workers=workers,
                 memory_budget=memory_budget,
+                proviso=args.proviso,
             )
         except UnboundedNetError as error:
             raise CliError(
@@ -534,6 +557,16 @@ def build_parser() -> argparse.ArgumentParser:
         " with early exit (onthefly, default), demand-driven with"
         " stubborn-set partial-order reduction (por, reports"
         " explored-vs-eager state counts), or full construction (eager)",
+    )
+    verify.add_argument(
+        "--proviso",
+        choices=("fresh", "stack"),
+        default=None,
+        help="ignoring-prevention proviso for --engine por: fresh"
+        " (default) discovers breadth-first and exits early with"
+        " shortest reduced witness traces; stack discovers depth-first"
+        " under the DFS-stack proviso with sleep sets — much smaller"
+        " exhaustive spaces on cyclic receptive nets",
     )
     verify.add_argument(
         "--max-states",

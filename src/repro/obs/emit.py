@@ -112,7 +112,48 @@ def write_benchmark(
     unit: str,
     instances: Mapping[str, Mapping[str, int | float]],
 ) -> dict[str, Any]:
-    """Write a benchmark trajectory file; returns the payload."""
-    payload = benchmark_trajectory(benchmark, unit, instances)
+    """Validate and write a benchmark trajectory file; returns the
+    payload."""
+    payload = validate_benchmark(benchmark_trajectory(benchmark, unit, instances))
     _write_json(path, payload)
+    return payload
+
+
+def validate_benchmark(payload: Any) -> dict[str, Any]:
+    """Check a ``BENCH_*.json`` trajectory against its schema.
+
+    The layout produced by :func:`benchmark_trajectory`: a non-empty
+    ``benchmark`` name, a non-empty ``unit`` string, and an
+    ``instances`` object mapping instance names to flat objects of
+    numeric measurements.  Returns the payload on success; raises
+    :class:`ValueError` naming the first offending field otherwise.
+    Used by the emitter itself and by the CI schema-smoke step that
+    guards the committed benchmark files.
+    """
+
+    def fail(reason: str) -> ValueError:
+        return ValueError(f"invalid benchmark payload: {reason}")
+
+    if not isinstance(payload, dict):
+        raise fail(f"expected an object, got {type(payload).__name__}")
+    for key in ("benchmark", "unit"):
+        if not isinstance(payload.get(key), str) or not payload[key]:
+            raise fail(f"{key} must be a non-empty string")
+    instances = payload.get("instances")
+    if not isinstance(instances, dict):
+        raise fail("instances must be an object")
+    for name, measurements in instances.items():
+        if not isinstance(name, str) or not name:
+            raise fail("instance names must be non-empty strings")
+        if not isinstance(measurements, dict):
+            raise fail(f"instances[{name!r}] must be an object")
+        for metric, value in measurements.items():
+            if not isinstance(metric, str) or not metric:
+                raise fail(
+                    f"instances[{name!r}] keys must be non-empty strings"
+                )
+            if not isinstance(value, _NUMBER) or isinstance(value, bool):
+                raise fail(
+                    f"instances[{name!r}][{metric!r}] must be a number"
+                )
     return payload

@@ -48,6 +48,7 @@ from collections.abc import Callable, Mapping
 from typing import Union
 
 from repro.obs import metrics as obs
+from repro.petri.dfs import StackProvisoDfs
 from repro.petri.marking import Marking, Place
 from repro.petri.net import PetriNet
 from repro.petri.reachability import UnboundedNetError
@@ -470,6 +471,7 @@ class CompiledSpace:
         "max_states",
         "stats",
         "initial",
+        "proviso",
         "_detect_unbounded",
         "_check_covering",
         "_selector",
@@ -477,6 +479,7 @@ class CompiledSpace:
         "_parent",
         "_info",
         "_succ",
+        "_dfs",
     )
 
     def __init__(
@@ -487,10 +490,12 @@ class CompiledSpace:
         detect_unbounded: bool = True,
         selector=None,
         transition_filter: Callable[[int, PackedState], bool] | None = None,
+        proviso: str | None = None,
     ):
         self.cnet = cnet
         self.max_states = max_states
         self.stats = stats
+        self.proviso = proviso
         self._detect_unbounded = detect_unbounded
         self._check_covering = detect_unbounded and not cnet.bounded_certified
         self._selector = selector
@@ -501,11 +506,16 @@ class CompiledSpace:
         self._parent: dict[PackedState, tuple[PackedState, int] | None] = {
             self.initial: None
         }
-        #: Per-state (deficits, enabled); dropped once a state is expanded.
+        #: Per-state (deficits, enabled); dropped once a state is expanded
+        #: — except under the stack proviso, whose DFS driver re-reads the
+        #: enabled set of finished states on re-walks and wakes.
         self._info: dict[PackedState, tuple[bytes, tuple[int, ...]]] = {
             self.initial: (cnet.initial_deficits, cnet.initial_enabled)
         }
         self._succ: dict[PackedState, tuple[tuple[str, int, PackedState], ...]] = {}
+        self._dfs: StackProvisoDfs | None = None
+        if selector is not None and proviso == "stack":
+            self._dfs = StackProvisoDfs(_PackedDfsAdapter(self), selector, stats)
 
     # -- expansion ---------------------------------------------------------
 
@@ -583,6 +593,11 @@ class CompiledSpace:
         cached = self._succ.get(state)
         if cached is not None:
             return cached
+        if self._dfs is not None:
+            self.ensure_explored()
+            result = self._dfs.successor_edges(state)
+            self._succ[state] = result
+            return result
         cnet = self.cnet
         deficits, enabled = self._info[state]
         expand = enabled
@@ -614,6 +629,34 @@ class CompiledSpace:
         self.stats.edges += len(result)
         return result
 
+    # -- traversal ---------------------------------------------------------
+
+    def ensure_explored(self) -> None:
+        """Force the stack-proviso DFS to completion (no-op when the
+        exploration is not stack-driven)."""
+        if self._dfs is not None:
+            self._dfs.run_to_completion()
+
+    def iter_dfs(self):
+        """Packed states in depth-first discovery order: the streaming
+        walk of the stack-proviso driver when one is active, otherwise a
+        plain depth-first traversal over :meth:`successors`."""
+        if self._dfs is not None:
+            yield from self._dfs.iterate()
+            return
+        yield self.initial
+        seen = {self.initial}
+        stack = [iter(self.successors(self.initial))]
+        while stack:
+            for _, _, target in stack[-1]:
+                if target not in seen:
+                    seen.add(target)
+                    yield target
+                    stack.append(iter(self.successors(target)))
+                    break
+            else:
+                stack.pop()
+
     # -- queries -----------------------------------------------------------
 
     def num_states(self) -> int:
@@ -636,3 +679,45 @@ class CompiledSpace:
             steps.append((cnet.tids[dense], cnet.actions[dense]))
             cursor = parent
         return tuple(reversed(steps))
+
+
+class _PackedDfsAdapter:
+    """Packed-backend plug for :class:`~repro.petri.dfs.StackProvisoDfs`.
+
+    Transitions cross the boundary as tids (the driver, the stubborn
+    selector and the sleep sets all work in tid space) and are mapped
+    to dense indices here; dense order equals tid order by compilation,
+    so the enabled tuples this hands out are tid-sorted exactly like the
+    dict adapter's — the property that keeps the two backends' reduction
+    decisions byte-identical.  ``probe`` fires without any accounting so
+    proviso checks never perturb the interner-hit counters."""
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core: CompiledSpace):
+        self._core = core
+
+    def root(self) -> PackedState:
+        return self._core.initial
+
+    def discovered(self):
+        return iter(self._core._parent)
+
+    def enabled(self, state: PackedState) -> tuple[int, ...]:
+        tids = self._core.cnet.tids
+        return tuple(tids[dense] for dense in self._core._info[state][1])
+
+    def view(self, state: PackedState) -> PackedMarkingView:
+        return PackedMarkingView(self._core.cnet, state)
+
+    def probe(self, state: PackedState, tid: int) -> PackedState:
+        cnet = self._core.cnet
+        return cnet.fire(state, cnet.tid_index[tid])
+
+    def discover(self, state: PackedState, tid: int) -> PackedState:
+        core = self._core
+        deficits, enabled = core._info[state]
+        return core._discover(state, deficits, enabled, core.cnet.tid_index[tid])
+
+    def action(self, tid: int) -> str:
+        return self._core.cnet.actions[self._core.cnet.tid_index[tid]]

@@ -26,9 +26,12 @@ Two classes:
   keeps at least one enabled *key* transition, and refuses to reduce at
   all if any enabled member is visible.  The remaining condition for
   language preservation — that no enabled transition is postponed
-  around a cycle forever — is enforced by the exploration engine
-  itself (:class:`repro.petri.product.LazyStateSpace` fully expands any
-  state where a reduced successor has already been discovered).
+  around a cycle forever — is enforced by the exploration layer: by
+  the DFS-stack proviso of :mod:`repro.petri.dfs` (the default, which
+  also layers sleep sets on top of this selector), or by the original
+  ``proviso="fresh"`` rule in which
+  :class:`repro.petri.product.LazyStateSpace` fully expands any state
+  where a reduced successor has already been discovered.
 
 Soundness sketch (the invariants the differential harness in
 ``tests/petri/test_por_differential.py`` checks empirically):
@@ -168,7 +171,10 @@ class StubbornSelector:
         self._transitions = net.transitions
 
     def reduced_enabled(
-        self, marking: Marking, enabled: tuple[int, ...]
+        self,
+        marking: Marking,
+        enabled: tuple[int, ...],
+        asleep: frozenset[int] = frozenset(),
     ) -> tuple[int, ...] | None:
         """The enabled members of the smallest stubborn set found at
         ``marking``, or ``None`` when no sound proper reduction exists
@@ -178,22 +184,38 @@ class StubbornSelector:
         the fewest enabled members wins (ties to the lowest seed tid, so
         the choice — and with it every ``engine="por"`` run — is
         deterministic).
+
+        ``asleep`` is the caller's sleep set (:mod:`repro.petri.dfs`):
+        transitions whose firings are already covered by an earlier
+        branch and will be skipped.  Seeds drawn from it are not tried
+        (their closures would be centred on transitions the caller
+        cannot fire) and candidates are scored by their *awake* member
+        count, so the proposal always carries at least one firable
+        transition — the seed itself.  With the default empty ``asleep``
+        the behaviour is exactly the historic one.
         """
         if len(enabled) <= 1:
             return None
         self.stats.calls += 1
         enabled_set = frozenset(enabled)
         best: set[int] | None = None
+        best_awake = 0
         for seed in enabled:
-            if seed in self.visible:
+            if seed in self.visible or seed in asleep:
                 continue
             self.stats.seeds_tried += 1
             chosen = self._closure(seed, marking, enabled_set)
             if chosen is None:
                 continue
-            if best is None or len(chosen) < len(best):
+            awake = (
+                sum(1 for tid in chosen if tid not in asleep)
+                if asleep
+                else len(chosen)
+            )
+            if best is None or awake < best_awake:
                 best = chosen
-                if len(best) == 1:
+                best_awake = awake
+                if best_awake == 1:
                     break
         if best is None or len(best) >= len(enabled):
             return None
@@ -235,7 +257,16 @@ class StubbornSelector:
         """The empty input place of a disabled transition whose strict
         producers are fewest (deterministic tie-break on place name) —
         the cheapest witness that the transition stays disabled while
-        only non-stubborn transitions fire."""
+        only non-stubborn transitions fire.
+
+        Determinism matters beyond reproducibility: the DFS driver of
+        :mod:`repro.petri.dfs` assumes identical selector proposals on
+        identical markings across runs and backends.  The candidate
+        scan is over the *sorted* preset with a strict ``<`` cost
+        comparison (first minimum wins), so the choice is a pure
+        function of the net and the marking — no dict/set iteration
+        order is ever consulted; ``tests/petri/test_por_determinism.py``
+        pins this."""
         best: tuple[int, Place] | None = None
         for place in sorted(self._transitions[tid].preset):
             if marking[place] > 0:

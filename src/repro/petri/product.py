@@ -56,6 +56,7 @@ from repro.petri.compiled import (
     CompiledSpace,
     resolve_backend,
 )
+from repro.petri.dfs import StackProvisoDfs
 from repro.petri.independence import IndependenceRelation, StubbornSelector
 from repro.petri.marking import Marking, MarkingInterner, Place
 from repro.petri.net import EPSILON, PetriNet, Transition
@@ -70,6 +71,16 @@ ENGINES = ("eager", "onthefly", "por")
 #: Engine used by the verification layers when none is requested.
 DEFAULT_ENGINE = "onthefly"
 
+#: The recognised ignoring-prevention provisos for the reduced engine.
+#: ``stack`` (the default) is the DFS-stack cycle condition with sleep
+#: sets (:mod:`repro.petri.dfs`); ``fresh`` is the original, strictly
+#: more conservative all-targets-new condition, kept for A/B runs and
+#: as the on-demand fallback (it needs no exploration-order control).
+PROVISOS = ("fresh", "stack")
+
+#: Proviso used when reduction is requested without naming one.
+DEFAULT_PROVISO = "stack"
+
 
 def resolve_engine(engine: str) -> str:
     """Validate an engine name (raises ``ValueError`` on unknown names)."""
@@ -80,16 +91,31 @@ def resolve_engine(engine: str) -> str:
     return engine
 
 
+def resolve_proviso(proviso: str | None) -> str:
+    """Validate a proviso name, mapping ``None`` to the default."""
+    if proviso is None:
+        return DEFAULT_PROVISO
+    if proviso not in PROVISOS:
+        raise ValueError(
+            f"unknown proviso {proviso!r}; expected one of {PROVISOS}"
+        )
+    return proviso
+
+
 @dataclass
 class ExplorationStats:
     """Counters of work actually performed by a lazy exploration.
 
     ``reduced_states`` counts the states at which partial-order
     reduction actually expanded a proper subset of the enabled
-    transitions (always ``0`` for the plain on-the-fly engine).
+    transitions (always ``0`` for the plain on-the-fly engine);
+    ``sleep_skips`` the enabled transitions pruned by sleep sets and
+    ``cycle_expansions`` the full expansions forced by the DFS-stack
+    proviso (both ``0`` outside ``proviso="stack"``).
     ``interner_hits`` counts discoveries that landed on an
     already-interned marking (re-convergent paths); ``frontier_peak``
-    is the high-water mark of the BFS queue in :meth:`iter_bfs`.
+    is the high-water mark of the BFS queue in :meth:`iter_bfs` (the
+    DFS stack depth under the stack proviso).
     """
 
     states: int = 0
@@ -98,6 +124,8 @@ class ExplorationStats:
     reduced_states: int = 0
     interner_hits: int = 0
     frontier_peak: int = 0
+    sleep_skips: int = 0
+    cycle_expansions: int = 0
 
     def interner_hit_rate(self) -> float:
         """Fraction of interner lookups that found an existing marking.
@@ -118,6 +146,8 @@ class ExplorationStats:
             self.reduced_states + other.reduced_states,
             self.interner_hits + other.interner_hits,
             max(self.frontier_peak, other.frontier_peak),
+            self.sleep_skips + other.sleep_skips,
+            self.cycle_expansions + other.cycle_expansions,
         )
 
 
@@ -160,9 +190,23 @@ class LazyStateSpace:
     those places (e.g. the Proposition 5.5 obligation check) invariant
     under the reduction.  Two guarantees are exact, not approximate:
     the set of reachable *deadlock* markings, and the *visible-action
-    trace language* (an ignoring-prevention proviso fully expands any
-    state with an already-discovered reduced successor, so no enabled
-    transition is postponed around a cycle forever).
+    trace language* (the ignoring-prevention proviso guarantees every
+    cycle of the reduced graph contains a fully expanded state, so no
+    enabled transition is postponed forever).
+
+    ``proviso`` names how ignoring is prevented (see
+    :mod:`repro.petri.dfs`): the default ``"stack"`` explores the
+    reduced space depth-first, fully expanding a state only when one of
+    its chosen successors closes a cycle onto the current search stack,
+    with sleep sets pruning already-covered commutations on top.
+    Because that argument is a property of the whole search, a
+    ``"stack"``-reduced space is explored to completion on the first
+    demand (``successors``/``iter_bfs`` force it); :meth:`iter_dfs` is
+    the streaming traversal for early-exit consumers, and failure
+    traces are firable but no longer shortest.  ``"fresh"`` is the
+    original on-demand proviso — accept a reduced expansion only when
+    every reduced successor is new — which keeps per-state laziness
+    (and BFS-shortest traces) but re-expands every pure cycle.
     """
 
     def __init__(
@@ -175,6 +219,7 @@ class LazyStateSpace:
         visible_actions: Iterable[str] | None = None,
         visible_places: Iterable[Place] = (),
         backend: str | None = None,
+        proviso: str | None = None,
     ):
         self.net = net
         self.backend = resolve_backend(backend)
@@ -185,6 +230,11 @@ class LazyStateSpace:
         self._transitions = net.transitions
         self.visible_actions: frozenset[str] | None = None
         self._selector: StubbornSelector | None = None
+        if proviso is not None and not reduction:
+            raise ValueError(
+                "proviso is a reduction knob; it requires reduction=True"
+            )
+        self.proviso: str | None = resolve_proviso(proviso) if reduction else None
         if reduction:
             if transition_filter is not None:
                 raise ValueError(
@@ -230,6 +280,11 @@ class LazyStateSpace:
         self._enabled: dict[Marking, tuple[int, ...]] = {
             self.initial: self._scan_enabled(self.initial)
         }
+        self._dfs: StackProvisoDfs | None = None
+        if self._selector is not None and self.proviso == "stack":
+            self._dfs = StackProvisoDfs(
+                _MarkingDfsAdapter(self), self._selector, self.stats
+            )
 
     def _init_compiled(
         self,
@@ -245,6 +300,7 @@ class LazyStateSpace:
             def wrapped(dense: int, state) -> bool:
                 return transition_filter(transitions[dense], self._decode(state))
 
+        self._dfs = None
         self._core = CompiledSpace(
             cnet,
             max_states=self.max_states,
@@ -252,6 +308,7 @@ class LazyStateSpace:
             detect_unbounded=self._detect_unbounded,
             selector=self._selector,
             transition_filter=wrapped,
+            proviso=self.proviso,
         )
         self.initial = net.initial
         #: Bidirectional packed <-> Marking maps, filled on demand; each
@@ -382,6 +439,21 @@ class LazyStateSpace:
         """``True`` when stubborn-set partial-order reduction is active."""
         return self._selector is not None
 
+    @property
+    def _stack_driven(self) -> bool:
+        """``True`` when the DFS-stack proviso drives the exploration."""
+        return self._selector is not None and self.proviso == "stack"
+
+    def _ensure_explored(self) -> None:
+        """Force the stack-proviso DFS to completion (no-op otherwise).
+
+        The stack proviso is an invariant of the finished search, so
+        any API that serves reduced successors must run it first."""
+        if self._core is not None:
+            self._core.ensure_explored()
+        elif self._dfs is not None:
+            self._dfs.run_to_completion()
+
     def _all_targets_fresh(self, marking: Marking, tids: tuple[int, ...]) -> bool:
         """Ignoring-prevention proviso: a reduced expansion is accepted
         only if every reduced successor is a *new* marking.  Any cycle
@@ -404,12 +476,19 @@ class LazyStateSpace:
 
         Under partial-order reduction this expands only the enabled
         members of a stubborn set whenever the selector proposes one
-        and the cycle proviso accepts it; otherwise every enabled
-        transition is followed.
+        and the ignoring-prevention proviso accepts it; otherwise every
+        enabled transition is followed.  With ``proviso="stack"`` the
+        first call forces the full reduced DFS (see the class
+        docstring) and every call serves the memoised reduced graph.
         """
         cached = self._succ.get(marking)
         if cached is not None:
             return cached
+        if self._dfs is not None:
+            self._ensure_explored()
+            result = self._dfs.successor_edges(marking)
+            self._succ[marking] = result
+            return result
         if self._core is not None:
             packed = self._lookup_packed(marking)
             decode = self._decode
@@ -444,8 +523,13 @@ class LazyStateSpace:
 
         States are yielded as soon as they are *discovered* (before they
         are expanded), so a consumer checking a predicate per state can
-        stop strictly earlier than any eager construction.
+        stop strictly earlier than any eager construction.  Under the
+        stack proviso the reduced graph is explored (depth-first) in
+        full first and this is a breadth-first replay — use
+        :meth:`iter_discovery` for the traversal that streams states as
+        the active exploration finds them.
         """
+        self._ensure_explored()
         yield self.initial
         seen = {self.initial}
         queue: deque[Marking] = deque([self.initial])
@@ -467,6 +551,7 @@ class LazyStateSpace:
         Discovery order is identical to :meth:`iter_bfs`."""
         if self._core is None:
             raise ValueError("iter_raw requires the compiled backend")
+        self._ensure_explored()
         core = self._core
         stats = self.stats
         yield core.initial
@@ -481,6 +566,66 @@ class LazyStateSpace:
                     if len(queue) > stats.frontier_peak:
                         stats.frontier_peak = len(queue)
                     yield target
+
+    def iter_dfs(self) -> Iterator[Marking]:
+        """Yield reachable markings in depth-first discovery order.
+
+        Under the stack proviso this is the *native* traversal: states
+        stream out as the reduced DFS discovers them, so an
+        early-exiting consumer (the receptiveness search) can stop
+        before the full reduced space is built.  On every other
+        configuration it is a plain depth-first walk over
+        :meth:`successors`.
+        """
+        if self._dfs is not None:
+            yield from self._dfs.iterate()
+            return
+        if self._core is not None:
+            decode = self._decode
+            for state in self._core.iter_dfs():
+                yield decode(state)
+            return
+        yield self.initial
+        seen = {self.initial}
+        stack = [iter(self.successors(self.initial))]
+        while stack:
+            for _, _, target in stack[-1]:
+                if target not in seen:
+                    seen.add(target)
+                    yield target
+                    stack.append(iter(self.successors(target)))
+                    break
+            else:
+                stack.pop()
+
+    def iter_raw_dfs(self) -> Iterator:
+        """DFS over *packed* states (compiled backend only) — the
+        allocation-light twin of :meth:`iter_dfs`."""
+        if self._core is None:
+            raise ValueError("iter_raw_dfs requires the compiled backend")
+        return self._core.iter_dfs()
+
+    def iter_discovery(self) -> Iterator[Marking]:
+        """States in the order the active exploration discovers them.
+
+        This is the traversal early-exit consumers should use: it
+        streams from the reduced DFS walk when the stack proviso drives
+        exploration, and is plain :meth:`iter_bfs` otherwise — in both
+        cases a failure found after *k* yields means only *k* (plus the
+        current expansion) states were materialised.
+        """
+        if self._stack_driven:
+            return self.iter_dfs()
+        return self.iter_bfs()
+
+    def iter_raw_discovery(self) -> Iterator:
+        """Packed twin of :meth:`iter_discovery` (compiled backend
+        only)."""
+        if self._core is None:
+            raise ValueError("iter_raw_discovery requires the compiled backend")
+        if self._stack_driven:
+            return self._core.iter_dfs()
+        return self.iter_raw()
 
     def explore_all(self) -> int:
         """Force full exploration; returns the number of reachable states."""
@@ -522,6 +667,8 @@ class LazyStateSpace:
         )
         if self._selector is not None:
             obs.count(f"{prefix}.reduced_states", stats.reduced_states)
+            obs.count(f"{prefix}.sleep_skips", stats.sleep_skips)
+            obs.count(f"{prefix}.cycle_expansions", stats.cycle_expansions)
             if stats.states:
                 obs.gauge(
                     f"{prefix}.reduction_ratio",
@@ -564,6 +711,47 @@ class LazyStateSpace:
     def action_trace(self, marking: Marking) -> tuple[str, ...]:
         """The action labels of :meth:`trace_to`."""
         return tuple(action for _, action in self.trace_to(marking))
+
+
+class _MarkingDfsAdapter:
+    """Dict-backend plug for :class:`~repro.petri.dfs.StackProvisoDfs`.
+
+    States are interned :class:`Marking` objects; ``probe`` fires
+    without any bookkeeping so proviso checks never perturb the interner
+    accounting, while ``discover`` routes through the space's full
+    discovery path (interning, budget, Karp-Miller covering)."""
+
+    __slots__ = ("_space",)
+
+    def __init__(self, space: LazyStateSpace):
+        self._space = space
+
+    def root(self) -> Marking:
+        return self._space.initial
+
+    def discovered(self) -> Iterator[Marking]:
+        return iter(self._space._parent)
+
+    def enabled(self, state: Marking) -> tuple[int, ...]:
+        return self._space._enabled[state]
+
+    def view(self, state: Marking) -> Marking:
+        return state
+
+    def probe(self, state: Marking, tid: int) -> Marking:
+        transition = self._space._transitions[tid]
+        child = state.fire(
+            transition.preset - transition.postset,
+            transition.postset - transition.preset,
+        )
+        canonical = self._space._interner.get(child)
+        return child if canonical is None else canonical
+
+    def discover(self, state: Marking, tid: int) -> Marking:
+        return self._space._discover(state, self._space._transitions[tid])
+
+    def action(self, tid: int) -> str:
+        return self._space._transitions[tid].action
 
 
 # -- synchronous product ------------------------------------------------------

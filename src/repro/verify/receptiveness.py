@@ -61,9 +61,13 @@ class ReceptivenessFailure:
     consumer alternative is ready to accept.
 
     When found by the on-the-fly engine, ``trace`` holds the action
-    labels and ``tids`` the transition ids of a shortest firable path
-    from the composite's initial marking to ``marking`` — replayable
-    step by step via :mod:`repro.petri.simulation`.
+    labels and ``tids`` the transition ids of a firable path from the
+    composite's initial marking to ``marking`` — replayable step by
+    step via :mod:`repro.petri.simulation`.  The plain on-the-fly
+    engine discovers breadth-first, so its trace is shortest; the
+    reduced engine's trace is shortest in the reduced space under the
+    default ``proviso="fresh"`` (breadth-first discovery), and merely
+    firable under ``proviso="stack"`` (depth-first discovery).
     """
 
     obligation: SyncObligation
@@ -93,7 +97,10 @@ class ReceptivenessReport:
     ``states_explored`` the number of composite markings it visited
     (``None`` for the structural method).  Under ``engine="por"``,
     ``states_reduced`` counts the markings at which the stubborn-set
-    selector expanded a proper subset of the enabled transitions.
+    selector expanded a proper subset of the enabled transitions, and
+    ``proviso`` records which ignoring-prevention proviso governed the
+    reduced search (``"fresh"`` or ``"stack"``, see
+    :mod:`repro.petri.product`).
 
     ``metrics`` carries the full instrumentation payload of the check
     (schema ``repro.obs/v1``, see ``docs/OBSERVABILITY.md``): spans for
@@ -111,6 +118,7 @@ class ReceptivenessReport:
     engine: str = "eager"
     states_explored: int | None = None
     states_reduced: int | None = None
+    proviso: str | None = None
     metrics: dict | None = None
 
     def is_receptive(self) -> bool:
@@ -234,6 +242,16 @@ def _is_failure_marking(obligation: SyncObligation, marking: Marking) -> bool:
     )
 
 
+# Default ignoring-prevention proviso for the *verify* layer's reduced
+# searches.  Deliberately not ``repro.petri.product.DEFAULT_PROVISO``
+# ("stack"): the Prop 5.5 search early-exits once every obligation is
+# witnessed, and witnesses sit shallow, so breadth-first "fresh"
+# discovery wins on failing compositions and reports shortest reduced
+# traces.  Callers proving receptiveness of cyclic nets should pass
+# ``proviso="stack"`` to exhaust an exponentially smaller space.
+SEARCH_PROVISO = "fresh"
+
+
 def _reachability_failures(
     composite: Stg,
     obligations: list[SyncObligation],
@@ -263,16 +281,28 @@ def _onthefly_failures(
     stop_at_first: bool = False,
     reduce: bool = False,
     backend: str | None = None,
+    proviso: str | None = None,
 ) -> tuple[list[ReceptivenessFailure], int, int]:
     """Demand-driven Proposition 5.5 search: obligations are checked as
     each composite marking is *discovered*, so exploration stops as soon
     as every obligation has a witness (or, with ``stop_at_first``, at
     the very first failure) — long before a full state-space build on
-    failing compositions.  Witnesses come with a shortest firable trace
-    from the initial marking.
+    failing compositions.  Witnesses come with a firable trace from the
+    initial marking (shortest without reduction, where discovery is
+    breadth-first).
 
     With ``reduce`` the space is explored under stubborn-set
-    partial-order reduction.  The Prop 5.5 failure predicate only reads
+    partial-order reduction, governed by ``proviso``
+    (:mod:`repro.petri.product`).  The verify layer defaults to
+    ``"fresh"``, not the space-level default ``"stack"``: this search
+    is breadth-sensitive — it exits as soon as every obligation is
+    witnessed, and failure witnesses sit shallow, so breadth-first
+    fresh-proviso discovery reaches them after far fewer states than
+    the depth-first stack walk, and its traces are shortest in the
+    reduced space.  ``"stack"`` pays off on the opposite workload:
+    receptive (witness-free) compositions with pure cycles, where the
+    search must exhaust the reduced space and the stack proviso keeps
+    that space exponentially smaller (see ``docs/PERFORMANCE.md``).  The Prop 5.5 failure predicate only reads
     the token counts of the obligation places (producer and consumer
     presets), so those are declared as *visible places*: every
     transition that changes one of them is visible to the selector, the
@@ -281,9 +311,12 @@ def _onthefly_failures(
     reachable in the full space.  Reduced edges are real firings of the
     unreduced net, so witness traces replay unchanged.
     """
-    from repro.petri.product import LazyStateSpace
+    from repro.petri.product import LazyStateSpace, resolve_proviso
 
     if reduce:
+        proviso = resolve_proviso(
+            proviso if proviso is not None else SEARCH_PROVISO
+        )
         predicate_places: set[str] = set()
         for obligation in obligations:
             predicate_places |= obligation.producer_preset
@@ -296,6 +329,7 @@ def _onthefly_failures(
             visible_actions=(),
             visible_places=predicate_places,
             backend=backend,
+            proviso=proviso,
         )
     else:
         space = LazyStateSpace(
@@ -305,7 +339,7 @@ def _onthefly_failures(
         return _onthefly_failures_packed(space, obligations, stop_at_first)
     pending = list(obligations)
     failures: list[ReceptivenessFailure] = []
-    for marking in space.iter_bfs():
+    for marking in space.iter_discovery():
         if not pending:
             break
         remaining: list[SyncObligation] = []
@@ -353,7 +387,7 @@ def _onthefly_failures_packed(
     ]
     pending = packed_obligations
     failures: list[ReceptivenessFailure] = []
-    for state in space.iter_raw():
+    for state in space.iter_raw_discovery():
         if not pending:
             break
         remaining = []
@@ -500,6 +534,7 @@ def check_receptiveness(
     backend: str | None = None,
     workers: int | None = None,
     memory_budget: int | None = None,
+    proviso: str | None = None,
 ) -> ReceptivenessReport:
     """Check Propositions 5.5/5.6 on the composition of two modules.
 
@@ -520,7 +555,21 @@ def check_receptiveness(
     reduction with the obligation places declared visible, so the
     Prop 5.5 verdict is unchanged while fewer interleavings are
     explored; ``"eager"`` materialises the full graph first — the
-    oracle path.  ``stop_at_first`` makes the demand-driven engines
+    oracle path.
+
+    ``proviso`` (``engine="por"`` only) picks the ignoring-prevention
+    rule of the reduced search: the default ``"fresh"`` discovers
+    breadth-first and fully expands any state with an already-discovered
+    reduced successor — best for this early-exit witness hunt, and its
+    traces stay shortest in the reduced space; ``"stack"`` discovers
+    depth-first under the DFS-stack proviso with sleep sets — its
+    traces are firable but not necessarily shortest, and it wins when
+    the composition is receptive and cyclic, where the search must
+    exhaust the reduced space and ``"stack"`` keeps that space
+    exponentially smaller (channel banks: ``3*2^(n-1)+1`` states
+    versus the full ``4^n``; see ``docs/PERFORMANCE.md``).
+
+    ``stop_at_first`` makes the demand-driven engines
     return after the first failure (the verdict is already decided at
     that point; only the per-obligation attribution of *later* failures
     is lost).
@@ -536,8 +585,9 @@ def check_receptiveness(
     spill-to-disk shards, full-space exploration, schedule-independent
     verdicts, canonical per-obligation witnesses without traces.  It
     composes with the ``eager`` and ``onthefly`` engines but not with
-    ``por`` (stubborn-set selection is inherently sequential), and
-    ``stop_at_first`` is ignored on this path.  The structural method
+    ``por`` (partial-order reduction is inherently order-sensitive: the
+    DFS-stack proviso and sleep sets assume one sequential search
+    order), and ``stop_at_first`` is ignored on this path.  The structural method
     never explores states, so these knobs do not apply to it.
 
     Every check records its own instrumentation (spans, counters and
@@ -547,15 +597,32 @@ def check_receptiveness(
     """
     from repro.petri.compiled import resolve_backend
     from repro.petri.parallel import resolve_workers
-    from repro.petri.product import DEFAULT_ENGINE, resolve_engine
+    from repro.petri.product import (
+        DEFAULT_ENGINE,
+        resolve_engine,
+        resolve_proviso,
+    )
 
     engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
     backend = resolve_backend(backend)
     workers = resolve_workers(workers)
+    if proviso is not None and engine != "por":
+        raise ValueError(
+            "proviso is a partial-order-reduction knob;"
+            " it requires engine 'por'"
+        )
+    if engine == "por":
+        proviso = resolve_proviso(
+            proviso if proviso is not None else SEARCH_PROVISO
+        )
     if (workers > 1 or memory_budget is not None) and engine == "por":
         raise ValueError(
             "engine 'por' does not compose with parallel/spill"
-            " exploration; use engine 'eager' or 'onthefly'"
+            " exploration: partial-order reduction is inherently"
+            " order-sensitive (the DFS-stack proviso and sleep sets"
+            " depend on one sequential search order that sharded workers"
+            " cannot preserve); run engine 'por' serially, or keep the"
+            " workers with engine 'eager' or 'onthefly'"
         )
     with obs.record() as recorder:
         report = _checked_receptiveness(
@@ -569,6 +636,7 @@ def check_receptiveness(
             recorder,
             workers,
             memory_budget,
+            proviso,
         )
     report.metrics = recorder.to_dict()
     return report
@@ -585,6 +653,7 @@ def _checked_receptiveness(
     recorder: obs.MetricsRecorder,
     workers: int = 1,
     memory_budget: int | None = None,
+    proviso: str | None = None,
 ) -> ReceptivenessReport:
     with obs.span("verify.receptiveness", method=method) as span:
         composite, obligations = compose_with_obligations(stg1, stg2)
@@ -619,6 +688,7 @@ def _checked_receptiveness(
             engine=engine,
             backend=backend,
             workers=workers,
+            proviso=proviso or "-",
         ) as search:
             if parallel:
                 failures, explored = _parallel_failures(
@@ -637,6 +707,7 @@ def _checked_receptiveness(
                     stop_at_first=stop_at_first,
                     reduce=engine == "por",
                     backend=backend,
+                    proviso=proviso,
                 )
             else:
                 failures, explored = _reachability_failures(
@@ -672,6 +743,7 @@ def _checked_receptiveness(
             engine=engine,
             states_explored=explored,
             states_reduced=reduced,
+            proviso=proviso,
         )
 
 
@@ -683,6 +755,7 @@ def check_receptiveness_with_hiding(
     backend: str | None = None,
     workers: int | None = None,
     memory_budget: int | None = None,
+    proviso: str | None = None,
 ) -> ReceptivenessReport:
     """The Section 5.3 refinement: apply ``hide'`` (relabel-to-epsilon)
     to each module's private signals before composing, keeping the
@@ -710,4 +783,5 @@ def check_receptiveness_with_hiding(
         backend=backend,
         workers=workers,
         memory_budget=memory_budget,
+        proviso=proviso,
     )

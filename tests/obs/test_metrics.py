@@ -10,6 +10,7 @@ from repro.obs.emit import (
     SCHEMA_VERSION,
     benchmark_trajectory,
     metrics_payload,
+    validate_benchmark,
     validate_metrics,
     write_benchmark,
     write_metrics,
@@ -162,3 +163,40 @@ class TestEmit:
             "demo", "states", {"z": {"n": 1}, "a": {"n": 2}}
         )
         assert list(payload["instances"]) == ["a", "z"]
+
+    def test_validate_benchmark_accepts_committed_files(self):
+        from pathlib import Path
+
+        bench_dir = Path(__file__).parent.parent.parent / "benchmarks"
+        validated = 0
+        for path in sorted(bench_dir.glob("BENCH_*.json")):
+            payload = json.loads(path.read_text())
+            assert validate_benchmark(payload) is payload, path.name
+            validated += 1
+        assert validated > 0
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.pop("benchmark"), "benchmark must be a non-empty"),
+            (lambda p: p.update(unit=""), "unit must be a non-empty"),
+            (lambda p: p.update(instances=[]), "instances must be an object"),
+            (
+                lambda p: p["instances"].update(bad="nope"),
+                "instances\\['bad'\\] must be an object",
+            ),
+            (
+                lambda p: p["instances"]["x"].update(n="many"),
+                "must be a number",
+            ),
+            (
+                lambda p: p["instances"]["x"].update(n=True),
+                "must be a number",
+            ),
+        ],
+    )
+    def test_validate_benchmark_rejects_malformed(self, mutate, message):
+        payload = benchmark_trajectory("demo", "states", {"x": {"n": 1}})
+        mutate(payload)
+        with pytest.raises(ValueError, match=message):
+            validate_benchmark(payload)

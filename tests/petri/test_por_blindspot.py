@@ -1,28 +1,30 @@
-"""Characterization of POR's channel-bank blind spot (ROADMAP item 5).
+"""The channel-bank blind spot, now fixed (ROADMAP item 5).
 
-``BENCH_por.json`` records the stubborn-set engine achieving *zero*
-reduction on channel banks — ``channel-bank(4)`` explores 256 states
-with and without ``reduction=True`` — because the ignoring-prevention
-proviso re-expands every pure cycle.  These tests pin that behaviour
-from both sides:
+Channel banks — parallel four-phase master/slave handshake pairs — are
+pure cycles, and the original ``proviso="fresh"`` ignoring-prevention
+rule fully re-expanded every one of them: ``BENCH_por.json`` used to
+record ``channel-bank(4)`` at 256 states with *and* without
+``reduction=True``.  The DFS-stack proviso with sleep sets
+(:mod:`repro.petri.dfs`, the default for direct exploration) closes the
+gap: a bank of ``n`` independent channels reduces to ``3*2^(n-1)+1``
+states — 25 instead of 256 for ``n = 4``.
 
-* an ``xfail(strict=False)`` anchor asserting strict reduction, which
-  today fails and will flip to XPASS the moment a weaker proviso (e.g.
-  a DFS-stack condition, or sleep sets on top of the existing
-  ``StubbornSelector``) lands — making the fix visible in the test
-  report without blocking CI until then;
-* a plain passing test asserting today's 256 == 256 equality and its
-  consistency with the committed ``BENCH_por.json`` trajectory, so a
-  *silent* change in either direction (reduction appearing, or the
-  full space growing) shows up as a hard failure.
+Two tests pin the fix from both sides:
+
+* the former ``xfail(strict=False)`` anchor, now a hard assertion of
+  strict reduction — if the proviso ever regresses to full cycle
+  expansion this fails loudly instead of quietly dropping an XPASS;
+* an exact pin of the reduced and full counts against the committed
+  ``BENCH_por.json`` trajectory, so a *silent* change in either
+  direction (reduction weakening, reduction deepening, or the full
+  space changing) shows up as a hard failure and forces the benchmark
+  file to be refreshed deliberately.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-
-import pytest
 
 from repro.core.circuit import compose_many
 from repro.models.library import four_phase_master, four_phase_slave
@@ -31,6 +33,12 @@ from repro.petri.product import LazyStateSpace
 BENCH_POR = Path(__file__).parent.parent.parent / "benchmarks" / "BENCH_por.json"
 
 CHANNELS = 4
+
+#: The reduced deadlock-preserving exploration of channel-bank(n) under
+#: the DFS-stack proviso: one shared idle marking plus three live
+#: phases per channel, doubling per extra channel instead of
+#: quadrupling.  Pinned exactly so reduction changes are deliberate.
+REDUCED_STATES = 3 * 2 ** (CHANNELS - 1) + 1
 
 
 def channel_bank(channels: int):
@@ -52,26 +60,20 @@ def explored_states(reduction: bool) -> int:
     return space.stats.states
 
 
-@pytest.mark.xfail(
-    strict=False,
-    reason=(
-        "ROADMAP item 5: the ignoring-prevention proviso re-expands every "
-        "pure cycle, so channel banks get zero reduction (256 -> 256 in "
-        "BENCH_por.json). A weaker proviso or sleep sets should flip this "
-        "to XPASS."
-    ),
-)
 def test_por_reduces_channel_bank_below_full_space():
+    """The former xfail anchor, flipped: strict reduction on the pure
+    cycles the fresh proviso was blind on."""
     assert explored_states(reduction=True) < 4**CHANNELS
 
 
 def test_channel_bank_blind_spot_is_pinned():
-    """Today's reality, asserted exactly: the reduced exploration visits
-    the *entire* 4^n torus, matching the committed benchmark entry."""
+    """The fixed counts, asserted exactly and cross-checked against the
+    committed benchmark entry: full torus 4^n, reduced 3*2^(n-1)+1."""
     full = explored_states(reduction=False)
     reduced = explored_states(reduction=True)
     assert full == 4**CHANNELS
-    assert reduced == full  # the blind spot
+    assert reduced == REDUCED_STATES
+    assert reduced < full  # the blind spot is gone
 
     if BENCH_POR.exists():
         recorded = json.loads(BENCH_POR.read_text())["instances"][

@@ -235,7 +235,54 @@ class TestVerifyPor:
             "# states reduced : 59/228 markings expanded"
             " with a proper stubborn subset" in out
         )
+        assert (
+            "# por proviso    : fresh — breadth-first, full expansion"
+            " on cycle re-entry" in out
+        )
         assert "# eager baseline : 1444 states (228/1444 explored)" in out
+
+    def test_por_stack_proviso_reports_sleep_and_cycle_work(
+        self, case_study_files, capsys
+    ):
+        # The DFS-stack proviso is opt-in on the verify path; its
+        # epilogue must name the proviso actually used and surface the
+        # sleep-set / cycle-re-expansion counters.
+        sender_path, translator_path = case_study_files
+        assert (
+            main(
+                [
+                    "verify",
+                    sender_path,
+                    translator_path,
+                    "--engine",
+                    "por",
+                    "--proviso",
+                    "stack",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# por proviso    : stack — depth-first, sleep sets" in out
+        assert "cycle re-expansions" in out
+
+    def test_proviso_requires_por_engine(self, case_study_files, capsys):
+        sender_path, translator_path = case_study_files
+        assert (
+            main(
+                [
+                    "verify",
+                    sender_path,
+                    translator_path,
+                    "--proviso",
+                    "stack",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "requires --engine por" in err
+        assert err.count("\n") == 1
 
     def test_por_baseline_unavailable_when_bound_exceeded(
         self, case_study_files, capsys
@@ -461,7 +508,12 @@ class TestParallelFlags:
             == 2
         )
         err = capsys.readouterr().err
+        # The rejection must name the reason and point at the serial
+        # por path, not just refuse the combination.
         assert "does not compose with --parallel" in err
+        assert "inherently order-sensitive" in err
+        assert "run por serially" in err
+        assert "--engine eager or onthefly" in err
         assert err.count("\n") == 1
 
     def test_por_engine_conflicts_with_memory_budget(
