@@ -9,10 +9,14 @@ The engines answer the same questions by different routes:
 * ``onthefly`` — demand-driven
   :class:`~repro.petri.product.LazyStateSpace`, exhausted;
 * ``por`` — the same lazy space under deadlock-preserving stubborn-set
-  reduction (``visible_actions=()``).
+  reduction (``visible_actions=()``);
+* ``symbolic`` — the state-equation semi-decision procedure
+  (:mod:`repro.petri.symbolic`): no enumeration, one cell per instance
+  at backend ``"-"``, carrying a boundedness verdict and the
+  conclusively-dead action set.
 
-and each runs over both state backends (``dict`` reference /
-``compiled`` packed vectors).  Agreement rules (checked by
+The enumerating engines run over both state backends (``dict``
+reference / ``compiled`` packed vectors).  Agreement rules (checked by
 :func:`diff_cells`):
 
 * per engine, ``dict`` and ``compiled`` must be *identical* — outcome,
@@ -25,6 +29,11 @@ and each runs over both state backends (``dict`` reference /
   must not exceed it.  When the reference completes, ``por`` must too
   (it explores a subset); the converse is legitimately false under a
   state budget.
+* ``symbolic`` CONCLUSIVE claims may never contradict explicit ground
+  truth: a conclusive boundedness verdict forbids any ``unbounded``
+  explicit outcome, a conclusively-dead action may never appear on an
+  explored edge, and (given the net) every explicit deadlock marking
+  must stay state-equation feasible.  INCONCLUSIVE is always allowed.
 
 Every instance produces one ``repro.obs/v1`` metrics payload (one span
 per matrix cell plus states/edges/deadlocks gauges), validated against
@@ -49,8 +58,12 @@ from repro.petri.marking import Marking
 from repro.petri.net import EPSILON, PetriNet
 from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
 
-ENGINES: tuple[str, ...] = ("eager", "onthefly", "por")
+ENGINES: tuple[str, ...] = ("eager", "onthefly", "por", "symbolic")
 BACKENDS: tuple[str, ...] = ("dict", "compiled")
+
+#: the symbolic engine explores no states, so it has no state backend;
+#: its single matrix cell per instance carries this placeholder.
+SYMBOLIC_BACKEND = "-"
 
 #: fuzz_laws only touches nets whose full state space fits this budget —
 #: language comparison determinises, so corpus-sized nets must stay tiny.
@@ -65,9 +78,17 @@ class CorpusError(Exception):
 class CellResult:
     """One (engine, backend) cell of the differential matrix.
 
-    ``outcome`` is ``"ok"``, ``"bound-exceeded"`` (state budget hit) or
-    ``"unbounded"`` (Karp-Miller strict covering found); counts and the
-    deadlock set are ``None`` unless the exploration completed.
+    ``outcome`` is ``"ok"``, ``"bound-exceeded"`` (state budget hit),
+    ``"unbounded"`` (Karp-Miller strict covering found) or
+    ``"inconclusive"`` (symbolic cell that proved nothing); counts and
+    the deadlock set are ``None`` unless an exploration completed.
+
+    ``conclusive`` says whether the cell's answer is definitive: an
+    enumerating engine is conclusive exactly when it did not hit the
+    state budget, the symbolic engine exactly when its state-equation
+    verdict is.  ``fired_actions`` (serial lazy cells) and
+    ``dead_actions`` (symbolic cell) feed the cross-engine dead-action
+    check in :func:`diff_cells`.
     """
 
     engine: str
@@ -76,8 +97,15 @@ class CellResult:
     states: int | None = None
     edges: int | None = None
     deadlocks: frozenset[Marking] | None = None
+    conclusive: bool | None = None
+    fired_actions: frozenset[str] | None = None
+    dead_actions: frozenset[str] | None = None
 
     def summary(self) -> str:
+        if self.engine == "symbolic":
+            verdict = "bounded" if self.outcome == "ok" else "inconclusive"
+            dead = len(self.dead_actions or ())
+            return f"{verdict}, {dead} dead action(s)"
         if self.outcome != "ok":
             return self.outcome
         return (
@@ -170,7 +198,10 @@ def explore_cell(
     report ``"unbounded"`` — consistent across all parallel cells of a
     sweep, hence still a clean diff within one run.
     """
+    if engine == "symbolic":
+        return symbolic_cell(net, workers=workers)
     parallel = (workers > 1 or memory_budget is not None) and engine != "por"
+    fired: frozenset[str] | None = None
     with obs.span(
         "bench.cell", engine=engine, backend=backend, workers=workers
     ) as handle:
@@ -212,22 +243,78 @@ def explore_cell(
                 deadlocks = frozenset(
                     m for m, step in zip(markings, successors) if not step
                 )
+                fired = frozenset(
+                    action
+                    for step in successors
+                    for action, _, _ in step
+                )
             else:
                 raise CorpusError(f"unknown engine {engine!r}")
         except UnboundedNetError as error:
             outcome = "unbounded" if error.bound is None else "bound-exceeded"
-            handle.set(outcome=outcome)
-            return CellResult(engine, backend, outcome)
-        handle.set(outcome="ok", states=states, edges=edges)
+            conclusive = outcome == "unbounded"
+            handle.set(outcome=outcome, conclusive=conclusive)
+            return CellResult(engine, backend, outcome, conclusive=conclusive)
+        handle.set(outcome="ok", states=states, edges=edges, conclusive=True)
     prefix = f"bench.{engine}.{backend}"
     obs.gauge(f"{prefix}.states", states)
     obs.gauge(f"{prefix}.edges", edges)
     obs.gauge(f"{prefix}.deadlocks", len(deadlocks))
-    return CellResult(engine, backend, "ok", states, edges, deadlocks)
+    return CellResult(
+        engine,
+        backend,
+        "ok",
+        states,
+        edges,
+        deadlocks,
+        conclusive=True,
+        fired_actions=fired,
+    )
 
 
-def diff_cells(cells: list[CellResult]) -> list[str]:
-    """Cross-engine/backend agreement violations (empty = all agree)."""
+def symbolic_cell(net: PetriNet, workers: int = 1) -> CellResult:
+    """The single non-enumerating matrix cell of an instance.
+
+    Runs :func:`repro.petri.symbolic.analyze`: outcome ``"ok"`` when
+    the state-equation boundedness verdict is conclusive (which, by
+    construction, always means *bounded* — the procedure never
+    concludes unboundedness), ``"inconclusive"`` otherwise.  The
+    conclusively-dead action set rides along for the cross-engine
+    dead-action check.
+    """
+    from repro.petri.symbolic import analyze
+
+    with obs.span(
+        "bench.cell", engine="symbolic", backend=SYMBOLIC_BACKEND,
+        workers=workers,
+    ) as handle:
+        result = analyze(net)
+        verdict = result["bounded"]
+        dead = result["dead_actions"]
+        outcome = "ok" if verdict.conclusive else "inconclusive"
+        handle.set(outcome=outcome, conclusive=verdict.conclusive)
+    obs.gauge("bench.symbolic.dead_actions", len(dead))
+    obs.gauge("bench.symbolic.conclusive", int(verdict.conclusive))
+    return CellResult(
+        "symbolic",
+        SYMBOLIC_BACKEND,
+        outcome,
+        conclusive=verdict.conclusive,
+        dead_actions=dead,
+    )
+
+
+def diff_cells(
+    cells: list[CellResult], net: PetriNet | None = None
+) -> list[str]:
+    """Cross-engine/backend agreement violations (empty = all agree).
+
+    With ``net``, the symbolic cell's claims are additionally checked
+    *against the net*: every deadlock marking an explicit engine
+    reached must remain state-equation feasible (a conclusive
+    UNREACHABLE on a witnessed marking is a soundness bug, reported
+    loudly here rather than silently tolerated).
+    """
     problems: list[str] = []
     by_key = {(cell.engine, cell.backend): cell for cell in cells}
 
@@ -244,12 +331,16 @@ def diff_cells(cells: list[CellResult]) -> list[str]:
                 f" says {right.summary()}"
             )
 
-    engines = sorted({cell.engine for cell in cells})
-    backends = sorted({cell.backend for cell in cells})
+    engines = sorted({cell.engine for cell in cells if cell.engine != "symbolic"})
+    backends = sorted({cell.backend for cell in cells if cell.backend != SYMBOLIC_BACKEND})
     for engine in engines:
         present = [by_key[(engine, b)] for b in backends if (engine, b) in by_key]
         for other in present[1:]:
             exact(present[0], other, "backend mismatch")
+
+    symbolic = by_key.get(("symbolic", SYMBOLIC_BACKEND))
+    if symbolic is not None:
+        problems.extend(_symbolic_problems(symbolic, cells, net))
 
     reference = next(
         (
@@ -290,6 +381,72 @@ def diff_cells(cells: list[CellResult]) -> list[str]:
     return problems
 
 
+#: cap on per-instance deadlock feasibility probes — each one is an
+#: exact-rational LP over the full net, so probing every deadlock of a
+#: deadlock-rich net would dominate the sweep without adding coverage.
+MAX_DEADLOCK_PROBES = 3
+
+
+def _symbolic_problems(
+    symbolic: CellResult, cells: list[CellResult], net: PetriNet | None
+) -> list[str]:
+    """Symbolic-vs-explicit disagreements — every one is a soundness
+    bug in the semi-decision procedure, never a tolerable drift.
+
+    Three checks: (1) a conclusive boundedness verdict forbids any
+    explicit ``unbounded`` outcome; (2) a conclusively-dead action may
+    never appear among the actions an explicit engine actually fired;
+    (3) with ``net``, explicit deadlock markings must stay
+    state-equation feasible (capped at :data:`MAX_DEADLOCK_PROBES`
+    probes per instance).
+    """
+    problems: list[str] = []
+    explicit = [cell for cell in cells if cell.engine != "symbolic"]
+    if symbolic.conclusive:
+        for cell in explicit:
+            if cell.outcome == "unbounded":
+                problems.append(
+                    "symbolic claims the net is bounded but"
+                    f" {cell.engine}/{cell.backend} found a strict"
+                    " covering (unbounded)"
+                )
+    dead = symbolic.dead_actions or frozenset()
+    if dead:
+        for cell in explicit:
+            if cell.outcome != "ok" or cell.fired_actions is None:
+                continue
+            witnessed = sorted(dead & cell.fired_actions)
+            if witnessed:
+                problems.append(
+                    "symbolic claims action(s)"
+                    f" {', '.join(witnessed)} are dead but"
+                    f" {cell.engine}/{cell.backend} fired them"
+                )
+    if net is not None:
+        from repro.petri.symbolic import marking_unreachable
+
+        reference = next(
+            (
+                cell
+                for cell in explicit
+                if cell.outcome == "ok"
+                and cell.engine in ("eager", "onthefly")
+                and cell.deadlocks
+            ),
+            None,
+        )
+        if reference is not None:
+            for marking in list(reference.deadlocks)[:MAX_DEADLOCK_PROBES]:
+                verdict = marking_unreachable(net, marking)
+                if verdict.conclusive and verdict.holds:
+                    problems.append(
+                        "symbolic claims a deadlock marking is"
+                        f" unreachable although {reference.engine}"
+                        f"/{reference.backend} reached it: {marking}"
+                    )
+    return problems
+
+
 def run_instance(
     path: str | Path,
     engines: tuple[str, ...] = ENGINES,
@@ -318,18 +475,24 @@ def run_instance(
         with obs.span(
             "bench.instance", net=net.name, file=path.name, workers=workers
         ):
-            cells = [
-                explore_cell(
-                    net,
-                    engine,
-                    backend,
-                    max_states,
-                    workers=workers,
-                    memory_budget=memory_budget,
-                )
-                for engine in engines
-                for backend in backends
-            ]
+            cells = []
+            for engine in engines:
+                if engine == "symbolic":
+                    # One cell, no backend sweep: the state-equation
+                    # engine never touches a state representation.
+                    cells.append(symbolic_cell(net, workers=workers))
+                    continue
+                for backend in backends:
+                    cells.append(
+                        explore_cell(
+                            net,
+                            engine,
+                            backend,
+                            max_states,
+                            workers=workers,
+                            memory_budget=memory_budget,
+                        )
+                    )
             obs.count("bench.cells", len(cells))
             obs.gauge("bench.workers", workers)
     payload = recorder.to_dict()
@@ -338,7 +501,7 @@ def run_instance(
         name=net.name,
         path=str(path),
         cells=cells,
-        disagreements=diff_cells(cells),
+        disagreements=diff_cells(cells, net=net),
         payload=payload,
     )
 
@@ -409,7 +572,10 @@ def _write_payloads(report: CorpusReport, out_dir: Path) -> None:
                 "payload": target.name,
                 "ok": instance.ok,
                 "cells": {
-                    f"{cell.engine}/{cell.backend}": cell.summary()
+                    f"{cell.engine}/{cell.backend}": {
+                        "summary": cell.summary(),
+                        "conclusive": cell.conclusive,
+                    }
                     for cell in instance.cells
                 },
             }

@@ -175,6 +175,30 @@ def cmd_hide(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_symbolic_summary(report) -> None:
+    """The ``--engine symbolic`` epilogue: the obligation partition
+    and constraint-system sizes, straight from the report."""
+    info = report.symbolic
+    total = info["safe"] + info["failed"] + info["undecided"]
+    print(
+        f"# symbolic       : {info['safe']}/{total} obligations proven"
+        f" safe, {info['failed']} proven failing,"
+        f" {info['undecided']} undecided"
+    )
+    print(
+        f"# state equation : {info['systems']} systems,"
+        f" {info['constraints']} constraints,"
+        f" {info['refinement_rounds']} trap refinement round(s)"
+    )
+    if info["conclusive"]:
+        print("# verdict        : conclusive — no state enumerated")
+    else:
+        print(
+            "# verdict        : inconclusive remainder fell back to the"
+            " on-the-fly search"
+        )
+
+
 def _print_por_summary(report, max_states: int, backend: str) -> None:
     """The ``--engine por`` epilogue: the reduction achieved (straight
     from the report — no re-exploration) and the eager baseline, which
@@ -232,6 +256,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
             " order); drop --parallel/--memory-budget to run por serially,"
             " or keep them with --engine eager or onthefly"
         )
+    if (workers > 1 or memory_budget is not None) and args.engine == "symbolic":
+        raise CliError(
+            "--engine symbolic does not compose with"
+            " --parallel/--memory-budget (the state-equation engine"
+            " explores no states, and its inconclusive fallback is the"
+            " serial on-the-fly search); drop --parallel/--memory-budget,"
+            " or keep them with --engine eager or onthefly"
+        )
     if args.proviso is not None and args.engine != "por":
         raise CliError(
             "--proviso tunes stubborn-set partial-order reduction and"
@@ -272,6 +304,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             )
         if report.engine == "por" and report.states_explored is not None:
             _print_por_summary(report, args.max_states, args.backend)
+        if report.symbolic is not None:
+            _print_symbolic_summary(report)
         return 0 if report.is_receptive() else 1
 
     return _observed(args, body)
@@ -551,12 +585,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--engine",
-        choices=("eager", "onthefly", "por"),
+        choices=("eager", "onthefly", "por", "symbolic"),
         default="onthefly",
         help="state-space engine for the reachability method: demand-driven"
         " with early exit (onthefly, default), demand-driven with"
         " stubborn-set partial-order reduction (por, reports"
-        " explored-vs-eager state counts), or full construction (eager)",
+        " explored-vs-eager state counts), full construction (eager),"
+        " or state-equation semi-decision over exact rationals"
+        " (symbolic: no enumeration when conclusive; undecided"
+        " obligations fall back to onthefly)",
     )
     verify.add_argument(
         "--proviso",
@@ -625,8 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("directory")
     bench.add_argument(
         "--engines",
-        default="eager,onthefly,por",
-        help="comma-separated engine subset (default: all)",
+        default="eager,onthefly,por,symbolic",
+        help="comma-separated engine subset (default: all four,"
+        " including the non-enumerating state-equation cell)",
     )
     bench.add_argument(
         "--backends",

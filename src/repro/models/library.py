@@ -34,6 +34,35 @@ def four_phase_slave(req: str = "r", ack: str = "a", name: str = "slave") -> Stg
     return Stg(net, inputs={req}, outputs={ack})
 
 
+def branching_four_phase_slave(
+    req: str = "r", ack: str = "a", name: str = "branching-slave"
+) -> Stg:
+    """Passive handshake side with an internal free choice: after
+    ``req+`` the slave silently commits to one of two acknowledgement
+    paths before driving ``ack+``.
+
+    Externally language-equivalent to :func:`four_phase_slave`, but the
+    choice place breaks the marked-graph property, so a composition
+    with masters cannot take the structural (Thm 5.7) shortcut — it
+    must be decided by a reachability-class engine.  A bank of these
+    is the canonical stress instance for ``engine=symbolic``: the
+    explicit composite grows as ``~6^n`` while every Prop 5.5
+    obligation stays a constant-size per-channel linear system.
+    """
+    from repro.petri.net import EPSILON
+
+    net = PetriNet(name)
+    net.add_transition({"s0"}, f"{req}+", {"s1"})
+    net.add_transition({"s1"}, EPSILON, {"s2a"})
+    net.add_transition({"s1"}, EPSILON, {"s2b"})
+    net.add_transition({"s2a"}, f"{ack}+", {"s3"})
+    net.add_transition({"s2b"}, f"{ack}+", {"s3"})
+    net.add_transition({"s3"}, f"{req}-", {"s4"})
+    net.add_transition({"s4"}, f"{ack}-", {"s0"})
+    net.set_initial(Marking({"s0": 1}))
+    return Stg(net, inputs={req}, outputs={ack})
+
+
 def two_phase_buffer_stage(
     left_req: str, left_ack: str, right_req: str, right_ack: str, name: str
 ) -> Stg:

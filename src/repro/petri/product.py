@@ -68,6 +68,14 @@ from repro.petri.reachability import UnboundedNetError
 #: on top (see :mod:`repro.petri.independence`).
 ENGINES = ("eager", "onthefly", "por")
 
+#: Engines available only to entry points that explicitly opt in (see
+#: :func:`resolve_engine`'s ``extra``).  ``symbolic`` is the
+#: state-equation semi-decision engine (:mod:`repro.petri.symbolic`):
+#: it answers without enumeration when conclusive and falls back to an
+#: explicit engine otherwise, so only the verify layers that implement
+#: that fallback accept it.
+EXTRA_ENGINES = ("symbolic",)
+
 #: Engine used by the verification layers when none is requested.
 DEFAULT_ENGINE = "onthefly"
 
@@ -82,11 +90,17 @@ PROVISOS = ("fresh", "stack")
 DEFAULT_PROVISO = "stack"
 
 
-def resolve_engine(engine: str) -> str:
-    """Validate an engine name (raises ``ValueError`` on unknown names)."""
-    if engine not in ENGINES:
+def resolve_engine(engine: str, extra: tuple[str, ...] = ()) -> str:
+    """Validate an engine name (raises ``ValueError`` on unknown names).
+
+    ``extra`` names additional engines the calling entry point supports
+    beyond the enumerating three — e.g. ``("symbolic",)`` for the
+    verify layers that implement the explicit fallback the symbolic
+    semi-decision engine requires."""
+    if engine not in ENGINES and engine not in extra:
+        accepted = ENGINES + tuple(e for e in extra if e not in ENGINES)
         raise ValueError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
+            f"unknown engine {engine!r}; expected one of {accepted}"
         )
     return engine
 

@@ -42,14 +42,56 @@ def incidence_matrix(net: PetriNet) -> tuple[list[str], list[int], np.ndarray]:
     return places, tids, matrix
 
 
-def _minimal_semiflows(matrix: np.ndarray, max_vectors: int = 4096) -> list[np.ndarray]:
+class SemiflowBudgetError(RuntimeError):
+    """Semiflow enumeration exceeded its vector budget.
+
+    Raised instead of silently dropping candidate vectors: a truncated
+    basis treated as complete would be unsound for any conclusion that
+    relies on completeness (e.g. "no invariant covers this place").
+    ``vectors`` is the number of candidates alive when the budget
+    ``max_vectors`` was exceeded, ``column`` the incidence column under
+    elimination at that point.
+    """
+
+    def __init__(self, vectors: int, max_vectors: int, column: int):
+        self.vectors = vectors
+        self.max_vectors = max_vectors
+        self.column = column
+        super().__init__(
+            f"semiflow enumeration exceeded the vector budget:"
+            f" {vectors} candidate vectors > max_vectors={max_vectors}"
+            f" while eliminating column {column}; raise max_vectors, or"
+            f" use the *_partial API to accept an explicitly-truncated"
+            f" basis"
+        )
+
+
+def _minimal_semiflows(
+    matrix: np.ndarray,
+    max_vectors: int = 4096,
+    on_budget: str = "raise",
+) -> tuple[list[np.ndarray], bool]:
     """Minimal-support non-negative integer solutions of ``x^T . matrix = 0``.
 
     Classical Farkas algorithm: start from the identity alongside the
     matrix, eliminate one column at a time by combining rows of opposite
     sign, keep minimal-support rows.  Exact integer arithmetic throughout.
+
+    Returns ``(vectors, truncated)``.  When the intermediate table
+    exceeds ``max_vectors``, ``on_budget`` selects the behavior:
+    ``"raise"`` (default) raises :class:`SemiflowBudgetError`;
+    ``"truncate"`` drops the excess candidates, continues, and reports
+    ``truncated=True``.  Every vector returned by the truncating mode is
+    still a genuine semiflow (truncation only loses completeness, never
+    validity: surviving rows are fully eliminated like any other).
     """
+    if on_budget not in ("raise", "truncate"):
+        raise ValueError(
+            f"unknown on_budget mode {on_budget!r};"
+            " expected 'raise' or 'truncate'"
+        )
     rows, cols = matrix.shape
+    truncated = False
     # Each entry: (coefficients over original rows, residual matrix row).
     table: list[tuple[np.ndarray, np.ndarray]] = [
         (np.eye(rows, dtype=object)[i], matrix[i].astype(object)) for i in range(rows)
@@ -60,6 +102,8 @@ def _minimal_semiflows(matrix: np.ndarray, max_vectors: int = 4096) -> list[np.n
         zero = [entry for entry in table if entry[1][column] == 0]
         combined: list[tuple[np.ndarray, np.ndarray]] = list(zero)
         for coeff_p, row_p in positive:
+            if truncated and len(combined) >= max_vectors:
+                break
             for coeff_n, row_n in negative:
                 weight_p = -row_n[column]
                 weight_n = row_p[column]
@@ -70,9 +114,13 @@ def _minimal_semiflows(matrix: np.ndarray, max_vectors: int = 4096) -> list[np.n
                 residual = (row_p * weight_p + row_n * weight_n) // gcd
                 combined.append((coeff, residual))
                 if len(combined) > max_vectors:
-                    raise RuntimeError(
-                        "semiflow enumeration exceeded the vector budget"
-                    )
+                    if on_budget == "raise":
+                        raise SemiflowBudgetError(
+                            len(combined), max_vectors, column
+                        )
+                    truncated = True
+                    combined = combined[:max_vectors]
+                    break
         table = combined
     # Keep minimal-support, non-zero solutions.
     solutions = [coeff for coeff, _ in table if any(coeff)]
@@ -88,38 +136,82 @@ def _minimal_semiflows(matrix: np.ndarray, max_vectors: int = 4096) -> list[np.n
             continue
         seen.add(supports[i])
         minimal.append(vector.astype(np.int64))
-    return minimal
+    return minimal, truncated
 
 
-def p_invariants(net: PetriNet) -> list[dict[str, int]]:
+def p_invariants(
+    net: PetriNet, max_vectors: int = 4096
+) -> list[dict[str, int]]:
     """Minimal-support place invariants (P-semiflows).
 
     A P-invariant ``x >= 0`` satisfies ``x^T C = 0``: the weighted token
     count ``x . M`` is constant over all reachable markings.
+
+    Raises :class:`SemiflowBudgetError` when enumeration exceeds the
+    vector budget; use :func:`p_invariants_partial` to accept an
+    explicitly-truncated basis instead.
+    """
+    vectors, _ = p_invariants_partial(
+        net, max_vectors=max_vectors, on_budget="raise"
+    )
+    return vectors
+
+
+def p_invariants_partial(
+    net: PetriNet, max_vectors: int = 4096, on_budget: str = "truncate"
+) -> tuple[list[dict[str, int]], bool]:
+    """Like :func:`p_invariants` but budget-tolerant.
+
+    Returns ``(invariants, truncated)``.  When ``truncated`` is true the
+    basis is incomplete — every returned invariant is still valid (each
+    is a genuine semiflow), but absence from the list proves nothing.
+    Callers that rely on completeness (e.g. invariant *coverage*) must
+    check the flag.
     """
     places, _, matrix = incidence_matrix(net)
     if not places or matrix.shape[1] == 0:
-        return []
-    vectors = _minimal_semiflows(matrix)
+        return [], False
+    vectors, truncated = _minimal_semiflows(
+        matrix, max_vectors=max_vectors, on_budget=on_budget
+    )
     return [
         {places[i]: int(v) for i, v in enumerate(vector) if v}
         for vector in vectors
-    ]
+    ], truncated
 
 
-def t_invariants(net: PetriNet) -> list[dict[int, int]]:
+def t_invariants(
+    net: PetriNet, max_vectors: int = 4096
+) -> list[dict[int, int]]:
     """Minimal-support transition invariants (T-semiflows).
 
     A T-invariant ``y >= 0`` satisfies ``C y = 0``: firing each transition
     ``y[t]`` times reproduces the marking (cyclic behaviour).
+
+    Raises :class:`SemiflowBudgetError` when enumeration exceeds the
+    vector budget; use :func:`t_invariants_partial` to accept an
+    explicitly-truncated basis instead.
     """
+    vectors, _ = t_invariants_partial(
+        net, max_vectors=max_vectors, on_budget="raise"
+    )
+    return vectors
+
+
+def t_invariants_partial(
+    net: PetriNet, max_vectors: int = 4096, on_budget: str = "truncate"
+) -> tuple[list[dict[int, int]], bool]:
+    """Like :func:`t_invariants` but budget-tolerant; see
+    :func:`p_invariants_partial` for the soundness contract."""
     _, tids, matrix = incidence_matrix(net)
     if not tids or matrix.shape[0] == 0:
-        return []
-    vectors = _minimal_semiflows(matrix.T)
+        return [], False
+    vectors, truncated = _minimal_semiflows(
+        matrix.T, max_vectors=max_vectors, on_budget=on_budget
+    )
     return [
         {tids[i]: int(v) for i, v in enumerate(vector) if v} for vector in vectors
-    ]
+    ], truncated
 
 
 def invariant_value(invariant: dict[str, int], marking) -> int:

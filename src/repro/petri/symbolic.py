@@ -1,0 +1,1475 @@
+"""State-equation symbolic engine: semi-decision without enumeration.
+
+Every other engine in this project (eager, onthefly, por, parallel)
+enumerates markings, so the whole verification stack is bounded by what
+fits in an explorer.  This module answers the same questions by linear
+algebra over the incidence matrix instead:
+
+    M  =  M0 + C·x,   x >= 0                       (the state equation)
+
+Every reachable marking satisfies the state equation, so *infeasibility*
+of a constraint system built on it is a proof of unreachability — with
+no state ever constructed.  Feasibility proves nothing in general (the
+equation ignores ordering), which makes this a *semi-decision*
+procedure: verdicts are either CONCLUSIVE (and then sound) or
+INCONCLUSIVE (and then the caller falls back to an explicit engine).
+
+Three refinements sharpen the over-approximation:
+
+* **Connected-component restriction** — a system constraining places
+  ``S`` only needs the components of the place/transition graph that
+  contain ``S``; every other component is satisfied by ``x = 0``.  This
+  keeps obligation systems O(channel)-sized on banks of independent
+  channels, regardless of how many channels the composite has.
+* **Trap refinement** (Esparza's classical strengthening) — if the
+  current rational solution empties an initially-marked trap, the trap
+  constraint ``sum(M(Q)) >= 1`` is sound for every reachable marking
+  and cuts the solution off; re-solve, up to a bounded number of
+  rounds.
+* **Marked-graph exactness** (Theorem 5.7) — for live marked graphs the
+  state equation characterises reachability exactly, so a feasible
+  (integral) solution is a CONCLUSIVE witness, not merely inconclusive.
+
+Every CONCLUSIVE verdict rests on exact arithmetic
+(:class:`fractions.Fraction`; a dependency-free phase-1 simplex using
+Dantzig's rule with a Bland fallback for anti-cycling) — no float drift
+can flip a verdict.  A floating-point *screen* runs first: a
+float-feasible system is reported feasible directly (feasible only ever
+means INCONCLUSIVE, so floats are sound there), while float
+infeasibility is always re-proven exactly before anything is concluded.
+
+An optional SMT-LIB backend (:func:`smt_unreachable`) strengthens the
+state equation to *integers* and adds BMC + k-induction, shelling out
+to an external solver (z3/cvc5/cvc4/yices) when one is on ``PATH`` and
+skipping cleanly otherwise.  Nothing in the pure-Python path depends on
+it.
+
+Constraint derivation and conclusiveness semantics are documented in
+``docs/SYMBOLIC.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import product as _product
+
+from repro.obs import metrics as obs
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.structural import incidence_matrix, p_invariants_partial
+
+#: Trap-constraint refinement rounds per system before giving up.
+DEFAULT_TRAP_ROUNDS = 8
+
+#: Systems whose restricted component exceeds these sizes are not solved
+#: (exact simplex over Fractions is polynomial but not cheap); the query
+#: reports INCONCLUSIVE with the size in its reason instead of hanging.
+MAX_SYSTEM_VARIABLES = 400
+MAX_SYSTEM_PLACES = 600
+
+#: ``dead_actions`` solves one system per transition; past this many
+#: transitions it declines (INCONCLUSIVE everywhere) rather than stall.
+DEAD_ACTION_TRANSITION_BUDGET = 128
+
+#: Exact pivots per solve before a query is reported undecided.  Exact
+#: infeasibility proofs on well-conditioned systems finish in a handful
+#: of pivots; runaway pivot chains (where Fraction coefficients grow
+#: without bound) are cut here and fall back to the explicit engines.
+DEFAULT_PIVOT_BUDGET = 64
+
+#: Bit-length bound on any single tableau entry (numerator plus
+#: denominator) under a budgeted solve.  Pivot *cost*, not count, is
+#: what stalls the exact solver — entries past this size make every
+#: further pivot slower, so the solve is abandoned as undecided.
+PIVOT_ENTRY_BITS = 256
+
+
+# -- exact linear feasibility ------------------------------------------------
+
+
+class PivotBudgetExceeded(Exception):
+    """The exact simplex hit its pivot budget before reaching a verdict.
+
+    Raised only when :meth:`LinearSystem.solve` is given an explicit
+    ``pivot_budget``; callers translate it into an INCONCLUSIVE
+    verdict, which is always sound for a semi-decision procedure."""
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One row ``coeffs . x  <rel>  rhs`` over non-negative variables.
+
+    ``relation`` is ``"<="`` or ``"=="``; ``tag`` names the row for
+    diagnostics and for the hand-computed encoding tests."""
+
+    coeffs: tuple[Fraction, ...]
+    relation: str
+    rhs: Fraction
+    tag: str = ""
+
+    def __str__(self) -> str:
+        terms = " + ".join(
+            f"{c}*x[{i}]" for i, c in enumerate(self.coeffs) if c
+        )
+        return f"{self.tag or 'row'}: {terms or '0'} {self.relation} {self.rhs}"
+
+
+@dataclass
+class LinearSystem:
+    """A feasibility problem ``{x >= 0, constraints}`` over named
+    variables, solved exactly.
+
+    The solver is a phase-1 simplex over :class:`fractions.Fraction`
+    (Dantzig entering rule, Bland fallback past an iteration budget for
+    anti-cycling): inequalities get slack variables,
+    rows are normalised to non-negative right-hand sides, artificial
+    variables form the starting basis, and their sum is minimised.  The
+    system is feasible iff that minimum is zero; the final basis then
+    yields an exact rational solution."""
+
+    variables: tuple[str, ...]
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def _add(self, coeffs, relation: str, rhs, tag: str) -> Constraint:
+        row = tuple(Fraction(c) for c in coeffs)
+        if len(row) != len(self.variables):
+            raise ValueError(
+                f"constraint {tag!r} has {len(row)} coefficients for"
+                f" {len(self.variables)} variables"
+            )
+        constraint = Constraint(row, relation, Fraction(rhs), tag)
+        self.constraints.append(constraint)
+        return constraint
+
+    def inequality(self, coeffs, rhs, tag: str = "") -> Constraint:
+        """Add ``coeffs . x <= rhs``."""
+        return self._add(coeffs, "<=", rhs, tag)
+
+    def equality(self, coeffs, rhs, tag: str = "") -> Constraint:
+        """Add ``coeffs . x == rhs``."""
+        return self._add(coeffs, "==", rhs, tag)
+
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def solve(
+        self, pivot_budget: int | None = None
+    ) -> dict[str, Fraction] | None:
+        """An exact feasible point, or ``None`` when infeasible.
+
+        Only rows that cannot start from their own slack — equalities,
+        and inequalities whose right-hand side is negative — receive an
+        artificial variable; on state-equation systems that is a
+        handful of obligation rows against hundreds of non-negativity
+        rows, so phase 1 starts almost feasible.
+
+        ``pivot_budget`` bounds the number of pivots; exceeding it
+        raises :class:`PivotBudgetExceeded` (exact rational pivot cost
+        grows with coefficient size, so a budget keeps worst-case
+        systems from stalling the engine — the caller reports the
+        query undecided, which is always sound)."""
+        n = len(self.variables)
+        slacks = sum(1 for c in self.constraints if c.relation == "<=")
+        total = n + slacks
+        rows: list[list[Fraction]] = []
+        rhs: list[Fraction] = []
+        basis_hint: list[int | None] = []
+        slack_column = n
+        for constraint in self.constraints:
+            row = list(constraint.coeffs) + [Fraction(0)] * slacks
+            hint: int | None = None
+            if constraint.relation == "<=":
+                row[slack_column] = Fraction(1)
+                if constraint.rhs >= 0:
+                    hint = slack_column
+                slack_column += 1
+            elif constraint.relation != "==":
+                raise ValueError(
+                    f"unknown relation {constraint.relation!r}"
+                )
+            b = constraint.rhs
+            if b < 0:
+                row = [-v for v in row]
+                b = -b
+            rows.append(row)
+            rhs.append(b)
+            basis_hint.append(hint)
+        if total == 0:
+            # No variables at all: only 0 == rhs rows can remain.
+            return {} if all(b == 0 for b in rhs) else None
+        m = len(rows)
+        artificial_rows = [
+            i for i, hint in enumerate(basis_hint) if hint is None
+        ]
+        num_artificial = len(artificial_rows)
+        width = total + num_artificial + 1
+        artificial_of = {
+            i: total + k for k, i in enumerate(artificial_rows)
+        }
+        tableau: list[list[Fraction]] = []
+        basis: list[int] = []
+        for i in range(m):
+            artificial = [Fraction(0)] * num_artificial
+            hint = basis_hint[i]
+            if hint is None:
+                artificial[artificial_of[i] - total] = Fraction(1)
+                basis.append(artificial_of[i])
+            else:
+                basis.append(hint)
+            tableau.append(rows[i] + artificial + [rhs[i]])
+        cost = [Fraction(0)] * width
+        for i in artificial_rows:
+            row = tableau[i]
+            for j in range(width):
+                cost[j] += row[j]
+        iterations = 0
+        bland_after = 4 * (m + total) + 64
+        while True:
+            # Dantzig's rule (steepest cost) is fast in practice but can
+            # cycle on degenerate systems; after a generous iteration
+            # budget, fall back to Bland's rule, which terminates.
+            iterations += 1
+            if pivot_budget is not None and iterations > pivot_budget:
+                raise PivotBudgetExceeded(
+                    f"no verdict after {pivot_budget} pivots"
+                    f" ({m} rows, {total} columns)"
+                )
+            entering = None
+            if iterations <= bland_after:
+                best_cost = Fraction(0)
+                for j in range(total):
+                    if cost[j] > best_cost:
+                        best_cost = cost[j]
+                        entering = j
+            else:
+                entering = next(
+                    (j for j in range(total) if cost[j] > 0), None
+                )
+            if entering is None:
+                break
+            leaving = None
+            best: Fraction | None = None
+            for i in range(m):
+                coefficient = tableau[i][entering]
+                if coefficient > 0:
+                    ratio = tableau[i][-1] / coefficient
+                    if (
+                        best is None
+                        or ratio < best
+                        or (ratio == best and basis[i] < basis[leaving])
+                    ):
+                        best = ratio
+                        leaving = i
+            if leaving is None:  # pragma: no cover - phase 1 is bounded
+                raise RuntimeError("phase-1 simplex objective unbounded")
+            # Sparse pivot: state-equation rows carry a handful of
+            # nonzeros, so touching only the pivot row's nonzero
+            # columns is the difference between O(nnz) and O(width)
+            # per row update.
+            pivot_row = tableau[leaving]
+            pivot = pivot_row[entering]
+            nonzero = [j for j, v in enumerate(pivot_row) if v]
+            if pivot != 1:
+                for j in nonzero:
+                    pivot_row[j] /= pivot
+            if pivot_budget is not None and any(
+                pivot_row[j].numerator.bit_length()
+                + pivot_row[j].denominator.bit_length()
+                > PIVOT_ENTRY_BITS
+                for j in nonzero
+            ):
+                raise PivotBudgetExceeded(
+                    f"tableau entries past {PIVOT_ENTRY_BITS} bits"
+                    f" after {iterations} pivots"
+                )
+            for i in range(m):
+                if i == leaving:
+                    continue
+                row = tableau[i]
+                factor = row[entering]
+                if factor:
+                    for j in nonzero:
+                        row[j] -= factor * pivot_row[j]
+            factor = cost[entering]
+            if factor:
+                for j in nonzero:
+                    cost[j] -= factor * pivot_row[j]
+            basis[leaving] = entering
+        if cost[-1] != 0:
+            return None
+        values = {name: Fraction(0) for name in self.variables}
+        for i, column in enumerate(basis):
+            if column < n:
+                values[self.variables[column]] = tableau[i][-1]
+        return values
+
+    def _solve_float(
+        self,
+    ) -> tuple[str, dict[str, float] | None]:
+        """A floating-point run of the same phase-1 simplex.
+
+        Returns ``("feasible", values)`` with approximate values,
+        ``("infeasible", None)``, or ``("unknown", None)`` when the
+        iteration budget runs out.  This is only a *screen*: float
+        feasibility may be trusted solely on paths where feasible
+        means inconclusive, and float infeasibility must be re-proven
+        by :meth:`solve` before concluding anything.  Exact rational
+        pivoting dominates the solver's cost on feasible systems, so
+        screening them out here is the difference between milliseconds
+        and seconds per obligation on composite nets."""
+        n = len(self.variables)
+        slacks = sum(1 for c in self.constraints if c.relation == "<=")
+        total = n + slacks
+        if total == 0:
+            return "unknown", None
+        rows: list[list[float]] = []
+        rhs: list[float] = []
+        basis_hint: list[int | None] = []
+        slack_column = n
+        scale = 1.0
+        for constraint in self.constraints:
+            row = [float(c) for c in constraint.coeffs] + [0.0] * slacks
+            hint: int | None = None
+            if constraint.relation == "<=":
+                row[slack_column] = 1.0
+                if constraint.rhs >= 0:
+                    hint = slack_column
+                slack_column += 1
+            b = float(constraint.rhs)
+            if b < 0:
+                row = [-v for v in row]
+                b = -b
+            scale = max(scale, b)
+            rows.append(row)
+            rhs.append(b)
+            basis_hint.append(hint)
+        m = len(rows)
+        artificial_rows = [
+            i for i, hint in enumerate(basis_hint) if hint is None
+        ]
+        num_artificial = len(artificial_rows)
+        width = total + num_artificial + 1
+        artificial_of = {
+            i: total + k for k, i in enumerate(artificial_rows)
+        }
+        tableau: list[list[float]] = []
+        basis: list[int] = []
+        for i in range(m):
+            artificial = [0.0] * num_artificial
+            hint = basis_hint[i]
+            if hint is None:
+                artificial[artificial_of[i] - total] = 1.0
+                basis.append(artificial_of[i])
+            else:
+                basis.append(hint)
+            tableau.append(rows[i] + artificial + [rhs[i]])
+        cost = [0.0] * width
+        for i in artificial_rows:
+            row = tableau[i]
+            for j in range(width):
+                cost[j] += row[j]
+        eps = 1e-9 * scale
+        budget = 8 * (m + total) + 256
+        for _ in range(budget):
+            entering = None
+            best_cost = eps
+            for j in range(total):
+                if cost[j] > best_cost:
+                    best_cost = cost[j]
+                    entering = j
+            if entering is None:
+                break
+            leaving = None
+            best: float | None = None
+            for i in range(m):
+                coefficient = tableau[i][entering]
+                if coefficient > eps:
+                    ratio = tableau[i][-1] / coefficient
+                    if (
+                        best is None
+                        or ratio < best
+                        or (ratio == best and basis[i] < basis[leaving])
+                    ):
+                        best = ratio
+                        leaving = i
+            if leaving is None:
+                return "unknown", None
+            pivot_row = tableau[leaving]
+            pivot = pivot_row[entering]
+            nonzero = [j for j, v in enumerate(pivot_row) if v != 0.0]
+            if pivot != 1.0:
+                for j in nonzero:
+                    pivot_row[j] /= pivot
+            for i in range(m):
+                if i == leaving:
+                    continue
+                row = tableau[i]
+                factor = row[entering]
+                if factor != 0.0:
+                    for j in nonzero:
+                        row[j] -= factor * pivot_row[j]
+            factor = cost[entering]
+            if factor != 0.0:
+                for j in nonzero:
+                    cost[j] -= factor * pivot_row[j]
+            basis[leaving] = entering
+        else:
+            return "unknown", None
+        if abs(cost[-1]) > 1e-7 * scale:
+            return "infeasible", None
+        values = {name: 0.0 for name in self.variables}
+        for i, column in enumerate(basis):
+            if column < n:
+                values[self.variables[column]] = tableau[i][-1]
+        return "feasible", values
+
+    def screened_solve(
+        self,
+        need_exact: bool = False,
+        pivot_budget: int | None = DEFAULT_PIVOT_BUDGET,
+    ) -> tuple[str, dict | None]:
+        """Feasibility with a float screen in front of the exact solver.
+
+        Returns ``(status, solution)`` with status ``"feasible"``,
+        ``"infeasible"``, or ``"unknown"``.  Infeasibility is always
+        exact — a float "infeasible" (or "unknown") is re-proven by
+        :meth:`solve`.  When ``need_exact`` is false, a float-feasible
+        system is accepted as feasible and the returned solution is a
+        float dict good only for heuristics (trap discovery); when
+        true, the screen is skipped and the solution is exact.  An
+        exact solve past ``pivot_budget`` yields ``"unknown"``."""
+        if not need_exact:
+            status, values = self._solve_float()
+            if status == "feasible":
+                return "feasible", values
+        try:
+            exact = self.solve(pivot_budget)
+        except PivotBudgetExceeded:
+            return "unknown", None
+        if exact is None:
+            return "infeasible", None
+        return "feasible", exact
+
+
+# -- the state equation over a component-restricted subnet -------------------
+
+
+def _component_places(net: PetriNet, focus: Iterable[str]) -> set[str]:
+    """All places in connected components (of the place/transition
+    graph) that contain a focus place."""
+    neighbours: dict[str, set[str]] = {place: set() for place in net.places}
+    for transition in net.transitions.values():
+        touched = sorted(transition.preset | transition.postset)
+        for place in touched:
+            neighbours[place].update(touched)
+    seen: set[str] = set()
+    frontier = [place for place in focus if place in neighbours]
+    while frontier:
+        place = frontier.pop()
+        if place in seen:
+            continue
+        seen.add(place)
+        frontier.extend(neighbours[place] - seen)
+    return seen
+
+
+class StateEquation:
+    """Constraint builder for ``M = M0 + C·x`` on the components of
+    ``net`` that contain ``focus`` (the whole net when ``focus`` covers
+    it, or when ``restrict=False``).
+
+    Restriction is feasibility-preserving in both directions: any
+    solution of the restricted system extends to the full net with
+    ``x = 0`` on the other components, and any full solution restricts.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        focus: Iterable[str] = (),
+        restrict: bool = True,
+    ):
+        self.net = net
+        focus_set = set(focus)
+        unknown = focus_set - net.places
+        if unknown:
+            raise ValueError(
+                f"focus places not in the net: {sorted(unknown)}"
+            )
+        all_places, all_tids, matrix = incidence_matrix(net)
+        if restrict and focus_set:
+            keep = _component_places(net, focus_set)
+        else:
+            keep = set(all_places)
+        row_of = {place: i for i, place in enumerate(all_places)}
+        self.places: tuple[str, ...] = tuple(
+            p for p in all_places if p in keep
+        )
+        self.tids: tuple[int, ...] = tuple(
+            tid
+            for tid in all_tids
+            if net.transitions[tid].places() and net.transitions[tid].places() <= keep
+        )
+        self.oversized = (
+            len(self.tids) > MAX_SYSTEM_VARIABLES
+            or len(self.places) > MAX_SYSTEM_PLACES
+        )
+        self.variables: tuple[str, ...] = tuple(
+            f"x{tid}" for tid in self.tids
+        )
+        self.m0: dict[str, Fraction] = {
+            place: Fraction(net.initial[place]) for place in self.places
+        }
+        column_of = {tid: j for j, tid in enumerate(all_tids)}
+        self._rows: dict[str, tuple[Fraction, ...]] = {}
+        if not self.oversized:
+            for place in self.places:
+                row = matrix[row_of[place]]
+                self._rows[place] = tuple(
+                    Fraction(int(row[column_of[tid]])) for tid in self.tids
+                )
+
+    def coefficients(self, place: str) -> tuple[Fraction, ...]:
+        """The incidence row of ``place`` over the restricted tids."""
+        return self._rows[place]
+
+    def base_system(self) -> LinearSystem:
+        """``x >= 0`` plus ``M(p) = M0(p) + (C x)(p) >= 0`` for every
+        restricted place."""
+        system = LinearSystem(self.variables)
+        for place in self.places:
+            coeffs = self._rows[place]
+            system.inequality(
+                tuple(-c for c in coeffs),
+                self.m0[place],
+                tag=f"nonneg[{place}]",
+            )
+        return system
+
+    def require_marked(self, system: LinearSystem, place: str) -> None:
+        """``M(place) >= 1``."""
+        coeffs = self._rows[place]
+        system.inequality(
+            tuple(-c for c in coeffs),
+            self.m0[place] - 1,
+            tag=f"marked[{place}]",
+        )
+
+    def require_empty(self, system: LinearSystem, place: str) -> None:
+        """``M(place) <= 0`` (with non-negativity: ``M(place) = 0``)."""
+        system.inequality(
+            self._rows[place], -self.m0[place], tag=f"empty[{place}]"
+        )
+
+    def require_exact(
+        self, system: LinearSystem, place: str, tokens: int
+    ) -> None:
+        """``M(place) == tokens``."""
+        system.equality(
+            self._rows[place],
+            Fraction(tokens) - self.m0[place],
+            tag=f"exact[{place}]",
+        )
+
+    def require_trap(
+        self, system: LinearSystem, trap: frozenset[str]
+    ) -> None:
+        """``sum(M(p) for p in trap) >= 1`` — sound for every reachable
+        marking when ``trap`` is an initially-marked trap."""
+        members = sorted(trap)
+        coeffs = [Fraction(0)] * len(self.variables)
+        total_m0 = Fraction(0)
+        for place in members:
+            row = self._rows[place]
+            coeffs = [a - b for a, b in zip(coeffs, row)]
+            total_m0 += self.m0[place]
+        system.inequality(
+            tuple(coeffs),
+            total_m0 - 1,
+            tag=f"trap[{','.join(members)}]",
+        )
+
+    def marking_of(self, solution: dict[str, Fraction]) -> dict[str, Fraction]:
+        """``M0 + C·x`` at an exact solution, per restricted place."""
+        x = [solution[name] for name in self.variables]
+        return {
+            place: self.m0[place]
+            + sum(
+                (c * v for c, v in zip(self._rows[place], x)),
+                Fraction(0),
+            )
+            for place in self.places
+        }
+
+    def witness_marking(self, solution: dict[str, Fraction]) -> Marking:
+        """The full-net marking of a restricted solution (``x = 0``
+        outside the restriction, so other components keep ``M0``)."""
+        values = self.marking_of(solution)
+        counts: dict[str, int] = {}
+        for place in sorted(self.net.places):
+            value = values.get(place, Fraction(self.net.initial[place]))
+            if value:
+                counts[place] = int(value)
+        return Marking(counts)
+
+    def _maximal_trap(self, places: set[str]) -> frozenset[str]:
+        """The maximal trap inside ``places`` (restricted transitions;
+        identical to the full net by component closure): iteratively
+        drop places with a consumer that is not a producer of the set."""
+        current = set(places)
+        transitions = [self.net.transitions[tid] for tid in self.tids]
+        changed = True
+        while changed and current:
+            changed = False
+            producers = {
+                t.tid for t in transitions if t.postset & current
+            }
+            for place in list(current):
+                consumers = {
+                    t.tid for t in transitions if place in t.preset
+                }
+                if not consumers <= producers:
+                    current.discard(place)
+                    changed = True
+        return frozenset(current)
+
+    def refine(
+        self,
+        system: LinearSystem,
+        max_rounds: int = DEFAULT_TRAP_ROUNDS,
+        need_exact: bool = False,
+    ) -> tuple[str, dict | None, int]:
+        """Solve with trap-constraint refinement.
+
+        While the system is feasible, look for an initially-marked trap
+        inside the zero places of the current solution; its constraint
+        is sound and cuts the solution off.  Returns the final solution
+        (``None`` = proven infeasible) and the rounds used.
+
+        Infeasibility is always established by the exact solver.  With
+        ``need_exact`` false the feasible path runs on the float screen
+        (trap discovery only needs to know which places are zero, and
+        any initially-marked trap yields a sound constraint), so the
+        returned solution may hold floats; pass ``need_exact=True``
+        when the caller reads the solution values (exact-mode witness
+        extraction).
+
+        Returns ``(status, solution, rounds)`` with status
+        ``"feasible"``, ``"infeasible"`` (proven — the only conclusive
+        outcome), or ``"unknown"`` (solver budget exhausted)."""
+        status, solution = system.screened_solve(need_exact)
+        rounds = 0
+        while status == "feasible" and rounds < max_rounds:
+            marking = self.marking_of(solution)
+            zeros = {
+                place for place, v in marking.items() if abs(v) <= 1e-9
+            }
+            trap = self._maximal_trap(zeros)
+            if not trap or not any(self.m0[place] for place in trap):
+                break
+            self.require_trap(system, trap)
+            rounds += 1
+            status, solution = system.screened_solve(need_exact)
+        return status, solution, rounds
+
+
+# -- verdicts ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymbolicVerdict:
+    """The answer of one symbolic query.
+
+    ``conclusive=True`` means the verdict is *proven* (and ``holds``
+    states whether the queried property holds); ``conclusive=False``
+    means the procedure could not decide (``holds`` is ``None``) and
+    the caller must fall back to an explicit engine.  ``witness`` is a
+    query-specific certificate when one exists (a :class:`Marking` for
+    exact-mode reachability, a word for language separation)."""
+
+    conclusive: bool
+    holds: bool | None
+    reason: str
+    stats: dict = field(default_factory=dict)
+    witness: object | None = None
+
+    def __post_init__(self):
+        if self.conclusive and self.holds is None:
+            raise ValueError("conclusive verdicts must state holds")
+        if not self.conclusive and self.holds is not None:
+            raise ValueError("inconclusive verdicts must leave holds None")
+
+    def __str__(self) -> str:
+        label = (
+            "INCONCLUSIVE"
+            if not self.conclusive
+            else ("holds" if self.holds else "fails")
+        )
+        return f"{label}: {self.reason}"
+
+
+def _inconclusive(reason: str, stats: dict | None = None) -> SymbolicVerdict:
+    return SymbolicVerdict(False, None, reason, stats or {})
+
+
+def exactness_applies(net: PetriNet) -> bool:
+    """``True`` iff state-equation feasibility *characterises*
+    reachability on ``net`` — live marked graphs (Theorem 5.7 /
+    the classical marked-graph reachability theorem)."""
+    from repro.petri.classify import is_marked_graph, marked_graph_is_live
+
+    return is_marked_graph(net) and marked_graph_is_live(net)
+
+
+def _integral(marking: dict[str, Fraction]) -> bool:
+    return all(value.denominator == 1 for value in marking.values())
+
+
+def predicate_unreachable(
+    net: PetriNet,
+    marked: Iterable[str] = (),
+    empty: Iterable[str] = (),
+    trap_rounds: int = DEFAULT_TRAP_ROUNDS,
+    exact: bool | None = None,
+) -> SymbolicVerdict:
+    """Is every marking with ``marked`` places marked and ``empty``
+    places empty unreachable?
+
+    CONCLUSIVE/holds when the (trap-refined) state equation is
+    infeasible.  On nets where :func:`exactness_applies` (pass
+    ``exact`` to override the classification), a feasible integral
+    solution is a CONCLUSIVE/fails verdict with a witness marking.
+    """
+    marked = tuple(sorted(set(marked)))
+    empty = tuple(sorted(set(empty)))
+    equation = StateEquation(net, set(marked) | set(empty))
+    if equation.oversized:
+        return _inconclusive(
+            f"restricted system too large ({len(equation.tids)}"
+            f" transitions, {len(equation.places)} places)"
+        )
+    system = equation.base_system()
+    for place in marked:
+        equation.require_marked(system, place)
+    for place in empty:
+        equation.require_empty(system, place)
+    if exact is None:
+        exact = exactness_applies(net)
+    status, solution, rounds = equation.refine(
+        system, trap_rounds, need_exact=exact
+    )
+    stats = {
+        "systems": 1,
+        "constraints": system.num_constraints(),
+        "refinement_rounds": rounds,
+    }
+    if status == "infeasible":
+        return SymbolicVerdict(
+            True,
+            True,
+            f"state equation infeasible ({system.num_constraints()}"
+            f" constraints, {rounds} trap refinements)",
+            stats,
+        )
+    if status == "unknown":
+        return _inconclusive("exact solver pivot budget exhausted", stats)
+    if exact:
+        marking = equation.marking_of(solution)
+        if _integral(marking):
+            return SymbolicVerdict(
+                True,
+                False,
+                "state equation feasible and exact for live marked"
+                " graphs: a witness marking is reachable",
+                stats,
+                witness=equation.witness_marking(solution),
+            )
+    return _inconclusive(
+        "state equation feasible (reachability not refuted)", stats
+    )
+
+
+def marking_unreachable(
+    net: PetriNet,
+    target: Marking,
+    trap_rounds: int = DEFAULT_TRAP_ROUNDS,
+    exact: bool | None = None,
+) -> SymbolicVerdict:
+    """Is the *exact* marking ``target`` (zero on unlisted places)
+    unreachable?  Same semantics as :func:`predicate_unreachable`."""
+    unknown = set(target) - net.places
+    if unknown:
+        raise ValueError(
+            f"target marks places not in the net: {sorted(unknown)}"
+        )
+    equation = StateEquation(net, net.places, restrict=False)
+    if equation.oversized:
+        return _inconclusive(
+            f"system too large ({len(equation.tids)} transitions,"
+            f" {len(equation.places)} places)"
+        )
+    system = equation.base_system()
+    for place in equation.places:
+        equation.require_exact(system, place, target[place])
+    if exact is None:
+        exact = exactness_applies(net)
+    status, solution, rounds = equation.refine(
+        system, trap_rounds, need_exact=exact
+    )
+    stats = {
+        "systems": 1,
+        "constraints": system.num_constraints(),
+        "refinement_rounds": rounds,
+    }
+    if status == "infeasible":
+        return SymbolicVerdict(
+            True,
+            True,
+            f"state equation infeasible ({system.num_constraints()}"
+            f" constraints, {rounds} trap refinements)",
+            stats,
+        )
+    if status == "unknown":
+        return _inconclusive("exact solver pivot budget exhausted", stats)
+    if exact and _integral(equation.marking_of(solution)):
+        return SymbolicVerdict(
+            True,
+            False,
+            "state equation feasible and exact for live marked graphs:"
+            " the target marking is reachable",
+            stats,
+            witness=target,
+        )
+    return _inconclusive(
+        "state equation feasible (reachability not refuted)", stats
+    )
+
+
+def bounded(net: PetriNet) -> SymbolicVerdict:
+    """Is the net bounded from its initial marking?
+
+    CONCLUSIVE/holds via invariant coverage (complete basis only — a
+    truncated basis proves nothing and is reported in ``stats``) or a
+    structural-boundedness certificate ``exists y >= 1: C^T y <= 0``,
+    solved exactly.  Unboundedness is never concluded symbolically —
+    absence of a certificate is INCONCLUSIVE.
+    """
+    if not net.places:
+        return SymbolicVerdict(True, True, "no places", {"systems": 0})
+    invariants, truncated = p_invariants_partial(net)
+    covered: set[str] = set()
+    for invariant in invariants:
+        covered.update(invariant)
+    stats: dict = {"systems": 0, "invariants": len(invariants)}
+    if truncated:
+        stats["invariant_basis_truncated"] = True
+    if not truncated and covered >= net.places:
+        return SymbolicVerdict(
+            True,
+            True,
+            f"every place covered by one of {len(invariants)}"
+            " P-invariants",
+            stats,
+        )
+    places, tids, matrix = incidence_matrix(net)
+    system = LinearSystem(tuple(places))
+    for j, tid in enumerate(tids):
+        system.inequality(
+            tuple(Fraction(int(matrix[i][j])) for i in range(len(places))),
+            Fraction(0),
+            tag=f"column[{tid}]",
+        )
+    for i, place in enumerate(places):
+        unit = [Fraction(0)] * len(places)
+        unit[i] = Fraction(-1)
+        system.inequality(tuple(unit), Fraction(-1), tag=f"positive[{place}]")
+    stats["systems"] = 1
+    stats["constraints"] = system.num_constraints()
+    if system.solve() is not None:
+        return SymbolicVerdict(
+            True,
+            True,
+            "structurally bounded: a positive place weighting is"
+            " non-increasing under every firing",
+            stats,
+        )
+    return _inconclusive(
+        "no structural boundedness certificate (the net may be"
+        " unbounded)",
+        stats,
+    )
+
+
+def initial_actions(net: PetriNet) -> frozenset[str]:
+    """Non-silent actions enabled at the initial marking — exact
+    one-letter-word membership facts."""
+    return frozenset(
+        t.action
+        for t in net.enabled_transitions(net.initial)
+        if t.action != EPSILON
+    )
+
+
+def dead_actions(
+    net: PetriNet, trap_rounds: int = DEFAULT_TRAP_ROUNDS
+) -> tuple[frozenset[str], dict]:
+    """Actions that CONCLUSIVELY never fire: every transition carrying
+    the label has a state-equation-infeasible enabling condition (or
+    there is no such transition at all).
+
+    Returns ``(dead, stats)``.  Absence from ``dead`` proves nothing.
+    """
+    stats: dict = {"systems": 0, "constraints": 0, "refinement_rounds": 0}
+    if len(net.transitions) > DEAD_ACTION_TRANSITION_BUDGET:
+        stats["skipped"] = True
+        return frozenset(), stats
+    dead: set[str] = set()
+    for action in sorted(net.actions - {EPSILON}):
+        transitions = net.transitions_with_action(action)
+        if not transitions:
+            dead.add(action)
+            continue
+        conclusive = True
+        for transition in transitions:
+            if not transition.preset:
+                conclusive = False  # enabled everywhere
+                break
+            verdict = predicate_unreachable(
+                net, marked=transition.preset, trap_rounds=trap_rounds
+            )
+            for key in ("systems", "constraints", "refinement_rounds"):
+                stats[key] += verdict.stats.get(key, 0)
+            if not (verdict.conclusive and verdict.holds):
+                conclusive = False
+                break
+        if conclusive:
+            dead.add(action)
+    return frozenset(dead), stats
+
+
+def language_precheck(
+    net1: PetriNet,
+    net2: PetriNet,
+    mode: str = "equal",
+    silent: Iterable[str] = (EPSILON,),
+    trap_rounds: int = DEFAULT_TRAP_ROUNDS,
+) -> SymbolicVerdict:
+    """Symbolic pre-check for language equality / containment.
+
+    Exact facts only: an action enabled at a net's initial marking is a
+    one-letter word of its language; a conclusively-dead action occurs
+    in no word.  A one-letter word of one language whose letter is
+    conclusively dead in the other separates them (CONCLUSIVE/fails,
+    with the word as witness); both alphabets conclusively dead means
+    both languages are ``{epsilon}`` (CONCLUSIVE/holds).  Everything
+    else is INCONCLUSIVE.
+    """
+    if mode not in ("equal", "contained"):
+        raise ValueError(f"unknown mode {mode!r}")
+    silent_set = set(silent)
+    visible1 = net1.actions - silent_set
+    visible2 = net2.actions - silent_set
+    dead1, stats1 = dead_actions(net1, trap_rounds)
+    dead2, stats2 = dead_actions(net2, trap_rounds)
+    stats = {
+        key: stats1.get(key, 0) + stats2.get(key, 0)
+        for key in ("systems", "constraints", "refinement_rounds")
+    }
+    # Letters a net cannot ever produce: conclusively dead, or simply
+    # absent from its alphabet.
+    never1 = (dead1 & visible1) | (visible2 - net1.actions)
+    never2 = (dead2 & visible2) | (visible1 - net2.actions)
+    one_letter1 = (initial_actions(net1) - silent_set) & (visible1 | visible2)
+    one_letter2 = (initial_actions(net2) - silent_set) & (visible1 | visible2)
+    separating = sorted(one_letter1 & never2)
+    if not separating and mode == "equal":
+        separating = sorted(one_letter2 & never1)
+    if separating:
+        word = separating[0]
+        direction = "left" if word in one_letter1 else "right"
+        return SymbolicVerdict(
+            True,
+            False,
+            f"one-letter word {word!r} is in the {direction} language"
+            " but its letter is conclusively dead on the other side",
+            stats,
+            witness=(word,),
+        )
+    left_empty = visible1 <= (dead1 & visible1)
+    right_empty = visible2 <= (dead2 & visible2)
+    if mode == "contained" and left_empty:
+        return SymbolicVerdict(
+            True,
+            True,
+            "left language is {epsilon}: every visible action is"
+            " conclusively dead",
+            stats,
+        )
+    if mode == "equal" and left_empty and right_empty:
+        return SymbolicVerdict(
+            True,
+            True,
+            "both languages are {epsilon}: every visible action is"
+            " conclusively dead on both sides",
+            stats,
+        )
+    return _inconclusive(
+        "no exact symbolic fact decides the comparison", stats
+    )
+
+
+# -- Proposition 5.5 obligations as linear systems ---------------------------
+
+
+def failure_miss_choices(obligation) -> list[list[str]]:
+    """Per consumer alternative, the places that could be unmarked
+    while the producer is ready (``preset - producer_preset``).
+
+    An empty list for some alternative means that consumer is ready
+    whenever the producer is — no failure is possible for the
+    obligation."""
+    return [
+        sorted(preset - obligation.producer_preset)
+        for preset in obligation.consumer_presets
+    ]
+
+
+def obligation_system(
+    net: PetriNet, obligation, choice: Iterable[str]
+) -> tuple[StateEquation, LinearSystem]:
+    """The (unrefined) Prop 5.5 failure system for one miss choice:
+    producer preset fully marked, each chosen consumer place empty,
+    every restricted place non-negative, all over ``M = M0 + C·x``."""
+    choice = tuple(sorted(set(choice)))
+    focus = set(obligation.producer_preset) | set(choice)
+    equation = StateEquation(net, focus)
+    system = equation.base_system()
+    for place in sorted(obligation.producer_preset):
+        equation.require_marked(system, place)
+    for place in choice:
+        equation.require_empty(system, place)
+    return equation, system
+
+
+@dataclass
+class SymbolicReceptiveness:
+    """Partition of Prop 5.5 obligations by the symbolic engine:
+    ``safe`` (conclusively no failure marking), ``failed`` (conclusive
+    failure witnesses — exact mode only) and ``undecided`` (the
+    explicit fallback set)."""
+
+    safe: list = field(default_factory=list)
+    failed: list = field(default_factory=list)  # (obligation, Marking)
+    undecided: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def conclusive(self) -> bool:
+        return not self.undecided
+
+
+def symbolic_receptiveness(
+    net: PetriNet,
+    obligations,
+    trap_rounds: int = DEFAULT_TRAP_ROUNDS,
+) -> SymbolicReceptiveness:
+    """Decide Prop 5.5 obligations by state-equation reasoning alone.
+
+    For each obligation, a failure marking exists iff for *some* choice
+    of one missing place per consumer alternative, the corresponding
+    constraint system has a reachable solution.  Infeasibility of every
+    choice proves the obligation safe; on exact nets
+    (:func:`exactness_applies`) a feasible integral choice proves a
+    failure with a witness; otherwise the obligation is undecided and
+    the caller must search explicitly.
+
+    Emits ``engine.symbolic.*`` counters (systems, constraints,
+    refinement rounds, conclusive/inconclusive obligations).
+    """
+    outcome = SymbolicReceptiveness(
+        stats={
+            "systems": 0,
+            "constraints": 0,
+            "refinement_rounds": 0,
+            "safe": 0,
+            "failed": 0,
+            "undecided": 0,
+        }
+    )
+    stats = outcome.stats
+    exact = exactness_applies(net)
+    stats["exact"] = exact
+    for obligation in obligations:
+        choices = failure_miss_choices(obligation)
+        if any(not misses for misses in choices):
+            # Some consumer's preset is inside the producer's: ready
+            # whenever the producer is — structurally safe.
+            outcome.safe.append(obligation)
+            stats["safe"] += 1
+            continue
+        decided = False
+        all_infeasible = True
+        for choice in _product(*choices):
+            equation, system = obligation_system(net, obligation, choice)
+            if equation.oversized:
+                all_infeasible = False
+                break
+            status, solution, rounds = equation.refine(
+                system, trap_rounds, need_exact=exact
+            )
+            stats["systems"] += 1
+            stats["constraints"] += system.num_constraints()
+            stats["refinement_rounds"] += rounds
+            if status == "infeasible":
+                continue
+            all_infeasible = False
+            if (
+                exact
+                and status == "feasible"
+                and _integral(equation.marking_of(solution))
+            ):
+                outcome.failed.append(
+                    (obligation, equation.witness_marking(solution))
+                )
+                stats["failed"] += 1
+                decided = True
+            break
+        if decided:
+            continue
+        if all_infeasible:
+            outcome.safe.append(obligation)
+            stats["safe"] += 1
+        else:
+            outcome.undecided.append(obligation)
+            stats["undecided"] += 1
+    publish_stats(stats)
+    obs.count("engine.symbolic.conclusive", stats["safe"] + stats["failed"])
+    obs.count("engine.symbolic.inconclusive", stats["undecided"])
+    return outcome
+
+
+def publish_stats(stats: dict) -> None:
+    """Forward accumulated solver statistics as ``engine.symbolic.*``
+    counters on the active :mod:`repro.obs` recorder."""
+    obs.count("engine.symbolic.systems", stats.get("systems", 0))
+    obs.count("engine.symbolic.constraints", stats.get("constraints", 0))
+    obs.count(
+        "engine.symbolic.refinement_rounds",
+        stats.get("refinement_rounds", 0),
+    )
+
+
+def analyze(net: PetriNet, trap_rounds: int = DEFAULT_TRAP_ROUNDS) -> dict:
+    """The bench-cell view of one net: boundedness verdict and the
+    conclusively-dead action set, with accumulated solver statistics."""
+    with obs.span("engine.symbolic.analyze", net=net.name) as span:
+        bounded_verdict = bounded(net)
+        dead, dead_stats = dead_actions(net, trap_rounds)
+        stats = {
+            key: bounded_verdict.stats.get(key, 0) + dead_stats.get(key, 0)
+            for key in ("systems", "constraints", "refinement_rounds")
+        }
+        publish_stats(stats)
+        obs.count(
+            "engine.symbolic.conclusive", int(bounded_verdict.conclusive)
+        )
+        obs.count(
+            "engine.symbolic.inconclusive",
+            int(not bounded_verdict.conclusive),
+        )
+        span.set(
+            bounded_conclusive=bounded_verdict.conclusive,
+            dead_actions=len(dead),
+        )
+    return {
+        "bounded": bounded_verdict,
+        "dead_actions": dead,
+        "stats": stats,
+    }
+
+
+# -- optional SMT-LIB backend ------------------------------------------------
+
+#: Solvers probed on PATH, in preference order, with the arguments that
+#: make them read SMT-LIB 2 from stdin.
+SOLVERS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("z3", ("-in", "-smt2")),
+    ("cvc5", ("--lang", "smt2")),
+    ("cvc4", ("--lang", "smt2")),
+    ("yices-smt2", ()),
+)
+
+#: Seconds each solver invocation may take before it counts as unknown.
+SMT_TIMEOUT = 30.0
+
+
+def find_solver() -> tuple[str, tuple[str, ...]] | None:
+    """The first available external SMT solver ``(path, argv)``, or
+    ``None`` — callers skip cleanly in that case."""
+    import shutil
+
+    for name, argv in SOLVERS:
+        path = shutil.which(name)
+        if path:
+            return path, argv
+    return None
+
+
+def smt_available() -> bool:
+    """``True`` iff an external SMT solver is on ``PATH``."""
+    return find_solver() is not None
+
+
+def _run_solver(script: str, timeout: float = SMT_TIMEOUT) -> str:
+    """Run the discovered solver on an SMT-LIB script; returns the
+    verdict line (``sat`` / ``unsat``) or ``unknown`` on any failure."""
+    import subprocess
+
+    solver = find_solver()
+    if solver is None:
+        return "unknown"
+    path, argv = solver
+    try:
+        completed = subprocess.run(
+            [path, *argv],
+            input=script,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    for line in completed.stdout.splitlines():
+        line = line.strip()
+        if line in ("sat", "unsat"):
+            return line
+    return "unknown"
+
+
+def _smt_index(net: PetriNet) -> tuple[list[str], list]:
+    """Deterministic place order and tid-ordered transitions; SMT
+    symbols are positional (``p3``, ``x5``) so hostile names never
+    reach the solver."""
+    return sorted(net.places), list(net.sorted_transitions())
+
+
+def _sum_term(parts: list[str]) -> str:
+    if not parts:
+        return "0"
+    if len(parts) == 1:
+        return parts[0]
+    return f"(+ {' '.join(parts)})"
+
+
+def _marking_term(
+    net: PetriNet, places: list[str], transitions, place: str, prefix: str
+) -> str:
+    """``M0(p) + sum(C[p,t] * x_t)`` as an SMT term over ``prefix``
+    firing-count variables."""
+    parts = [str(net.initial[place])]
+    for position, transition in enumerate(transitions):
+        delta = (place in transition.produce) - (place in transition.consume)
+        if delta == 1:
+            parts.append(f"{prefix}{position}")
+        elif delta == -1:
+            parts.append(f"(- {prefix}{position})")
+    return _sum_term(parts)
+
+
+def smt_state_equation_script(
+    net: PetriNet, marked: Iterable[str] = (), empty: Iterable[str] = ()
+) -> str:
+    """The state equation over *integers* — strictly stronger than the
+    rational LP, still an over-approximation of reachability: ``unsat``
+    proves unreachability.  Complete P-invariants are added as
+    redundant-but-pruning equalities (each is individually sound even
+    from a truncated basis)."""
+    places, transitions = _smt_index(net)
+    index = {place: i for i, place in enumerate(places)}
+    lines = ["(set-logic QF_LIA)"]
+    for position in range(len(transitions)):
+        lines.append(f"(declare-const x{position} Int)")
+        lines.append(f"(assert (>= x{position} 0))")
+    terms = {
+        place: _marking_term(net, places, transitions, place, "x")
+        for place in places
+    }
+    for place in places:
+        lines.append(f"(assert (>= {terms[place]} 0))")
+    for place in sorted(set(marked)):
+        lines.append(f"(assert (>= {terms[place]} 1))")
+    for place in sorted(set(empty)):
+        lines.append(f"(assert (<= {terms[place]} 0))")
+    invariants, _ = p_invariants_partial(net)
+    for invariant in invariants:
+        weighted = [
+            (f"(* {weight} {terms[place]})" if weight != 1 else terms[place])
+            for place, weight in sorted(invariant.items())
+        ]
+        value = sum(
+            weight * net.initial[place]
+            for place, weight in invariant.items()
+        )
+        lines.append(f"(assert (= {_sum_term(weighted)} {value}))")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def _step_assertion(
+    transitions, places: list[str], pre: str, post: str
+) -> str:
+    """One interleaving step: some transition is enabled at ``pre`` and
+    ``post`` is its firing result."""
+    options = []
+    for transition in transitions:
+        clauses = [f"(>= {pre}_{places.index(p)} 1)" for p in sorted(transition.preset)]
+        for i, place in enumerate(places):
+            delta = (place in transition.produce) - (place in transition.consume)
+            if delta:
+                clauses.append(f"(= {post}_{i} (+ {pre}_{i} {delta}))")
+            else:
+                clauses.append(f"(= {post}_{i} {pre}_{i})")
+        options.append(f"(and {' '.join(clauses)})")
+    if not options:
+        return "false"
+    if len(options) == 1:
+        return options[0]
+    return f"(or {' '.join(options)})"
+
+
+def _declare_state(lines: list[str], name: str, count: int) -> None:
+    for i in range(count):
+        lines.append(f"(declare-const {name}_{i} Int)")
+        lines.append(f"(assert (>= {name}_{i} 0))")
+
+
+def _target_term(
+    places: list[str], name: str, marked, empty
+) -> str:
+    clauses = [f"(>= {name}_{places.index(p)} 1)" for p in sorted(set(marked))]
+    clauses += [f"(<= {name}_{places.index(p)} 0)" for p in sorted(set(empty))]
+    if not clauses:
+        return "true"
+    if len(clauses) == 1:
+        return clauses[0]
+    return f"(and {' '.join(clauses)})"
+
+
+def smt_bmc_script(
+    net: PetriNet,
+    marked: Iterable[str] = (),
+    empty: Iterable[str] = (),
+    depth: int = 8,
+) -> str:
+    """Bounded model checking: ``sat`` iff some marking satisfying the
+    predicate is reachable within ``depth`` interleaving steps."""
+    places, transitions = _smt_index(net)
+    if not transitions:
+        depth = 0
+    lines = ["(set-logic QF_LIA)"]
+    for k in range(depth + 1):
+        _declare_state(lines, f"m{k}", len(places))
+    for i, place in enumerate(places):
+        lines.append(f"(assert (= m0_{i} {net.initial[place]}))")
+    for k in range(depth):
+        lines.append(
+            f"(assert {_step_assertion(transitions, places, f'm{k}', f'm{k + 1}')})"
+        )
+    targets = [
+        _target_term(places, f"m{k}", marked, empty) for k in range(depth + 1)
+    ]
+    lines.append(
+        f"(assert {targets[0] if len(targets) == 1 else '(or ' + ' '.join(targets) + ')'})"
+    )
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def smt_kinduction_step_script(
+    net: PetriNet,
+    marked: Iterable[str] = (),
+    empty: Iterable[str] = (),
+    k: int = 1,
+) -> str:
+    """The inductive step of k-induction, relative to the integer state
+    equation: ``unsat`` (together with an ``unsat`` BMC base of depth
+    ``k - 1``) proves the predicate unreachable.
+
+    States ``s0..sk`` are consecutive firings; ``s0`` is anchored to
+    the state-equation over-approximation (every reachable state
+    satisfies it, so the strengthening is sound); ``s0..s(k-1)`` avoid
+    the target and ``sk`` hits it."""
+    places, transitions = _smt_index(net)
+    lines = ["(set-logic QF_LIA)"]
+    for step in range(k + 1):
+        _declare_state(lines, f"s{step}", len(places))
+    for position in range(len(transitions)):
+        lines.append(f"(declare-const y{position} Int)")
+        lines.append(f"(assert (>= y{position} 0))")
+    for i, place in enumerate(places):
+        term = _marking_term(net, places, transitions, place, "y")
+        lines.append(f"(assert (= s0_{i} {term}))")
+    for step in range(k):
+        lines.append(
+            f"(assert {_step_assertion(transitions, places, f's{step}', f's{step + 1}')})"
+        )
+    for step in range(k):
+        lines.append(
+            f"(assert (not {_target_term(places, f's{step}', marked, empty)}))"
+        )
+    lines.append(f"(assert {_target_term(places, f's{k}', marked, empty)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def smt_unreachable(
+    net: PetriNet,
+    marked: Iterable[str] = (),
+    empty: Iterable[str] = (),
+    max_depth: int = 8,
+    timeout: float = SMT_TIMEOUT,
+) -> SymbolicVerdict:
+    """The solver-backed version of :func:`predicate_unreachable`:
+    integer state equation, then BMC (CONCLUSIVE/fails on a witness
+    within ``max_depth`` steps), then k-induction (CONCLUSIVE/holds).
+    INCONCLUSIVE — with the reason — when no solver is installed, the
+    solver times out, or neither direction converges."""
+    if not smt_available():
+        names = ", ".join(name for name, _ in SOLVERS)
+        return _inconclusive(
+            f"no SMT solver found on PATH (tried {names})"
+        )
+    stats: dict = {"solver_calls": 0}
+    script = smt_state_equation_script(net, marked, empty)
+    stats["solver_calls"] += 1
+    if _run_solver(script, timeout) == "unsat":
+        return SymbolicVerdict(
+            True, True, "integer state equation infeasible", stats
+        )
+    stats["solver_calls"] += 1
+    if _run_solver(smt_bmc_script(net, marked, empty, max_depth), timeout) == "sat":
+        return SymbolicVerdict(
+            True,
+            False,
+            f"BMC found a witness within {max_depth} steps",
+            stats,
+        )
+    for k in range(1, max_depth + 1):
+        stats["solver_calls"] += 1
+        verdict = _run_solver(
+            smt_kinduction_step_script(net, marked, empty, k), timeout
+        )
+        if verdict == "unsat":
+            return SymbolicVerdict(
+                True,
+                True,
+                f"{k}-induction relative to the state equation",
+                stats,
+            )
+    return _inconclusive(
+        f"BMC found no witness within {max_depth} steps and"
+        f" k-induction did not converge by k={max_depth}",
+        stats,
+    )

@@ -230,11 +230,30 @@ def languages_equal(
     stubborn-set partial-order reduction to both sides (silent
     interleavings collapse, the language is preserved exactly);
     ``engine="eager"`` builds, minimises and compares both full DFAs
-    (the oracle path).  All are exact, so they always agree.
+    (the oracle path).  ``engine="symbolic"`` first runs the
+    state-equation pre-check (one-letter separating words via
+    conclusively-dead actions) and only enumerates when the pre-check
+    is INCONCLUSIVE.  All are exact, so they always agree.
     """
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, extra=("symbolic",))
     with obs.span("verify.language.equal", engine=engine) as span:
-        if engine != "eager":
+        if engine == "symbolic":
+            from repro.petri.symbolic import language_precheck
+
+            verdict = language_precheck(net1, net2, mode="equal", silent=silent)
+            if verdict.conclusive:
+                span.set(verdict=verdict.holds, symbolic=True)
+                return bool(verdict.holds)
+            verdict = compare_languages(
+                net1,
+                net2,
+                mode="equal",
+                silent=silent,
+                max_states=max_states,
+                reduction=False,
+                backend=backend,
+            ).verdict
+        elif engine != "eager":
             verdict = compare_languages(
                 net1,
                 net2,
@@ -262,9 +281,27 @@ def language_contained(
     backend: str | None = None,
 ) -> bool:
     """Exact visible-trace containment ``L(net1) <= L(net2)``."""
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, extra=("symbolic",))
     with obs.span("verify.language.contained", engine=engine) as span:
-        if engine != "eager":
+        if engine == "symbolic":
+            from repro.petri.symbolic import language_precheck
+
+            verdict = language_precheck(
+                net1, net2, mode="contained", silent=silent
+            )
+            if verdict.conclusive:
+                span.set(verdict=verdict.holds, symbolic=True)
+                return bool(verdict.holds)
+            verdict = compare_languages(
+                net1,
+                net2,
+                mode="contained",
+                silent=silent,
+                max_states=max_states,
+                reduction=False,
+                backend=backend,
+            ).verdict
+        elif engine != "eager":
             verdict = compare_languages(
                 net1,
                 net2,
@@ -295,7 +332,16 @@ def distinguishing_trace(
 
     Useful diagnostics when an equivalence check fails.
     """
-    engine = resolve_engine(engine)
+    engine = resolve_engine(engine, extra=("symbolic",))
+    if engine == "symbolic":
+        from repro.petri.symbolic import language_precheck
+
+        verdict = language_precheck(net1, net2, mode="equal", silent=silent)
+        if verdict.conclusive and verdict.holds:
+            return None
+        if verdict.conclusive and verdict.witness is not None:
+            return tuple(verdict.witness)
+        engine = "onthefly"
     if engine != "eager":
         return compare_languages(
             net1,

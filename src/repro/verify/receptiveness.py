@@ -92,8 +92,9 @@ class ReceptivenessFailure:
 class ReceptivenessReport:
     """Outcome of a receptiveness check.
 
-    ``engine`` records which exploration engine answered (``"eager"``,
-    ``"onthefly"``, ``"por"``, or ``"-"`` for the structural method);
+    ``engine`` records which engine answered (``"eager"``,
+    ``"onthefly"``, ``"por"``, ``"symbolic"``, or ``"-"`` for the
+    structural method);
     ``states_explored`` the number of composite markings it visited
     (``None`` for the structural method).  Under ``engine="por"``,
     ``states_reduced`` counts the markings at which the stubborn-set
@@ -120,6 +121,14 @@ class ReceptivenessReport:
     states_reduced: int | None = None
     proviso: str | None = None
     metrics: dict | None = None
+    #: Under ``engine="symbolic"``: how the state-equation engine
+    #: partitioned the obligations (``safe``/``failed``/``undecided``
+    #: counts, solver statistics, ``conclusive`` flag).  ``method`` is
+    #: ``"symbolic"`` when every obligation was decided without
+    #: enumeration, ``"reachability"`` when the ``undecided`` remainder
+    #: fell back to explicit search; ``states_explored`` is ``None`` in
+    #: the former case and counts only the fallback in the latter.
+    symbolic: dict | None = None
 
     def is_receptive(self) -> bool:
         return not self.failures
@@ -555,7 +564,13 @@ def check_receptiveness(
     reduction with the obligation places declared visible, so the
     Prop 5.5 verdict is unchanged while fewer interleavings are
     explored; ``"eager"`` materialises the full graph first — the
-    oracle path.
+    oracle path; ``"symbolic"`` first attempts to decide every
+    obligation by state-equation reasoning alone
+    (:mod:`repro.petri.symbolic`: exact-rational linear feasibility
+    with trap refinement — no marking is ever constructed, so
+    ``max_states`` does not bound it), and only the obligations the
+    semi-decision procedure leaves INCONCLUSIVE fall back to the
+    on-the-fly search; ``report.symbolic`` records the partition.
 
     ``proviso`` (``engine="por"`` only) picks the ignoring-prevention
     rule of the reduced search: the default ``"fresh"`` discovers
@@ -603,9 +618,19 @@ def check_receptiveness(
         resolve_proviso,
     )
 
-    engine = resolve_engine(engine if engine is not None else DEFAULT_ENGINE)
+    engine = resolve_engine(
+        engine if engine is not None else DEFAULT_ENGINE,
+        extra=("symbolic",),
+    )
     backend = resolve_backend(backend)
     workers = resolve_workers(workers)
+    if (workers > 1 or memory_budget is not None) and engine == "symbolic":
+        raise ValueError(
+            "engine 'symbolic' does not compose with parallel/spill"
+            " exploration: the state-equation engine explores no states,"
+            " and its inconclusive fallback is the serial on-the-fly"
+            " search; run the workers with engine 'eager' or 'onthefly'"
+        )
     if proviso is not None and engine != "por":
         raise ValueError(
             "proviso is a partial-order-reduction knob;"
@@ -679,13 +704,67 @@ def _checked_receptiveness(
             )
         if method != "reachability":
             raise ValueError(f"unknown method {method!r}")
+        symbolic_info: dict | None = None
+        search_engine = engine
+        pending = obligations
+        symbolic_failures: list[ReceptivenessFailure] = []
+        if engine == "symbolic":
+            from repro.petri.symbolic import symbolic_receptiveness
+
+            with obs.span("verify.receptiveness.symbolic") as symbolic_span:
+                outcome = symbolic_receptiveness(
+                    composite.net, obligations
+                )
+                symbolic_span.set(
+                    safe=len(outcome.safe),
+                    failed=len(outcome.failed),
+                    undecided=len(outcome.undecided),
+                    conclusive=outcome.conclusive,
+                )
+            symbolic_failures = [
+                ReceptivenessFailure(obligation, marking)
+                for obligation, marking in outcome.failed
+            ]
+            symbolic_info = {
+                "safe": len(outcome.safe),
+                "failed": len(outcome.failed),
+                "undecided": len(outcome.undecided),
+                "conclusive": outcome.conclusive,
+                "systems": outcome.stats.get("systems", 0),
+                "constraints": outcome.stats.get("constraints", 0),
+                "refinement_rounds": outcome.stats.get(
+                    "refinement_rounds", 0
+                ),
+                "exact": outcome.stats.get("exact", False),
+            }
+            if outcome.conclusive:
+                span.set(
+                    method="symbolic",
+                    engine=engine,
+                    verdict=not symbolic_failures,
+                    obligations=len(obligations),
+                    failures=len(symbolic_failures),
+                )
+                return ReceptivenessReport(
+                    composite,
+                    obligations,
+                    symbolic_failures,
+                    "symbolic",
+                    engine=engine,
+                    symbolic=symbolic_info,
+                )
+            # Explicit fallback, restricted to the undecided remainder:
+            # conclusively-safe obligations need no witness hunt and
+            # conclusive failures are already proven.
+            pending = outcome.undecided
+            search_engine = "onthefly"
         reduced: int | None = None
         clock = recorder.clock
         search_start = clock.now()
         parallel = workers > 1 or memory_budget is not None
         with obs.span(
             "verify.receptiveness.search",
-            engine=engine,
+            engine=search_engine,
             backend=backend,
             workers=workers,
             proviso=proviso or "-",
@@ -693,27 +772,28 @@ def _checked_receptiveness(
             if parallel:
                 failures, explored = _parallel_failures(
                     composite,
-                    obligations,
+                    pending,
                     max_states,
                     backend,
                     workers,
                     memory_budget,
                 )
-            elif engine in ("onthefly", "por"):
+            elif search_engine in ("onthefly", "por"):
                 failures, explored, reduced = _onthefly_failures(
                     composite,
-                    obligations,
+                    pending,
                     max_states,
                     stop_at_first=stop_at_first,
-                    reduce=engine == "por",
+                    reduce=search_engine == "por",
                     backend=backend,
                     proviso=proviso,
                 )
             else:
                 failures, explored = _reachability_failures(
-                    composite, obligations, max_states, backend=backend
+                    composite, pending, max_states, backend=backend
                 )
             search.set(states=explored)
+        failures = symbolic_failures + failures
         elapsed = clock.now() - search_start
         obs.gauge("verify.receptiveness.states_explored", explored)
         if elapsed > 0:
@@ -744,6 +824,7 @@ def _checked_receptiveness(
             states_explored=explored,
             states_reduced=reduced,
             proviso=proviso,
+            symbolic=symbolic_info,
         )
 
 

@@ -64,8 +64,16 @@ class TestFullMatrix:
         assert report.law_violations == []
 
     def test_every_instance_ran_the_full_matrix(self, report):
+        # The three explicit engines sweep every backend; the symbolic
+        # engine explores no states, so it contributes one backend-less
+        # cell per instance.
+        explicit = len(ENGINES) - 1
         for instance in report.instances:
-            assert len(instance.cells) == len(ENGINES) * len(BACKENDS)
+            assert len(instance.cells) == explicit * len(BACKENDS) + 1
+            symbolic = [c for c in instance.cells if c.engine == "symbolic"]
+            assert len(symbolic) == 1
+            assert symbolic[0].backend == "-"
+            assert symbolic[0].conclusive is not None
 
     def test_one_valid_payload_per_instance(self, report):
         for instance in report.instances:
@@ -78,13 +86,23 @@ class TestFullMatrix:
         (unbounded,) = [
             i for i in report.instances if i.name == "unbounded_source"
         ]
-        assert {cell.outcome for cell in unbounded.cells} == {"unbounded"}
+        explicit = [c for c in unbounded.cells if c.engine != "symbolic"]
+        assert {cell.outcome for cell in explicit} == {"unbounded"}
+        # The symbolic engine never concludes unboundedness; it must
+        # report the query open rather than call the net bounded.
+        (symbolic,) = [c for c in unbounded.cells if c.engine == "symbolic"]
+        assert symbolic.outcome == "inconclusive"
+        assert symbolic.conclusive is False
 
     def test_deadlocking_instance_agrees_on_the_deadlock(self, report):
         (phils,) = [
             i for i in report.instances if i.name == "philosophers_2"
         ]
-        deadlock_sets = {cell.deadlocks for cell in phils.cells}
+        deadlock_sets = {
+            cell.deadlocks
+            for cell in phils.cells
+            if cell.engine != "symbolic"  # symbolic enumerates nothing
+        }
         assert len(deadlock_sets) == 1
         (deadlocks,) = deadlock_sets
         assert len(deadlocks) == 1  # both philosophers holding one fork
@@ -96,8 +114,16 @@ class TestBoundExceeded:
             corpus_dir / "fig7_translator.net", max_states=10
         )
         assert all(
-            cell.outcome == "bound-exceeded" for cell in instance.cells
+            cell.outcome == "bound-exceeded"
+            for cell in instance.cells
+            if cell.engine != "symbolic"
         )
+        # The state-equation cell has no state budget to exceed: its
+        # verdict is whatever the linear reasoning concludes.
+        (symbolic,) = [
+            c for c in instance.cells if c.engine == "symbolic"
+        ]
+        assert symbolic.outcome in ("ok", "inconclusive")
         assert instance.ok  # agreeing on the budget miss is agreement
 
 
@@ -159,6 +185,66 @@ class TestDiffCells:
         )
         assert any("backend mismatch" in p for p in problems)
 
+    def symbolic(self, outcome="ok", conclusive=True, dead=()):
+        return CellResult(
+            "symbolic",
+            "-",
+            outcome,
+            conclusive=conclusive,
+            dead_actions=frozenset(dead),
+        )
+
+    def test_symbolic_bounded_against_explicit_unbounded_flagged(self):
+        """A conclusive boundedness claim against an explicit strict
+        covering is a soundness bug and must be loud."""
+        problems = diff_cells(
+            [
+                CellResult("eager", "dict", "unbounded"),
+                self.symbolic(outcome="ok", conclusive=True),
+            ]
+        )
+        assert any("symbolic claims the net is bounded" in p for p in problems)
+
+    def test_symbolic_inconclusive_against_unbounded_is_fine(self):
+        problems = diff_cells(
+            [
+                CellResult("eager", "dict", "unbounded"),
+                self.symbolic(outcome="inconclusive", conclusive=False),
+            ]
+        )
+        assert problems == []
+
+    def test_symbolic_dead_action_fired_by_explicit_engine_flagged(self):
+        cells = [
+            CellResult(
+                "eager",
+                "dict",
+                "ok",
+                5,
+                7,
+                frozenset(),
+                fired_actions=frozenset({"a", "b"}),
+            ),
+            self.symbolic(dead={"b"}),
+        ]
+        problems = diff_cells(cells)
+        assert any("are dead but" in p and "fired" in p for p in problems)
+
+    def test_symbolic_dead_action_never_fired_is_fine(self):
+        cells = [
+            CellResult(
+                "eager",
+                "dict",
+                "ok",
+                5,
+                7,
+                frozenset(),
+                fired_actions=frozenset({"a"}),
+            ),
+            self.symbolic(dead={"c"}),
+        ]
+        assert diff_cells(cells) == []
+
 
 class TestFuzzLaws:
     def test_corpus_nets_satisfy_the_laws(self, corpus_paths):
@@ -208,6 +294,35 @@ class TestCliBench:
         index = json.loads((out_dir / "INDEX.json").read_text())
         assert index["disagreements"] == []
         assert len(index["instances"]) == len(payloads)
+
+    def test_symbolic_cells_carry_conclusive_flags(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "obs"
+        status = main(
+            [
+                "bench",
+                str(corpus_dir),
+                "--engines",
+                "onthefly,symbolic",
+                "--backends",
+                "dict",
+                "--max-states",
+                "5000",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "# all engines and backends agree" in out
+        assert "symbolic/-" in out
+        index = json.loads((out_dir / "INDEX.json").read_text())
+        assert index["disagreements"] == []
+        for entry in index["instances"]:
+            cell = entry["cells"]["symbolic/-"]
+            assert cell["conclusive"] in (True, False)
+            assert "dead action" in cell["summary"]
 
     def test_missing_directory_exits_two(self, tmp_path, capsys):
         status = main(["bench", str(tmp_path / "ghost")])

@@ -1,9 +1,12 @@
-"""Differential testing of the partial-order reduction engine.
+"""Differential testing of the exploration engines.
 
 Every property here runs the same verification question through
 ``eager`` (the oracle), ``onthefly`` (the lazy engine PR 1 validated
-against the oracle) and ``por`` (the stubborn-set reduced engine), and
-asserts three-way agreement — on verdicts, on the visible-action
+against the oracle), ``por`` (the stubborn-set reduced engine) and —
+where the question supports it — ``symbolic`` (the state-equation
+semi-decision engine, whose inconclusive cases fall back to the
+explicit search and must therefore reach the same verdicts), and
+asserts engine-matrix agreement — on verdicts, on the visible-action
 language of the reduced space, and on deadlock sets — over the
 non-safe-net strategies in :mod:`tests.strategies`.
 
@@ -28,7 +31,7 @@ from repro.petri.product import LazyStateSpace, compare_languages
 from repro.petri.reachability import ReachabilityGraph
 from repro.petri.simulation import TokenGame
 from repro.stg.stg import Stg
-from repro.verify.language import languages_equal
+from repro.verify.language import language_contained, languages_equal
 from repro.verify.receptiveness import check_receptiveness
 
 from tests.strategies import bounded_multi_token_nets, bounded_nets
@@ -103,7 +106,9 @@ def reduced_space_as_lts(space: LazyStateSpace) -> PetriNet:
 @THOROUGH
 @given(net1=bounded_nets(), net2=bounded_nets())
 def test_language_verdicts_agree_across_engines(net1, net2):
-    """Equality and containment verdicts: eager == onthefly == por."""
+    """Equality and containment verdicts across the four-way matrix:
+    eager == onthefly == por == symbolic (the symbolic pre-check either
+    concludes exactly or falls back to the explicit comparison)."""
     with persists_counterexamples("language_verdicts", net1=net1, net2=net2):
         for mode in ("equal", "contained"):
             verdicts = {
@@ -120,8 +125,15 @@ def test_language_verdicts_agree_across_engines(net1, net2):
                 ).verdict
                 for engine in ("eager", "onthefly", "por")
             }
-            assert verdicts["por"] == verdicts["eager"], (mode, verdicts)
-            assert verdicts["onthefly"] == verdicts["eager"], (mode, verdicts)
+            verdicts["symbolic"] = (
+                languages_equal(net1, net2, silent=SILENT, engine="symbolic")
+                if mode == "equal"
+                else language_contained(
+                    net1, net2, silent=SILENT, engine="symbolic"
+                )
+            )
+            for engine in ("onthefly", "por", "symbolic"):
+                assert verdicts[engine] == verdicts["eager"], (mode, verdicts)
 
 
 @THOROUGH
@@ -134,8 +146,10 @@ def test_language_verdicts_agree_across_engines(net1, net2):
     ),
 )
 def test_receptiveness_verdicts_agree_across_engines(net1, net2):
-    """Same Prop 5.5 verdict and failing obligations under reduction,
-    and every por witness trace replays on the unreduced composite."""
+    """Same Prop 5.5 verdict and failing obligations across the
+    four-way matrix (symbolic decides what it can and falls back to
+    the explicit search for the rest), and every por witness trace
+    replays on the unreduced composite."""
     with persists_counterexamples("receptiveness", net1=net1, net2=net2):
         producer = Stg(net1, outputs={"a", "b"})
         consumer = Stg(net2, inputs={"a", "b"})
@@ -147,10 +161,10 @@ def test_receptiveness_verdicts_agree_across_engines(net1, net2):
                 max_states=20_000,
                 engine=engine,
             )
-            for engine in ("eager", "onthefly", "por")
+            for engine in ("eager", "onthefly", "por", "symbolic")
         }
         eager = reports["eager"]
-        for engine in ("onthefly", "por"):
+        for engine in ("onthefly", "por", "symbolic"):
             report = reports[engine]
             assert report.is_receptive() == eager.is_receptive(), engine
             failed = lambda r: {  # noqa: E731
@@ -312,16 +326,17 @@ def test_corpus_family_visible_language_preserved(name, proviso):
     ],
 )
 def test_corpus_family_language_verdicts_agree(name1, name2):
-    """Three-way verdict parity on corpus family pairs: whatever the
-    eager oracle answers, the lazy and reduced engines must echo."""
+    """Four-way verdict parity on corpus family pairs: whatever the
+    eager oracle answers, the lazy, reduced and symbolic engines must
+    echo."""
     net1, net2 = corpus_net(name1), corpus_net(name2)
     silent = corpus_silent(net1) | corpus_silent(net2)
     verdicts = {
         engine: languages_equal(net1, net2, silent=silent, engine=engine)
-        for engine in ("eager", "onthefly", "por")
+        for engine in ("eager", "onthefly", "por", "symbolic")
     }
-    assert verdicts["onthefly"] == verdicts["eager"], verdicts
-    assert verdicts["por"] == verdicts["eager"], verdicts
+    for engine in ("onthefly", "por", "symbolic"):
+        assert verdicts[engine] == verdicts["eager"], verdicts
     assert verdicts["eager"] is (name1 == name2)
 
 

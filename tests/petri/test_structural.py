@@ -7,6 +7,7 @@ from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.petri.reachability import ReachabilityGraph
 from repro.petri.structural import (
+    SemiflowBudgetError,
     fraction_rank,
     incidence_matrix,
     invariant_value,
@@ -17,8 +18,10 @@ from repro.petri.structural import (
     minimal_siphons,
     minimal_traps,
     p_invariants,
+    p_invariants_partial,
     siphon_trap_property,
     t_invariants,
+    t_invariants_partial,
 )
 
 
@@ -102,6 +105,56 @@ class TestInvariants:
         producer = PetriNet()
         producer.add_transition({"p"}, "a", {"p", "q"})
         assert not is_covered_by_p_invariants(producer)
+
+
+class TestSemiflowBudget:
+    """The enumeration budget must never be a *silent* truncation: a
+    truncated invariant basis loses completeness (coverage claims,
+    symbolic constraint strength) even though each surviving row stays
+    a valid semiflow, so the caller has to be told."""
+
+    def test_exceeding_the_budget_raises_by_default(self):
+        with pytest.raises(SemiflowBudgetError) as info:
+            p_invariants(fork_join(), max_vectors=1)
+        assert info.value.vectors > info.value.max_vectors == 1
+        assert "max_vectors=1" in str(info.value)
+        assert "_partial" in str(info.value)
+
+    def test_partial_api_reports_truncation(self):
+        invariants, truncated = p_invariants_partial(
+            fork_join(), max_vectors=1
+        )
+        assert truncated
+        # Truncation costs completeness, never validity: every
+        # surviving vector is still a genuine P-semiflow.
+        places, _, matrix = incidence_matrix(fork_join())
+        for invariant in invariants:
+            weights = np.array([invariant.get(p, 0) for p in places])
+            assert (weights @ matrix == 0).all()
+
+    def test_partial_api_raise_mode(self):
+        with pytest.raises(SemiflowBudgetError):
+            p_invariants_partial(fork_join(), max_vectors=1, on_budget="raise")
+
+    def test_within_budget_is_not_truncated(self):
+        invariants, truncated = p_invariants_partial(fork_join())
+        assert not truncated
+        assert len(invariants) == 2
+        t_inv, t_truncated = t_invariants_partial(cycle())
+        assert not t_truncated
+        assert t_inv == [{0: 1, 1: 1}]
+
+    def test_t_invariants_budget_raises_too(self):
+        net = PetriNet("two_cycles")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "b", {"p0"})
+        net.add_transition({"p0"}, "c", {"p1"})
+        with pytest.raises(SemiflowBudgetError):
+            t_invariants(net, max_vectors=1)
+
+    def test_invalid_on_budget_value_rejected(self):
+        with pytest.raises(ValueError):
+            p_invariants_partial(fork_join(), on_budget="ignore")
 
 
 class TestStructuralBoundedness:

@@ -1,0 +1,367 @@
+"""Unit tests for the state-equation symbolic engine.
+
+Covers the exact phase-1 simplex, the component-restricted state
+equation builder, trap-constraint refinement (on a net where the plain
+equation is feasible and only the trap cut decides), the marked-graph
+exactness path, boundedness certificates, dead actions, the language
+pre-check, and the solver-optional SMT backend (script shape always;
+solver verdicts only when one is installed).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.reachability import ReachabilityGraph
+from repro.petri.symbolic import (
+    LinearSystem,
+    StateEquation,
+    SymbolicVerdict,
+    analyze,
+    bounded,
+    dead_actions,
+    initial_actions,
+    language_precheck,
+    marking_unreachable,
+    predicate_unreachable,
+    smt_available,
+    smt_bmc_script,
+    smt_kinduction_step_script,
+    smt_state_equation_script,
+    smt_unreachable,
+    symbolic_receptiveness,
+)
+
+
+def cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_transition({"p0"}, "a", {"p1"})
+    net.add_transition({"p1"}, "b", {"p0"})
+    net.set_initial(Marking({"p0": 1}))
+    return net
+
+
+def trap_net() -> PetriNet:
+    """The canonical refinement-requiring net: the plain state equation
+    can "empty" the trap {a, b} (x1 = x2 = 1 cancels out), but the
+    initially-marked trap constraint M(a)+M(b) >= 1 cuts it off."""
+    net = PetriNet("trap")
+    net.add_transition({"a"}, "t1", {"b"})
+    net.add_transition({"a", "b"}, "t2", {"a"})
+    net.set_initial(Marking({"a": 1}))
+    return net
+
+
+def source_net() -> PetriNet:
+    net = PetriNet("source")
+    net.add_transition({"p"}, "grow", {"p", "q"})
+    net.set_initial(Marking({"p": 1}))
+    return net
+
+
+class TestLinearSystem:
+    def test_feasible_system_yields_exact_rationals(self):
+        system = LinearSystem(("x", "y"))
+        system.inequality((2, 1), 4)
+        system.equality((1, 3), 3)
+        solution = system.solve()
+        assert solution is not None
+        for value in solution.values():
+            assert isinstance(value, Fraction)
+        x, y = solution["x"], solution["y"]
+        assert 2 * x + y <= 4
+        assert x + 3 * y == 3
+
+    def test_infeasible_system(self):
+        system = LinearSystem(("x",))
+        system.inequality((1,), 1)
+        system.inequality((-1,), -2)  # x >= 2 contradicts x <= 1
+        assert system.solve() is None
+
+    def test_equality_forces_fractional_solution(self):
+        system = LinearSystem(("x",))
+        system.equality((3,), 1)
+        solution = system.solve()
+        assert solution == {"x": Fraction(1, 3)}
+
+    def test_empty_variable_edge_cases(self):
+        consistent = LinearSystem(())
+        consistent.equality((), 0)
+        assert consistent.solve() == {}
+        contradictory = LinearSystem(())
+        contradictory.equality((), 1)
+        assert contradictory.solve() is None
+
+    def test_coefficient_arity_checked(self):
+        system = LinearSystem(("x", "y"))
+        with pytest.raises(ValueError):
+            system.inequality((1,), 0)
+
+
+class TestStateEquation:
+    def test_unknown_focus_place_rejected(self):
+        with pytest.raises(ValueError):
+            StateEquation(cycle(), {"nope"})
+
+    def test_component_restriction_drops_other_components(self):
+        net = PetriNet("two-components")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"q0"}, "b", {"q1"})
+        net.set_initial(Marking({"p0": 1, "q0": 1}))
+        equation = StateEquation(net, {"p0"})
+        assert set(equation.places) == {"p0", "p1"}
+        assert len(equation.tids) == 1
+
+    def test_no_restriction_keeps_everything(self):
+        net = PetriNet("two-components")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"q0"}, "b", {"q1"})
+        net.set_initial(Marking({"p0": 1, "q0": 1}))
+        equation = StateEquation(net, {"p0"}, restrict=False)
+        assert set(equation.places) == {"p0", "p1", "q0", "q1"}
+
+    def test_witness_marking_freezes_other_components(self):
+        net = PetriNet("two-components")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"q0"}, "b", {"q1"})
+        net.set_initial(Marking({"p0": 1, "q0": 1}))
+        equation = StateEquation(net, {"p0"})
+        system = equation.base_system()
+        equation.require_marked(system, "p1")
+        solution = system.solve()
+        witness = equation.witness_marking(solution)
+        assert witness["p1"] == 1
+        assert witness["q0"] == 1  # untouched component keeps M0
+
+
+class TestPredicateUnreachable:
+    def test_invariant_contradiction_is_conclusive(self):
+        """p0 and p1 share one token: both marked at once is impossible,
+        and the plain state equation already proves it."""
+        verdict = predicate_unreachable(cycle(), marked=("p0", "p1"))
+        assert verdict.conclusive and verdict.holds
+        assert verdict.stats["refinement_rounds"] == 0
+
+    def test_trap_refinement_is_load_bearing(self):
+        """Emptying {a, b} is state-equation feasible; only the
+        initially-marked-trap cut makes the verdict conclusive."""
+        verdict = predicate_unreachable(trap_net(), empty=("a", "b"))
+        assert verdict.conclusive and verdict.holds
+        assert verdict.stats["refinement_rounds"] >= 1
+        # Ground truth: no reachable marking empties both places.
+        for marking in ReachabilityGraph(trap_net()).states:
+            assert marking["a"] or marking["b"]
+
+    def test_exact_mode_yields_witness_on_marked_graph(self):
+        verdict = predicate_unreachable(cycle(), marked=("p1",))
+        assert verdict.conclusive and not verdict.holds
+        assert verdict.witness == Marking({"p1": 1})
+
+    def test_feasible_inexact_net_is_inconclusive(self):
+        """trap_net is not a marked graph, so a feasible system proves
+        nothing: marked=(b,) is actually reachable but the verdict must
+        stay inconclusive rather than guess."""
+        verdict = predicate_unreachable(trap_net(), marked=("b",))
+        assert not verdict.conclusive
+        assert verdict.holds is None
+
+    def test_conclusive_verdicts_enforce_holds(self):
+        with pytest.raises(ValueError):
+            SymbolicVerdict(True, None, "broken")
+        with pytest.raises(ValueError):
+            SymbolicVerdict(False, True, "broken")
+
+
+class TestMarkingUnreachable:
+    def test_two_tokens_in_one_token_cycle(self):
+        verdict = marking_unreachable(cycle(), Marking({"p0": 1, "p1": 1}))
+        assert verdict.conclusive and verdict.holds
+
+    def test_reachable_marking_on_marked_graph_is_conclusively_false(self):
+        verdict = marking_unreachable(cycle(), Marking({"p1": 1}))
+        assert verdict.conclusive and not verdict.holds
+        assert verdict.witness == Marking({"p1": 1})
+
+    def test_unknown_target_place_rejected(self):
+        with pytest.raises(ValueError):
+            marking_unreachable(cycle(), Marking({"ghost": 1}))
+
+
+class TestBounded:
+    def test_invariant_covered_net(self):
+        verdict = bounded(cycle())
+        assert verdict.conclusive and verdict.holds
+        assert "P-invariant" in verdict.reason
+
+    def test_structural_certificate_without_full_coverage(self):
+        """A strictly-consumed place lies in no P-semiflow, but a
+        positive weighting that never increases still certifies
+        boundedness."""
+        net = PetriNet("drain")
+        net.add_transition({"p", "q"}, "a", {"q"})
+        net.set_initial(Marking({"p": 1, "q": 1}))
+        verdict = bounded(net)
+        assert verdict.conclusive and verdict.holds
+        assert "structurally bounded" in verdict.reason
+
+    def test_unbounded_source_is_inconclusive_never_wrong(self):
+        verdict = bounded(source_net())
+        assert not verdict.conclusive
+
+    def test_empty_net(self):
+        verdict = bounded(PetriNet("empty"))
+        assert verdict.conclusive and verdict.holds
+
+
+class TestDeadActions:
+    def test_dead_transition_found(self):
+        """d consumes from a place that can never be marked: its preset
+        enabling condition is state-equation infeasible."""
+        net = PetriNet("with-dead")
+        net.add_transition({"p0"}, "a", {"p1"})
+        net.add_transition({"p1"}, "b", {"p0"})
+        net.add_transition({"p0", "p1"}, "d", {"p0"})
+        net.set_initial(Marking({"p0": 1}))
+        dead, stats = dead_actions(net)
+        assert dead == frozenset({"d"})
+        assert stats["systems"] >= 1
+        # Ground truth: no reachable marking enables d.
+        for marking in ReachabilityGraph(net).states:
+            assert not (marking["p0"] and marking["p1"])
+
+    def test_alphabet_only_action_is_dead(self):
+        net = cycle()
+        net.actions.add("phantom")
+        dead, _ = dead_actions(net)
+        assert "phantom" in dead
+
+    def test_live_actions_not_reported(self):
+        dead, _ = dead_actions(cycle())
+        assert "a" not in dead and "b" not in dead
+
+    def test_initial_actions_exact(self):
+        assert initial_actions(cycle()) == frozenset({"a"})
+
+
+class TestLanguagePrecheck:
+    def test_separating_one_letter_word(self):
+        left = cycle()  # 'a' fires immediately
+        right = PetriNet("silent")
+        right.add_transition({"q"}, "c", {"q"})
+        right.set_initial(Marking({}))  # c can never fire
+        verdict = language_precheck(left, right, mode="equal")
+        assert verdict.conclusive and not verdict.holds
+        assert verdict.witness == ("a",)
+
+    def test_both_languages_epsilon(self):
+        left = PetriNet("idle1")
+        left.add_transition({"p"}, "a", {"p"})
+        left.set_initial(Marking({}))
+        right = PetriNet("idle2")
+        right.add_transition({"q"}, "b", {"q"})
+        right.set_initial(Marking({}))
+        verdict = language_precheck(left, right, mode="equal")
+        assert verdict.conclusive and verdict.holds
+
+    def test_containment_of_empty_left(self):
+        left = PetriNet("idle")
+        left.add_transition({"p"}, "a", {"p"})
+        left.set_initial(Marking({}))
+        verdict = language_precheck(left, cycle(), mode="contained")
+        assert verdict.conclusive and verdict.holds
+
+    def test_equal_nets_are_inconclusive(self):
+        verdict = language_precheck(cycle(), cycle(), mode="equal")
+        assert not verdict.conclusive
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            language_precheck(cycle(), cycle(), mode="superset")
+
+
+class TestSymbolicReceptiveness:
+    def test_handshake_bank_is_conclusively_safe(self):
+        from repro.models.library import four_phase_master, four_phase_slave
+        from repro.verify.receptiveness import compose_with_obligations
+
+        composite, obligations = compose_with_obligations(
+            four_phase_master(), four_phase_slave()
+        )
+        outcome = symbolic_receptiveness(composite.net, obligations)
+        assert outcome.conclusive
+        assert len(outcome.safe) == len(obligations)
+        assert not outcome.failed and not outcome.undecided
+        assert outcome.stats["systems"] >= 1
+
+    def test_counters_emitted(self):
+        from repro.models.library import four_phase_master, four_phase_slave
+        from repro.verify.receptiveness import compose_with_obligations
+
+        composite, obligations = compose_with_obligations(
+            four_phase_master(), four_phase_slave()
+        )
+        with obs.record() as recorder:
+            symbolic_receptiveness(composite.net, obligations)
+        payload = recorder.to_dict()
+        counters = payload["counters"]
+        assert counters["engine.symbolic.systems"] >= 1
+        assert counters["engine.symbolic.conclusive"] == len(obligations)
+        assert counters.get("engine.symbolic.inconclusive", 0) == 0
+
+
+class TestAnalyze:
+    def test_bounded_net_payload(self):
+        with obs.record() as recorder:
+            result = analyze(cycle())
+        assert result["bounded"].conclusive
+        assert result["dead_actions"] == frozenset()
+        payload = recorder.to_dict()
+        spans = [s for s in payload["spans"] if s["name"] == "engine.symbolic.analyze"]
+        assert spans and spans[0]["meta"]["bounded_conclusive"] is True
+
+    def test_unbounded_source_inconclusive(self):
+        result = analyze(source_net())
+        assert not result["bounded"].conclusive
+
+
+class TestSmtScripts:
+    def test_state_equation_script_shape(self):
+        script = smt_state_equation_script(cycle(), marked=("p1",))
+        assert script.startswith("(set-logic QF_LIA)")
+        assert script.rstrip().endswith("(check-sat)")
+        assert "(declare-const x0 Int)" in script
+        assert "(declare-const x1 Int)" in script
+        # The invariant p0 + p1 = 1 must appear as an equality.
+        assert "(assert (= " in script
+
+    def test_bmc_script_anchors_initial_marking(self):
+        script = smt_bmc_script(cycle(), marked=("p1",), depth=2)
+        assert "(assert (= m0_0 1))" in script  # p0 starts at 1
+        assert "(assert (= m0_1 0))" in script
+        assert "m2_" in script and "m3_" not in script
+
+    def test_kinduction_script_anchors_state_equation(self):
+        script = smt_kinduction_step_script(cycle(), marked=("p1",), k=1)
+        assert "(declare-const y0 Int)" in script
+        assert "s1_" in script
+
+    def test_no_solver_is_clean_inconclusive(self):
+        if smt_available():  # pragma: no cover - solver-present machines
+            pytest.skip("an SMT solver is installed")
+        verdict = smt_unreachable(cycle(), marked=("p0", "p1"))
+        assert not verdict.conclusive
+        assert "no SMT solver" in verdict.reason
+
+    def test_solver_agrees_with_rational_engine(self):
+        if not smt_available():
+            pytest.skip("no SMT solver on PATH")
+        verdict = smt_unreachable(cycle(), marked=("p0", "p1"))
+        assert verdict.conclusive and verdict.holds  # pragma: no cover
+        reachable = smt_unreachable(cycle(), marked=("p1",))
+        assert reachable.conclusive  # pragma: no cover
+        assert not reachable.holds  # pragma: no cover

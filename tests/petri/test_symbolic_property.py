@@ -1,0 +1,217 @@
+"""Soundness of the symbolic engine, property-tested against eager.
+
+The state-equation engine is a semi-decision procedure: INCONCLUSIVE is
+always allowed, but every CONCLUSIVE verdict is a *proof* and must
+therefore agree with the eager oracle on any net hypothesis can dream
+up.  Each property enumerates the ground truth explicitly (reachable
+markings, fired actions, receptiveness verdicts) and checks that no
+conclusive symbolic answer ever contradicts it.
+
+When a property fails, the shrunk counterexample net(s) are persisted
+as JSON under ``tests/petri/symbolic_failures/`` (hypothesis replays
+the minimal example last, so the file left behind is the fully shrunk
+net) for offline replay via :func:`repro.io.json_io.net_from_dict` —
+the same harness the POR differential suite uses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.io.json_io import net_to_dict
+from repro.petri.marking import Marking
+from repro.petri.net import EPSILON, PetriNet
+from repro.petri.product import LazyStateSpace, compare_languages
+from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
+from repro.petri.symbolic import (
+    bounded,
+    dead_actions,
+    language_precheck,
+    marking_unreachable,
+    predicate_unreachable,
+)
+from repro.stg.stg import Stg
+from repro.verify.receptiveness import check_receptiveness
+
+from tests.strategies import bounded_nets, multi_token_nets
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+THOROUGH = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+SILENT = frozenset({EPSILON, "u"})
+
+SIGNAL_ACTIONS = ["a+", "a-", "b+", "b-"]
+
+FAILURE_DIR = Path(__file__).parent / "symbolic_failures"
+
+
+class persists_counterexamples:
+    """On assertion failure, write the example nets to FAILURE_DIR."""
+
+    def __init__(self, label: str, **nets: PetriNet):
+        self.label = label
+        self.nets = nets
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None and issubclass(exc_type, AssertionError):
+            FAILURE_DIR.mkdir(exist_ok=True)
+            payload = {
+                name: net_to_dict(net) for name, net in self.nets.items()
+            }
+            path = FAILURE_DIR / f"{self.label}.json"
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return False
+
+
+def reachable_markings(net: PetriNet) -> set[Marking]:
+    space = LazyStateSpace(net)
+    space.explore_all()
+    return set(space.iter_bfs())
+
+
+@THOROUGH
+@given(net=multi_token_nets())
+def test_bounded_verdict_sound(net):
+    """A conclusive 'bounded' must never be contradicted by the eager
+    construction hitting an unbounded witness (the strategy draws
+    genuinely unbounded nets, so the dangerous direction is hit)."""
+    with persists_counterexamples("bounded", net=net):
+        verdict = bounded(net)
+        if not (verdict.conclusive and verdict.holds):
+            return  # inconclusive is always allowed
+        try:
+            ReachabilityGraph(net, max_states=3000)
+        except UnboundedNetError:
+            raise AssertionError(
+                f"symbolic called an unbounded net bounded: {verdict.reason}"
+            ) from None
+
+
+@THOROUGH
+@given(net=bounded_nets(max_states=1500))
+def test_predicate_unreachable_sound(net):
+    """Conclusive place-marking verdicts agree with the enumerated
+    reachable set; a conclusive 'reachable' (exact mode) must produce a
+    genuinely reachable witness."""
+    with persists_counterexamples("predicate", net=net):
+        reached = reachable_markings(net)
+        for place in sorted(net.places):
+            verdict = predicate_unreachable(net, marked=[place])
+            truly_unreachable = all(m[place] == 0 for m in reached)
+            if not verdict.conclusive:
+                continue
+            if verdict.holds:
+                assert truly_unreachable, (place, verdict.reason)
+            else:
+                assert not truly_unreachable, (place, verdict.reason)
+                assert verdict.witness in reached, (place, verdict.witness)
+
+
+@RELAXED
+@given(net=bounded_nets(max_states=1500))
+def test_marking_unreachable_sound(net):
+    """Exact-marking verdicts, probed with both genuinely reachable
+    targets and a perturbed (token added) variant of each."""
+    with persists_counterexamples("marking", net=net):
+        reached = reachable_markings(net)
+        probes = list(reached)[:5]
+        place = min(net.places) if net.places else None
+        for marking in list(probes):
+            if place is not None:
+                bumped = dict(marking)
+                bumped[place] = bumped.get(place, 0) + 1
+                probes.append(Marking(bumped))
+        for target in probes:
+            verdict = marking_unreachable(net, target)
+            if not verdict.conclusive:
+                continue
+            if verdict.holds:
+                assert target not in reached, (target, verdict.reason)
+            else:
+                assert target in reached, (target, verdict.reason)
+
+
+@THOROUGH
+@given(net=bounded_nets(max_states=1500))
+def test_dead_actions_sound(net):
+    """No conclusively-dead action ever fires in the full state space."""
+    with persists_counterexamples("dead_actions", net=net):
+        dead, _ = dead_actions(net)
+        space = LazyStateSpace(net)
+        space.explore_all()
+        fired = {
+            action
+            for marking in space.iter_bfs()
+            for action, _, _ in space.successors(marking)
+        }
+        assert not (dead & fired), dead & fired
+
+
+@RELAXED
+@given(net1=bounded_nets(), net2=bounded_nets())
+def test_language_precheck_sound(net1, net2):
+    """A conclusive language pre-check verdict must match the eager
+    language comparison, in both modes."""
+    with persists_counterexamples("precheck", net1=net1, net2=net2):
+        for mode in ("equal", "contained"):
+            verdict = language_precheck(net1, net2, mode=mode, silent=SILENT)
+            if not verdict.conclusive:
+                continue
+            truth = compare_languages(
+                net1, net2, mode=mode, silent=SILENT
+            ).verdict
+            assert verdict.holds == truth, (mode, verdict.reason)
+
+
+@RELAXED
+@given(
+    net1=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+    net2=bounded_nets(
+        max_places=4, max_transitions=3, actions=SIGNAL_ACTIONS, max_states=400
+    ),
+)
+def test_receptiveness_parity_with_eager(net1, net2):
+    """engine=symbolic reports the same receptiveness verdict and the
+    same failing obligations as eager: conclusively-safe obligations
+    are safe, and the explicit fallback covers everything undecided."""
+    with persists_counterexamples("receptiveness", net1=net1, net2=net2):
+        producer = Stg(net1, outputs={"a", "b"})
+        consumer = Stg(net2, inputs={"a", "b"})
+        reports = {
+            engine: check_receptiveness(
+                producer,
+                consumer,
+                method="reachability",
+                max_states=20_000,
+                engine=engine,
+            )
+            for engine in ("eager", "symbolic")
+        }
+        eager, symbolic = reports["eager"], reports["symbolic"]
+        assert symbolic.is_receptive() == eager.is_receptive()
+        failed = lambda r: {  # noqa: E731
+            (f.obligation.action, f.obligation.producer) for f in r.failures
+        }
+        assert failed(symbolic) == failed(eager)
+        assert symbolic.symbolic is not None
+        counts = symbolic.symbolic
+        assert counts["safe"] + counts["failed"] + counts["undecided"] == len(
+            symbolic.obligations
+        )

@@ -308,6 +308,123 @@ class TestVerifyPor:
         assert "# eager baseline : unavailable (bound exceeded)" in out
 
 
+@pytest.fixture()
+def bank_files(tmp_path):
+    """A six-channel handshake bank whose explicit product space (4^6
+    interleavings) exceeds a 2000-state budget, while every symbolic
+    obligation system stays at the one-channel closed-form size."""
+    from repro.core.circuit import compose_many
+    from repro.io.json_io import save
+
+    channels = 6
+    masters = compose_many(
+        [
+            four_phase_master(req=f"r{i}", ack=f"a{i}", name=f"m{i}")
+            for i in range(channels)
+        ]
+    )
+    slaves = compose_many(
+        [
+            four_phase_slave(req=f"r{i}", ack=f"a{i}", name=f"s{i}")
+            for i in range(channels)
+        ]
+    )
+    master_path = tmp_path / "masters.json"
+    slave_path = tmp_path / "slaves.json"
+    save(masters, str(master_path))
+    save(slaves, str(slave_path))
+    return str(master_path), str(slave_path)
+
+
+class TestVerifySymbolic:
+    def test_decides_beyond_the_state_budget(self, bank_files, capsys):
+        """The acceptance instance: symbolic proves all 24 obligations
+        safe under a budget the explicit engines cannot fit."""
+        masters, slaves = bank_files
+        status = main(
+            [
+                "verify",
+                masters,
+                slaves,
+                "--engine",
+                "symbolic",
+                "--method",
+                "reachability",
+                "--max-states",
+                "2000",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "receptive" in out
+        assert "# symbolic       : 24/24 obligations proven safe" in out
+        assert "# verdict        : conclusive — no state enumerated" in out
+
+    def test_explicit_engine_exceeds_the_same_budget(
+        self, bank_files, capsys
+    ):
+        masters, slaves = bank_files
+        status = main(
+            [
+                "verify",
+                masters,
+                slaves,
+                "--engine",
+                "onthefly",
+                "--method",
+                "reachability",
+                "--max-states",
+                "2000",
+            ]
+        )
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "state space exceeds --max-states=2000" in err
+
+    def test_inconclusive_remainder_falls_back(
+        self, case_study_files, capsys
+    ):
+        """sender||translator leaves some obligations undecided; the
+        verdict line must say the fallback search settled them."""
+        sender_path, translator_path = case_study_files
+        status = main(
+            [
+                "verify",
+                sender_path,
+                translator_path,
+                "--engine",
+                "symbolic",
+                "--method",
+                "reachability",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "receptive" in out
+        assert "# symbolic       : " in out
+        assert "undecided" in out
+        assert (
+            "# verdict        : inconclusive remainder fell back to the"
+            " on-the-fly search" in out
+        )
+
+    def test_symbolic_rejects_parallel(self, master_file, slave_file, capsys):
+        status = main(
+            [
+                "verify",
+                master_file,
+                slave_file,
+                "--engine",
+                "symbolic",
+                "--parallel",
+                "2",
+            ]
+        )
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "--engine symbolic does not compose with" in err
+
+
 class TestObservability:
     def test_profile_prints_summary(self, master_file, slave_file, capsys):
         assert (
