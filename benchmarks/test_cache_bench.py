@@ -1,0 +1,69 @@
+"""Cache warm-path speedup over the corpus sweep.
+
+Three timed legs over the checked-in mini-corpus: a run with caching
+disabled, a cold run that populates a fresh store, and a warm run that
+serves from it.  The warm leg must beat the disabled leg by at least 3x
+wall-clock (in practice it is far higher — the warm run does no state
+exploration at all).  The measured ratios land in ``BENCH_cache.json``
+so the speedup is tracked as a trajectory, not just asserted once.
+"""
+
+import time
+from pathlib import Path
+
+from repro.bench.corpus import run_corpus
+from repro.cache.store import activated
+from repro.obs.emit import write_benchmark
+
+BENCH_PATH = Path(__file__).parent / "BENCH_cache.json"
+
+MAX_STATES = 50_000
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _timed_sweep(corpus_paths):
+    start = time.perf_counter()
+    report = run_corpus(corpus_paths, max_states=MAX_STATES)
+    return report, time.perf_counter() - start
+
+
+def test_cache_warm_speedup(corpus_paths, tmp_path):
+    nocache_report, nocache_s = _timed_sweep(corpus_paths)
+    with activated(tmp_path / "cache"):
+        cold_report, cold_s = _timed_sweep(corpus_paths)
+        warm_report, warm_s = _timed_sweep(corpus_paths)
+
+    for report in (nocache_report, cold_report, warm_report):
+        assert report.disagreements == []
+    # The semantic cell results are identical across all three legs.
+    for cold_inst, warm_inst, plain_inst in zip(
+        cold_report.instances, warm_report.instances, nocache_report.instances
+    ):
+        assert cold_inst.cells == warm_inst.cells == plain_inst.cells
+
+    cells = [cell for inst in warm_report.instances for cell in inst.cells]
+    warm_hits = sum(1 for cell in cells if cell.cached)
+    assert warm_hits == len(cells), "warm sweep must be served entirely"
+
+    warm_speedup = nocache_s / warm_s
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm sweep only {warm_speedup:.1f}x faster than --no-cache"
+        f" ({warm_s:.2f}s vs {nocache_s:.2f}s); need {MIN_WARM_SPEEDUP}x"
+    )
+
+    write_benchmark(
+        BENCH_PATH,
+        "cache-warm-sweep",
+        "seconds (and derived ratios)",
+        {
+            "corpus-sweep": {
+                "nocache_s": round(nocache_s, 3),
+                "cold_s": round(cold_s, 3),
+                "warm_s": round(warm_s, 3),
+                "warm_speedup_x": round(warm_speedup, 1),
+                "cold_speedup_x": round(nocache_s / cold_s, 1),
+                "warm_cells_cached": warm_hits,
+                "cells_total": len(cells),
+            }
+        },
+    )

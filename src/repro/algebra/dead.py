@@ -215,6 +215,18 @@ def trim(net: PetriNet, max_states: int = 1_000_000) -> PetriNet:
     supplies both the fired-transition set and the ever-marked places.
     """
     with obs.span("algebra.trim", net=net.name) as span:
+        from repro.cache import derived
+
+        cached = derived.lookup("trim", [net], max_states=max_states)
+        if cached is not None:
+            span.set(
+                cached=True,
+                places_before=len(net.places),
+                places_after=len(cached.places),
+                transitions_before=len(net.transitions),
+                transitions_after=len(cached.transitions),
+            )
+            return cached
         result = merge_duplicate_places(drop_sink_places(net))
         try:
             graph = ReachabilityGraph(result, max_states=max_states)
@@ -240,4 +252,5 @@ def trim(net: PetriNet, max_states: int = 1_000_000) -> PetriNet:
             transitions_before=len(net.transitions),
             transitions_after=len(result.transitions),
         )
+        derived.publish("trim", [net], result, max_states=max_states)
         return result

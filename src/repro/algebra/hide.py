@@ -218,6 +218,24 @@ def hide(
     """
     labels = {actions} if isinstance(actions, str) else set(actions)
     with obs.span("algebra.hide", net=net.name, labels=sorted(labels)) as span:
+        from repro.cache import derived
+
+        cached = derived.lookup(
+            "hide",
+            [net],
+            labels=sorted(labels),
+            fast_path=bool(fast_path),
+            max_steps=max_steps,
+        )
+        if cached is not None:
+            span.set(
+                cached=True,
+                places_before=len(net.places),
+                places_after=len(cached.places),
+                transitions_before=len(net.transitions),
+                transitions_after=len(cached.transitions),
+            )
+            return cached
         result = net.copy()
         steps = 0
         while True:
@@ -251,6 +269,14 @@ def hide(
             places_after=len(result.places),
             transitions_before=len(net.transitions),
             transitions_after=len(result.transitions),
+        )
+        derived.publish(
+            "hide",
+            [net],
+            result,
+            labels=sorted(labels),
+            fast_path=bool(fast_path),
+            max_steps=max_steps,
         )
         return result
 

@@ -100,6 +100,10 @@ class CellResult:
     conclusive: bool | None = None
     fired_actions: frozenset[str] | None = None
     dead_actions: frozenset[str] | None = None
+    #: Provenance only: served from the bench-cell memo
+    #: (:mod:`repro.cache`) instead of explored.  Excluded from
+    #: equality so warm and cold cells stay interchangeable values.
+    cached: bool = field(default=False, compare=False)
 
     def summary(self) -> str:
         if self.engine == "symbolic":
@@ -179,6 +183,7 @@ def explore_cell(
     max_states: int,
     workers: int = 1,
     memory_budget: int | None = None,
+    net_hash: str | None = None,
 ) -> CellResult:
     """Run one engine/backend combination over ``net``.
 
@@ -197,10 +202,29 @@ def explore_cell(
     nets its cells report ``"bound-exceeded"`` where a serial run would
     report ``"unbounded"`` — consistent across all parallel cells of a
     sweep, hence still a clean diff within one run.
+
+    ``net_hash`` (set by :func:`run_instance` when an artifact store is
+    active) enables the bench-cell memo: serial cells are keyed by the
+    *semantics* of their exploration — the full space for ``eager`` and
+    ``onthefly`` over either backend, the reduced space (plus proviso)
+    for ``por`` — so a warm sweep serves identical cells without
+    exploring.  Parallel cells always recompute.
     """
     if engine == "symbolic":
-        return symbolic_cell(net, workers=workers)
+        return symbolic_cell(net, workers=workers, net_hash=net_hash)
     parallel = (workers > 1 or memory_budget is not None) and engine != "por"
+    memo_key = None
+    if net_hash is not None and workers == 1 and memory_budget is None:
+        from repro.cache import verdicts
+
+        memo_key = _cell_key(engine, net_hash)
+        entry = verdicts.memo_lookup(
+            verdicts.BENCH_KIND, memo_key, max_states=max_states
+        )
+        if entry is not None:
+            cell = _cell_restore(entry, engine, backend, workers)
+            if cell is not None:
+                return cell
     fired: frozenset[str] | None = None
     with obs.span(
         "bench.cell", engine=engine, backend=backend, workers=workers
@@ -254,8 +278,154 @@ def explore_cell(
             outcome = "unbounded" if error.bound is None else "bound-exceeded"
             conclusive = outcome == "unbounded"
             handle.set(outcome=outcome, conclusive=conclusive)
-            return CellResult(engine, backend, outcome, conclusive=conclusive)
+            cell = CellResult(engine, backend, outcome, conclusive=conclusive)
+            _cell_publish(memo_key, cell, max_states)
+            return cell
         handle.set(outcome="ok", states=states, edges=edges, conclusive=True)
+    prefix = f"bench.{engine}.{backend}"
+    obs.gauge(f"{prefix}.states", states)
+    obs.gauge(f"{prefix}.edges", edges)
+    obs.gauge(f"{prefix}.deadlocks", len(deadlocks))
+    cell = CellResult(
+        engine,
+        backend,
+        "ok",
+        states,
+        edges,
+        deadlocks,
+        conclusive=True,
+        fired_actions=fired,
+    )
+    _cell_publish(memo_key, cell, max_states)
+    return cell
+
+
+def symbolic_cell(
+    net: PetriNet, workers: int = 1, net_hash: str | None = None
+) -> CellResult:
+    """The single non-enumerating matrix cell of an instance.
+
+    Runs :func:`repro.petri.symbolic.analyze`: outcome ``"ok"`` when
+    the state-equation boundedness verdict is conclusive (which, by
+    construction, always means *bounded* — the procedure never
+    concludes unboundedness), ``"inconclusive"`` otherwise.  The
+    conclusively-dead action set rides along for the cross-engine
+    dead-action check.
+
+    With ``net_hash``, the cell is memoized budget-free — the
+    state-equation procedure never enumerates markings, so its verdict
+    does not depend on ``max_states`` at all.
+    """
+    from repro.petri.symbolic import analyze
+
+    memo_key = None
+    if net_hash is not None and workers == 1:
+        from repro.cache import verdicts
+
+        memo_key = _cell_key("symbolic", net_hash)
+        entry = verdicts.memo_lookup(verdicts.BENCH_KIND, memo_key)
+        if entry is not None:
+            cell = _symbolic_restore(entry, workers)
+            if cell is not None:
+                return cell
+    with obs.span(
+        "bench.cell", engine="symbolic", backend=SYMBOLIC_BACKEND,
+        workers=workers,
+    ) as handle:
+        result = analyze(net)
+        verdict = result["bounded"]
+        dead = result["dead_actions"]
+        outcome = "ok" if verdict.conclusive else "inconclusive"
+        handle.set(outcome=outcome, conclusive=verdict.conclusive)
+    obs.gauge("bench.symbolic.dead_actions", len(dead))
+    obs.gauge("bench.symbolic.conclusive", int(verdict.conclusive))
+    if memo_key is not None:
+        from repro.cache import verdicts
+
+        verdicts.memo_store(
+            verdicts.BENCH_KIND,
+            memo_key,
+            {
+                "outcome": outcome,
+                "conclusive": verdict.conclusive,
+                "dead_actions": sorted(dead),
+            },
+            conclusive=True,
+            provenance={"engine": "symbolic"},
+        )
+    return CellResult(
+        "symbolic",
+        SYMBOLIC_BACKEND,
+        outcome,
+        conclusive=verdict.conclusive,
+        dead_actions=dead,
+    )
+
+
+def _cell_key(engine: str, net_hash: str) -> str:
+    """The memo key of a matrix cell — by exploration *semantics*:
+    ``eager`` and ``onthefly`` enumerate the same full space over any
+    backend, so all four of those cells share one key; ``por`` explores
+    the reduced space governed by its proviso; ``symbolic`` never
+    enumerates.  Backends are deliberately absent (PR 2's differential
+    proved the counts representation-independent)."""
+    from repro.cache import verdicts
+
+    if engine == "por":
+        from repro.petri.product import DEFAULT_PROVISO
+
+        return verdicts.semantic_key("bench-por", net_hash, DEFAULT_PROVISO)
+    if engine == "symbolic":
+        return verdicts.semantic_key("bench-symbolic", net_hash)
+    return verdicts.semantic_key("bench-full", net_hash)
+
+
+def _cell_restore(
+    entry: dict, engine: str, backend: str, workers: int
+) -> CellResult | None:
+    """A served cell, byte-identical to the cold run: same span meta
+    (plus ``cached``), same gauges, same :class:`CellResult` fields.
+    Lazy engines need the fired-action set for the cross-engine
+    dead-action check; an entry recorded by an eager run lacks it, so
+    they miss and re-explore (upgrading the entry on publish)."""
+    from repro.cache import verdicts
+
+    result = entry["result"]
+    try:
+        outcome = str(result["outcome"])
+        if outcome != "ok":
+            conclusive = outcome == "unbounded"
+            with obs.span(
+                "bench.cell", engine=engine, backend=backend, workers=workers
+            ) as handle:
+                handle.set(
+                    outcome=outcome, conclusive=conclusive, cached=True
+                )
+            return CellResult(
+                engine, backend, outcome, conclusive=conclusive, cached=True
+            )
+        states = int(result["states"])
+        edges = int(result["edges"])
+        deadlocks = frozenset(
+            verdicts.marking_from(items) for items in result["deadlocks"]
+        )
+        fired = None
+        if engine in ("onthefly", "por"):
+            if result["fired_actions"] is None:
+                return None
+            fired = frozenset(result["fired_actions"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    with obs.span(
+        "bench.cell", engine=engine, backend=backend, workers=workers
+    ) as handle:
+        handle.set(
+            outcome="ok",
+            states=states,
+            edges=edges,
+            conclusive=True,
+            cached=True,
+        )
     prefix = f"bench.{engine}.{backend}"
     obs.gauge(f"{prefix}.states", states)
     obs.gauge(f"{prefix}.edges", edges)
@@ -269,38 +439,83 @@ def explore_cell(
         deadlocks,
         conclusive=True,
         fired_actions=fired,
+        cached=True,
     )
 
 
-def symbolic_cell(net: PetriNet, workers: int = 1) -> CellResult:
-    """The single non-enumerating matrix cell of an instance.
+def _cell_publish(memo_key: str | None, cell: CellResult, max_states: int) -> None:
+    from repro.cache import verdicts
 
-    Runs :func:`repro.petri.symbolic.analyze`: outcome ``"ok"`` when
-    the state-equation boundedness verdict is conclusive (which, by
-    construction, always means *bounded* — the procedure never
-    concludes unboundedness), ``"inconclusive"`` otherwise.  The
-    conclusively-dead action set rides along for the cross-engine
-    dead-action check.
-    """
-    from repro.petri.symbolic import analyze
+    if memo_key is None:
+        return
+    if cell.outcome == "ok":
+        verdicts.memo_store(
+            verdicts.BENCH_KIND,
+            memo_key,
+            {
+                "outcome": "ok",
+                "states": cell.states,
+                "edges": cell.edges,
+                "deadlocks": [
+                    verdicts.marking_items(marking)
+                    for marking in sorted(cell.deadlocks, key=repr)
+                ],
+                "fired_actions": (
+                    None
+                    if cell.fired_actions is None
+                    else sorted(cell.fired_actions)
+                ),
+            },
+            conclusive=True,
+            floor=cell.states,
+            proven_at=max_states,
+            provenance={"engine": cell.engine, "backend": cell.backend},
+        )
+    elif cell.outcome == "unbounded":
+        # The strict covering was found within this budget; any larger
+        # budget finds it too, a smaller one might abort first.
+        verdicts.memo_store(
+            verdicts.BENCH_KIND,
+            memo_key,
+            {"outcome": "unbounded"},
+            conclusive=True,
+            floor=max_states,
+            proven_at=max_states,
+            provenance={"engine": cell.engine, "backend": cell.backend},
+        )
+    else:  # bound-exceeded: inconclusive, reusable only at this budget
+        verdicts.memo_store(
+            verdicts.BENCH_KIND,
+            memo_key,
+            {"outcome": "bound-exceeded"},
+            conclusive=False,
+            proven_at=max_states,
+            provenance={"engine": cell.engine, "backend": cell.backend},
+        )
 
+
+def _symbolic_restore(entry: dict, workers: int) -> CellResult | None:
+    result = entry["result"]
+    try:
+        outcome = str(result["outcome"])
+        conclusive = bool(result["conclusive"])
+        dead = frozenset(result["dead_actions"])
+    except (KeyError, TypeError, ValueError):
+        return None
     with obs.span(
         "bench.cell", engine="symbolic", backend=SYMBOLIC_BACKEND,
         workers=workers,
     ) as handle:
-        result = analyze(net)
-        verdict = result["bounded"]
-        dead = result["dead_actions"]
-        outcome = "ok" if verdict.conclusive else "inconclusive"
-        handle.set(outcome=outcome, conclusive=verdict.conclusive)
+        handle.set(outcome=outcome, conclusive=conclusive, cached=True)
     obs.gauge("bench.symbolic.dead_actions", len(dead))
-    obs.gauge("bench.symbolic.conclusive", int(verdict.conclusive))
+    obs.gauge("bench.symbolic.conclusive", int(conclusive))
     return CellResult(
         "symbolic",
         SYMBOLIC_BACKEND,
         outcome,
-        conclusive=verdict.conclusive,
+        conclusive=conclusive,
         dead_actions=dead,
+        cached=True,
     )
 
 
@@ -454,6 +669,7 @@ def run_instance(
     max_states: int = 200_000,
     workers: int = 1,
     memory_budget: int | None = None,
+    stg=None,
 ) -> InstanceResult:
     """Sweep one net file through the full matrix.
 
@@ -462,25 +678,49 @@ def run_instance(
     count rides along in the payload (``bench.workers`` gauge and the
     instance span's ``workers`` meta) so archived sweeps stay
     attributable to their execution mode.
+
+    ``stg`` accepts an already-parsed module for ``path`` so sweeps
+    that need the net elsewhere too (:func:`run_corpus` and its algebra
+    laws) parse each file exactly once.  The net is lowered to its
+    compiled form once, up front, and every ``compiled`` cell shares
+    that single lowering; with an artifact store active its content
+    hash is likewise computed once and handed to each cell's memo.
     """
     path = Path(path)
-    try:
-        stg = load_stg(str(path))
-    except FileNotFoundError:
-        raise CorpusError(f"no such file: {path}") from None
-    except (ValueError, KeyError) as error:
-        raise CorpusError(f"cannot parse {path}: {error}") from None
+    if stg is None:
+        try:
+            stg = load_stg(str(path))
+        except FileNotFoundError:
+            raise CorpusError(f"no such file: {path}") from None
+        except (ValueError, KeyError) as error:
+            raise CorpusError(f"cannot parse {path}: {error}") from None
     net = stg.net
+    from repro.cache import verdicts
+
+    net_hash = None
+    if (
+        workers == 1
+        and memory_budget is None
+        and verdicts.active_store() is not None
+        and verdicts.hashable(net)
+    ):
+        net_hash = verdicts.net_content_hash(net)
     with obs.record() as recorder:
         with obs.span(
             "bench.instance", net=net.name, file=path.name, workers=workers
         ):
+            if "compiled" in backends and any(
+                engine != "symbolic" for engine in engines
+            ):
+                net.compiled()
             cells = []
             for engine in engines:
                 if engine == "symbolic":
                     # One cell, no backend sweep: the state-equation
                     # engine never touches a state representation.
-                    cells.append(symbolic_cell(net, workers=workers))
+                    cells.append(
+                        symbolic_cell(net, workers=workers, net_hash=net_hash)
+                    )
                     continue
                 for backend in backends:
                     cells.append(
@@ -491,6 +731,7 @@ def run_instance(
                             max_states,
                             workers=workers,
                             memory_budget=memory_budget,
+                            net_hash=net_hash,
                         )
                     )
             obs.count("bench.cells", len(cells))
@@ -531,6 +772,15 @@ def run_corpus(
     report = CorpusReport()
     nets: list[tuple[str, PetriNet]] = []
     for path in paths:
+        # Parse once and share the module with the sweep *and* the law
+        # layer — re-parsing every file for the laws doubled the I/O
+        # and recompiled every net a second time.
+        try:
+            stg = load_stg(str(path))
+        except FileNotFoundError:
+            raise CorpusError(f"no such file: {path}") from None
+        except (ValueError, KeyError) as error:
+            raise CorpusError(f"cannot parse {path}: {error}") from None
         instance = run_instance(
             path,
             engines,
@@ -538,12 +788,11 @@ def run_corpus(
             max_states,
             workers=workers,
             memory_budget=memory_budget,
+            stg=stg,
         )
         report.instances.append(instance)
-        try:
-            nets.append((instance.name, load_stg(str(path)).net))
-        except (ValueError, KeyError):  # pragma: no cover - parsed above
-            pass
+        if check_laws:
+            nets.append((instance.name, stg.net))
         if progress is not None:
             progress(instance)
     if check_laws:
@@ -575,6 +824,7 @@ def _write_payloads(report: CorpusReport, out_dir: Path) -> None:
                     f"{cell.engine}/{cell.backend}": {
                         "summary": cell.summary(),
                         "conclusive": cell.conclusive,
+                        "cached": cell.cached,
                     }
                     for cell in instance.cells
                 },
@@ -593,6 +843,82 @@ def _write_payloads(report: CorpusReport, out_dir: Path) -> None:
         + "\n",
         encoding="utf-8",
     )
+
+
+# -- cold/warm payload comparison -------------------------------------------
+
+
+def payload_bench_view(payload: dict) -> dict:
+    """The semantic projection of an instance payload: ``bench.*`` spans
+    (name + meta, minus cache provenance), counters and gauges — with
+    all timing and every ``cache.*`` series dropped.  Two sweeps of the
+    same corpus agree on this view regardless of cache temperature, so
+    it is what the cold-vs-warm differential (tests and CI) compares.
+    """
+    spans = []
+    for span in payload.get("spans", ()):
+        if span.get("name") not in ("bench.cell", "bench.instance"):
+            continue
+        meta = {
+            key: value
+            for key, value in (span.get("meta") or {}).items()
+            if key != "cached"
+        }
+        spans.append({"name": span["name"], "meta": meta})
+    return {
+        "spans": spans,
+        "counters": {
+            name: value
+            for name, value in payload.get("counters", {}).items()
+            if name.startswith("bench.")
+        },
+        "gauges": {
+            name: value
+            for name, value in payload.get("gauges", {}).items()
+            if name.startswith("bench.")
+        },
+    }
+
+
+def diff_bench_dirs(left: str | Path, right: str | Path) -> list[str]:
+    """Differences between two ``--out`` directories of the same sweep,
+    modulo timing and cache provenance (empty = equivalent).  Used by
+    the cache-parity CI job to prove warm/``--no-cache`` runs emit the
+    same payloads as a cold run."""
+    import json
+
+    left, right = Path(left), Path(right)
+    problems: list[str] = []
+    names_left = sorted(p.name for p in left.glob("*.obs.json"))
+    names_right = sorted(p.name for p in right.glob("*.obs.json"))
+    if names_left != names_right:
+        return [
+            f"payload sets differ: {names_left or '(none)'} vs"
+            f" {names_right or '(none)'}"
+        ]
+    for name in names_left:
+        view_left = payload_bench_view(
+            json.loads((left / name).read_text(encoding="utf-8"))
+        )
+        view_right = payload_bench_view(
+            json.loads((right / name).read_text(encoding="utf-8"))
+        )
+        if view_left != view_right:
+            problems.append(f"{name}: bench views differ")
+
+    def index_view(directory: Path) -> dict | None:
+        target = directory / "INDEX.json"
+        if not target.is_file():
+            return None
+        view = json.loads(target.read_text(encoding="utf-8"))
+        for instance in view.get("instances", ()):
+            for cell in instance.get("cells", {}).values():
+                cell.pop("cached", None)
+        return view
+
+    if index_view(left) != index_view(right):
+        problems.append("INDEX.json differs (modulo cache provenance)")
+    return problems
 
 
 # -- algebra-law fuzzing on corpus nets -------------------------------------

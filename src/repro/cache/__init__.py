@@ -1,0 +1,54 @@
+"""Content-addressed compile & verdict cache (the ``cip`` artifact store).
+
+PRs 2-9 established, via differential harnesses, that every verdict in
+this codebase — language equality/containment, bisimilarity,
+receptiveness, behavioural properties — is a pure function of net
+*content*: engines, state backends and worker counts change how fast an
+answer arrives, never what it is.  This package turns that invariance
+into reuse:
+
+* :mod:`repro.cache.content` — canonical content hashes for nets and
+  STGs (stable across the astg/TINA/PNML/JSON load formats) plus
+  provenance keys for algebra results (operator + operand hashes);
+* :mod:`repro.cache.store` — the persistent artifact store: atomic
+  write-then-rename JSON files keyed by ``(content_hash, kind,
+  schema_version)``, corruption always degrades to a miss;
+* :mod:`repro.cache.compilecache` — serialize/restore
+  :class:`~repro.petri.compiled.CompiledNet` lowering decisions; the
+  stored bound certificate is *re-verified in exact integer arithmetic*
+  on every load, so a corrupted artifact can never smuggle in an
+  unsound bound;
+* :mod:`repro.cache.verdicts` — the budget-monotonic verdict memo: a
+  verdict proven under state budget ``B`` is served for any request
+  with budget ``B' >= B``; an INCONCLUSIVE recorded under ``B`` is
+  reusable only at exactly ``B`` (its witnesses are budget-dependent).
+
+The library default is *no caching*: nothing activates the store unless
+a caller opts in (:func:`repro.cache.store.activated`, the CLI's
+``--cache-dir``/``--no-cache`` flags, or the ``CIP_CACHE_DIR`` /
+``CIP_NO_CACHE`` environment variables).
+"""
+
+from repro.cache.content import (
+    derived_key,
+    net_content_hash,
+    semantic_key,
+    stg_content_hash,
+)
+from repro.cache.store import (
+    ArtifactStore,
+    activated,
+    active_store,
+    default_cache_dir,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "activated",
+    "active_store",
+    "default_cache_dir",
+    "derived_key",
+    "net_content_hash",
+    "semantic_key",
+    "stg_content_hash",
+]

@@ -1,0 +1,151 @@
+"""Persist and restore :class:`~repro.petri.compiled.CompiledNet` lowering.
+
+What compilation costs is almost entirely the *bound certificate*: the
+weighted-invariant LP (:func:`~repro.petri.compiled._weighted_token_bound`)
+on mid-sized nets.  The index tuples themselves are one O(arcs) pass.
+The cache therefore persists the lowering *decisions* — place order,
+codec, token bound and the certificate that proves it — and on a hit
+rebuilds the index tuples from the (hash-verified) net while merely
+**re-verifying** the certificate in exact integer arithmetic instead of
+re-deriving it:
+
+* ``conservative`` — re-check ``|produce| <= |consume|`` per transition
+  (O(T)); the bound is the initial token total.
+* ``weights`` — re-check ``w . produce <= w . consume`` per transition
+  with pure-Python integers (O(arcs)); the bound is recomputed from the
+  weights, never trusted from the file.
+* ``None`` — nothing to verify, but the conservative test must indeed
+  fail (else the artifact is corrupt); restoring "no bound" is always
+  sound — it only disables the covering-walk skip and the bytes codec.
+
+Because bound and codec are recomputed/re-verified, a corrupted or
+adversarial artifact can make a warm run *slower* (miss, full
+recompile) but never *unsound* — it cannot smuggle in a wrong bound
+that would silently disable Karp-Miller covering detection.
+
+Index tuples are stored too (the artifact is a complete, inspectable
+record of the lowering), but only their shape is cross-checked; the
+authoritative tuples always come from the net itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cache.content import hashable, net_content_hash
+from repro.cache.store import active_store
+from repro.obs import metrics as obs
+from repro.petri.net import PetriNet
+
+KIND = "compiled"
+
+
+def artifact_of(cnet) -> dict:
+    """The serializable record of one lowering."""
+    return {
+        "place_order": list(cnet.place_names),
+        "codec": cnet.codec,
+        "token_bound": cnet.token_bound,
+        "certificate": cnet.certificate,
+        "tids": list(cnet.tids),
+        "pre": [list(row) for row in cnet.pre],
+        "consume": [list(row) for row in cnet.consume],
+        "produce": [list(row) for row in cnet.produce],
+    }
+
+
+def realize(net: PetriNet, data: dict):
+    """Rebuild a :class:`CompiledNet` from an artifact, or ``None``.
+
+    Everything behaviour-relevant is re-derived from ``net`` or
+    re-verified exactly; any inconsistency returns ``None`` (treated by
+    the caller as a corrupt miss that falls back to a cold compile).
+    """
+    from repro.petri.compiled import _BYTES_MAX, CompiledNet
+
+    place_order = tuple(sorted(net.places))
+    transitions = net.sorted_transitions()
+    try:
+        if tuple(data["place_order"]) != place_order:
+            return None
+        if list(data["tids"]) != [t.tid for t in transitions]:
+            return None
+        if not (
+            len(data["pre"])
+            == len(data["consume"])
+            == len(data["produce"])
+            == len(transitions)
+        ):
+            return None
+        certificate = data["certificate"]
+        conservative = all(
+            len(t.produce) <= len(t.consume) for t in transitions
+        )
+        bound: int | None
+        if certificate is None:
+            if conservative:
+                return None  # a cold compile would have found a bound
+            bound = None
+        elif certificate["kind"] == "conservative":
+            if not conservative:
+                return None
+            bound = net.initial.total()
+        elif certificate["kind"] == "weights":
+            weights = [int(w) for w in certificate["weights"]]
+            scale = int(certificate["scale"])
+            if len(weights) != len(place_order) or scale <= 0:
+                return None
+            if any(w < scale for w in weights):
+                return None  # w >= 1 is part of the invariant's premise
+            index = {place: i for i, place in enumerate(place_order)}
+            for t in transitions:
+                delta = sum(weights[index[p]] for p in t.produce) - sum(
+                    weights[index[p]] for p in t.consume
+                )
+                if delta > 0:
+                    return None  # not an invariant: reject, recompile
+            weighted_total = sum(
+                weights[index[place]] * count
+                for place, count in net.initial.items()
+            )
+            bound = math.ceil(weighted_total / scale)
+        else:
+            return None
+        max_preset = max((len(t.preset) for t in transitions), default=0)
+        codec = (
+            "bytes"
+            if bound is not None
+            and bound <= _BYTES_MAX
+            and max_preset <= _BYTES_MAX
+            else "wide"
+        )
+        if codec != data["codec"] or bound != data["token_bound"]:
+            return None
+    except (KeyError, TypeError, ValueError):
+        return None
+    return CompiledNet(net, place_order, codec, bound, certificate)
+
+
+def compile_net_cached(net: PetriNet):
+    """:func:`~repro.petri.compiled.compile_net` behind the artifact
+    store: restore the lowering when a verified artifact exists, compile
+    cold (and persist) otherwise.  With no active store this *is* a cold
+    compile — zero overhead for the library default.
+    """
+    from repro.petri.compiled import compile_net
+
+    store = active_store()
+    if store is None or not hashable(net):
+        return compile_net(net)
+    key = net_content_hash(net)
+    data = store.load(KIND, key)
+    if data is not None:
+        cnet = realize(net, data)
+        if cnet is not None:
+            obs.count("cache.compile.restored")
+            return cnet
+        obs.count("cache.corrupt")
+        obs.count(f"cache.{KIND}.corrupt")
+    cnet = compile_net(net)
+    store.store(KIND, key, artifact_of(cnet))
+    return cnet

@@ -1,0 +1,176 @@
+"""The persistent artifact store behind every cache layer.
+
+Layout: ``<root>/v<schema>/<kind>/<hh>/<hash>.json`` where ``hh`` is the
+first two hex digits of the key (fan-out keeps directory listings
+sane).  Every artifact is a JSON envelope::
+
+    {"schema": "cip.cache/v1", "kind": ..., "key": ..., "data": {...}}
+
+Writes are atomic (``tempfile`` in the target directory + ``os.replace``),
+so concurrent writers race benignly — last writer wins, readers never
+observe a partial file.  *Any* load-side problem — missing file,
+truncated JSON, wrong envelope, wrong schema version, unreadable bytes —
+degrades to a miss, never an error: the cache is an accelerator, not a
+dependency.
+
+Observability: loads and stores emit ``cache.*`` counters to the active
+``repro.obs`` recorders — ``cache.hits`` / ``cache.misses`` /
+``cache.corrupt`` / ``cache.writes`` plus ``cache.bytes_read`` /
+``cache.bytes_written``, and the same four per kind
+(``cache.<kind>.hits`` ...).  See ``docs/OBSERVABILITY.md``.
+
+Nothing in the library activates a store; the CLI does (default root
+``~/.cache/cip``, overridable with ``--cache-dir`` or ``CIP_CACHE_DIR``,
+disabled by ``--no-cache`` or ``CIP_NO_CACHE``), and tests use the
+:func:`activated` context manager.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs import metrics as obs
+
+#: Version of the on-disk artifact schema.  Part of every artifact path,
+#: so bumping it orphans (and thereby invalidates) every existing entry.
+SCHEMA_VERSION = 1
+
+#: The envelope marker checked on every load.
+ENVELOPE = "cip.cache/v1"
+
+
+class ArtifactStore:
+    """A content-addressed artifact directory (see module docstring)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}" / kind / key[:2] / f"{key}.json"
+
+    def load(self, kind: str, key: str) -> dict | None:
+        """The ``data`` payload stored under ``(kind, key)`` or ``None``.
+
+        Corruption of any sort counts as a miss (plus a
+        ``cache.corrupt`` counter) — never an exception.
+        """
+        path = self.path_for(kind, key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._count(kind, "misses")
+            return None
+        try:
+            envelope = json.loads(raw)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != ENVELOPE
+                or envelope.get("kind") != kind
+                or envelope.get("key") != key
+                or not isinstance(envelope.get("data"), dict)
+            ):
+                raise ValueError("bad envelope")
+        except (ValueError, UnicodeDecodeError):
+            self._count(kind, "misses")
+            obs.count("cache.corrupt")
+            obs.count(f"cache.{kind}.corrupt")
+            return None
+        self._count(kind, "hits")
+        obs.count("cache.bytes_read", len(raw))
+        return envelope["data"]
+
+    def store(self, kind: str, key: str, data: dict) -> None:
+        """Atomically persist ``data`` under ``(kind, key)``.
+
+        Write failures (read-only directory, disk full) are swallowed —
+        a cache that cannot persist simply stays cold.
+        """
+        path = self.path_for(kind, key)
+        envelope = {
+            "schema": ENVELOPE,
+            "kind": kind,
+            "key": key,
+            "data": data,
+        }
+        text = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._count(kind, "writes")
+        obs.count("cache.bytes_written", len(text))
+
+    @staticmethod
+    def _count(kind: str, what: str) -> None:
+        obs.count(f"cache.{what}")
+        obs.count(f"cache.{kind}.{what}")
+
+
+# -- activation --------------------------------------------------------------
+
+_ACTIVE: ArtifactStore | None = None
+
+
+def default_cache_dir() -> Path:
+    """``$CIP_CACHE_DIR`` when set, else ``~/.cache/cip``."""
+    override = os.environ.get("CIP_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "cip"
+
+
+def active_store() -> ArtifactStore | None:
+    """The currently activated store, or ``None`` (caching off)."""
+    return _ACTIVE
+
+
+def activate(cache_dir: str | Path | None = None) -> ArtifactStore:
+    """Activate a store (``cache_dir`` or the default) and return it."""
+    global _ACTIVE
+    _ACTIVE = ArtifactStore(cache_dir or default_cache_dir())
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    """Turn caching off (the library default)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def activated(cache_dir: str | Path | None = None):
+    """Context manager: activate a store, restore the prior state after."""
+    previous = _ACTIVE
+    store = activate(cache_dir)
+    try:
+        yield store
+    finally:
+        globals()["_ACTIVE"] = previous
+
+
+@contextmanager
+def deactivated():
+    """Context manager: force caching off, restore the prior state after."""
+    previous = _ACTIVE
+    deactivate()
+    try:
+        yield
+    finally:
+        globals()["_ACTIVE"] = previous

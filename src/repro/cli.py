@@ -22,11 +22,19 @@ unrecognized extension, exceeded state bound).
 counter / gauge summary on stdout, ``#``-prefixed) and
 ``--metrics-out FILE.json`` (write the full ``repro.obs/v1`` payload);
 see ``docs/OBSERVABILITY.md`` for the schema.
+
+``info``/``verify``/``bench``/``compose``/``hide`` accept
+``--cache-dir DIR`` and ``--no-cache`` to steer the content-addressed
+artifact cache (compiled nets, verdicts, algebra results); environment
+fallbacks are ``CIP_CACHE_DIR`` and ``CIP_NO_CACHE``, the default root
+``~/.cache/cip``.  Output is byte-identical warm or cold — see
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.obs import metrics as obs
@@ -533,6 +541,46 @@ def _resolve_parallel(args: argparse.Namespace) -> tuple[int, int | None]:
     return workers, memory_budget
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed artifact cache directory (default:"
+        " $CIP_CACHE_DIR or ~/.cache/cip); compiled nets, verdicts and"
+        " algebra results are reused across runs, keyed by net content"
+        " hash — see docs/PERFORMANCE.md",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the artifact cache entirely (no reads, no writes);"
+        " output is byte-identical either way",
+    )
+
+
+def _cache_context(args: argparse.Namespace):
+    """The artifact-store context manager for this invocation.
+
+    Precedence: ``--no-cache`` > ``--cache-dir`` > ``CIP_NO_CACHE`` >
+    ``CIP_CACHE_DIR`` > ``~/.cache/cip``.  Subcommands without cache
+    flags (pure format translations) run with no store active.
+    """
+    from repro.cache.store import activated, deactivated
+
+    no_cache = getattr(args, "no_cache", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    if no_cache and cache_dir is not None:
+        raise CliError(
+            "--no-cache and --cache-dir are mutually exclusive"
+        )
+    if no_cache or not hasattr(args, "no_cache"):
+        return deactivated()
+    if cache_dir is None and os.environ.get("CIP_NO_CACHE"):
+        return deactivated()
+    return activated(cache_dir)
+
+
 def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -559,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(info)
     _add_parallel_flags(info)
     _add_profile_flags(info)
+    _add_cache_flags(info)
     info.set_defaults(func=cmd_info)
 
     comp = sub.add_parser("compose", help="circuit-algebra composition")
@@ -566,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("second")
     comp.add_argument("-o", "--output", required=True)
     _add_trim_flag(comp)
+    _add_cache_flags(comp)
     comp.set_defaults(func=cmd_compose)
 
     hide = sub.add_parser("hide", help="hide signals by net contraction")
@@ -573,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     hide.add_argument("-s", "--signals", action="append", required=True)
     hide.add_argument("-o", "--output", required=True)
     _add_trim_flag(hide)
+    _add_cache_flags(hide)
     hide.set_defaults(func=cmd_hide)
 
     verify = sub.add_parser("verify", help="receptiveness of a composition")
@@ -615,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(verify)
     _add_parallel_flags(verify)
     _add_profile_flags(verify)
+    _add_cache_flags(verify)
     verify.set_defaults(func=cmd_verify)
 
     simplify = sub.add_parser(
@@ -691,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
         " parsed corpus nets",
     )
     _add_parallel_flags(bench)
+    _add_cache_flags(bench)
     bench.set_defaults(func=cmd_bench)
     return parser
 
@@ -698,7 +751,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        with _cache_context(args):
+            return args.func(args)
     except CliError as error:
         print(f"cip: error: {error}", file=sys.stderr)
         return 2

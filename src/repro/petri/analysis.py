@@ -9,7 +9,7 @@ detection used after parallel composition (Section 5.2).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.petri.net import PetriNet, Transition
 from repro.petri.reachability import ReachabilityGraph, UnboundedNetError
@@ -27,6 +27,11 @@ class NetProperties:
     reversible: bool
     states: int
     dead_transition_ids: tuple[int, ...]
+    #: Provenance only: ``True`` when this summary was served from the
+    #: verdict memo (:mod:`repro.cache`) rather than recomputed.
+    #: Excluded from equality and repr so cached and cold results stay
+    #: interchangeable values.
+    cached: bool = field(default=False, compare=False, repr=False)
 
     def __str__(self) -> str:
         flags = [
@@ -61,8 +66,32 @@ def analyze(
     explorer of :mod:`repro.petri.parallel` — again with identical
     results, minus covering-based unboundedness detection (the budget
     abort still applies).
+
+    When an artifact store is active (:mod:`repro.cache`) and the run
+    is serial, the summary is memoized by net content hash under the
+    budget-monotonicity rule: a summary computed at ``S <= B`` states
+    is served for any budget ``>= S``, a proven-unbounded outcome for
+    any budget ``>=`` the proving one, and a budget abort only at
+    exactly the recorded budget.  Parallel runs bypass the memo (their
+    abort behaviour legitimately differs: no covering detection).
     """
-    if (workers is not None and workers > 1) or memory_budget is not None:
+    parallel = (workers is not None and workers > 1) or memory_budget is not None
+    cache_key: str | None = None
+    if not parallel:
+        from repro.cache import verdicts
+
+        if verdicts.active_store() is not None and verdicts.hashable(net):
+            cache_key = verdicts.semantic_key(
+                "analyze", verdicts.net_content_hash(net)
+            )
+            entry = verdicts.memo_lookup(
+                verdicts.KIND, cache_key, max_states=max_states
+            )
+            if entry is not None:
+                restored = _restore_analyze(entry, max_states)
+                if restored is not None:
+                    return restored
+    if parallel:
         from repro.petri.parallel import parallel_reachability_graph
 
         graph = parallel_reachability_graph(
@@ -73,8 +102,31 @@ def analyze(
             backend=backend,
         )
     else:
-        graph = ReachabilityGraph(net, max_states=max_states, backend=backend)
-    return NetProperties(
+        try:
+            graph = ReachabilityGraph(
+                net, max_states=max_states, backend=backend
+            )
+        except UnboundedNetError as error:
+            if cache_key is not None:
+                from repro.cache import verdicts
+
+                proven = error.bound is None
+                verdicts.memo_store(
+                    verdicts.KIND,
+                    cache_key,
+                    {
+                        "kind": "unbounded" if proven else "budget",
+                        "message": str(error),
+                        "witness": verdicts.marking_items(error.witness),
+                        "frontier": verdicts.marking_items(error.frontier),
+                    },
+                    conclusive=proven,
+                    floor=max_states,
+                    proven_at=max_states,
+                    provenance={"engine": "eager", "workers": 1},
+                )
+            raise
+    properties = NetProperties(
         bounded=True,
         bound=graph.bound(),
         safe=graph.is_safe(),
@@ -84,6 +136,65 @@ def analyze(
         states=graph.num_states(),
         dead_transition_ids=tuple(t.tid for t in graph.dead_transitions()),
     )
+    if cache_key is not None:
+        from repro.cache import verdicts
+
+        verdicts.memo_store(
+            verdicts.KIND,
+            cache_key,
+            {
+                "kind": "properties",
+                "bound": properties.bound,
+                "safe": properties.safe,
+                "live": properties.live,
+                "deadlock_free": properties.deadlock_free,
+                "reversible": properties.reversible,
+                "states": properties.states,
+                "dead_transition_ids": list(properties.dead_transition_ids),
+            },
+            conclusive=True,
+            floor=properties.states,
+            proven_at=max_states,
+            provenance={"engine": "eager", "workers": 1},
+        )
+    return properties
+
+
+def _restore_analyze(entry: dict, max_states: int) -> NetProperties | None:
+    """Rebuild the :func:`analyze` outcome from a memo entry.
+
+    A ``properties`` entry becomes a :class:`NetProperties` with
+    ``cached=True``; an ``unbounded``/``budget`` entry re-raises the
+    original :class:`UnboundedNetError` (witness markings restored).
+    Malformed entries return ``None`` (the caller recomputes).
+    """
+    from repro.cache import verdicts
+
+    result = entry["result"]
+    kind = result.get("kind")
+    try:
+        if kind == "properties":
+            return NetProperties(
+                bounded=True,
+                bound=int(result["bound"]),
+                safe=bool(result["safe"]),
+                live=bool(result["live"]),
+                deadlock_free=bool(result["deadlock_free"]),
+                reversible=bool(result["reversible"]),
+                states=int(result["states"]),
+                dead_transition_ids=tuple(result["dead_transition_ids"]),
+                cached=True,
+            )
+        if kind in ("unbounded", "budget"):
+            raise UnboundedNetError(
+                str(result["message"]),
+                witness=verdicts.marking_from(result.get("witness")),
+                bound=None if kind == "unbounded" else max_states,
+                frontier=verdicts.marking_from(result.get("frontier")),
+            )
+    except (KeyError, TypeError, ValueError):
+        return None
+    return None
 
 
 def is_bounded(net: PetriNet, max_states: int = 1_000_000) -> bool:

@@ -89,11 +89,20 @@ def resolve_backend(backend: str | None) -> str:
     return backend
 
 
+#: Denominator grid the LP weights are snapped to before the exact
+#: integer re-verification; also recorded in serialized certificates.
+_WEIGHT_SCALE = 64
+
+
 def _weighted_token_bound(
     net: PetriNet, place_order: tuple[Place, ...]
-) -> int | None:
+) -> tuple[int, tuple[int, ...]] | None:
     """A sound bound on every reachable place count via a weighted place
-    invariant, or ``None`` when no certificate is found.
+    invariant, or ``None`` when no certificate is found.  Returns the
+    bound together with the integer weight vector (scaled by
+    :data:`_WEIGHT_SCALE`) that certifies it, so the certificate can be
+    persisted and re-verified without re-running the LP
+    (:mod:`repro.cache.compilecache`).
 
     Looks for rational place weights ``w >= 1`` with ``w . postset <=
     w . preset`` for every transition: then ``w . M`` never increases,
@@ -132,7 +141,7 @@ def _weighted_token_bound(
     )
     if not result.success:
         return None
-    scale = 64
+    scale = _WEIGHT_SCALE
     weights = np.maximum(np.round(result.x * scale), scale).astype(np.int64)
     deltas = np.rint(rows).astype(np.int64)
     if (deltas @ weights > 0).any():
@@ -140,7 +149,8 @@ def _weighted_token_bound(
     weighted_total = 0
     for place, count in net.initial.items():
         weighted_total += int(weights[index[place]]) * count
-    return math.ceil(weighted_total / scale)
+    bound = math.ceil(weighted_total / scale)
+    return bound, tuple(int(w) for w in weights)
 
 
 class CompiledNet:
@@ -168,6 +178,7 @@ class CompiledNet:
         "consumers",
         "codec",
         "token_bound",
+        "certificate",
         "bounded_certified",
         "num_places",
         "num_transitions",
@@ -182,12 +193,20 @@ class CompiledNet:
         place_names: tuple[Place, ...],
         codec: str,
         token_bound: int | None,
+        certificate: dict | None = None,
     ):
         self.net = net
         self.place_names = place_names
         self.place_index = {place: i for i, place in enumerate(place_names)}
         self.codec = codec
         self.token_bound = token_bound
+        #: How ``token_bound`` was proven — ``{"kind": "conservative"}``
+        #: (no firing increases the total count) or ``{"kind":
+        #: "weights", "weights": [...], "scale": 64}`` (an exact-verified
+        #: LP place invariant); ``None`` when no bound was found.  The
+        #: compile cache persists this and re-verifies it in exact
+        #: integer arithmetic on load (:mod:`repro.cache.compilecache`).
+        self.certificate = certificate
         #: ``token_bound`` comes from a sound non-increasing weighted
         #: total (conservation or an exact-verified LP invariant).  Under
         #: such a certificate no reachable marking can strictly cover an
@@ -394,12 +413,21 @@ def compile_net(net: PetriNet) -> CompiledNet:
     with obs.span("compile.net", net=net.name) as span:
         place_order = tuple(sorted(net.places))
         bound: int | None = None
+        certificate: dict | None = None
         if all(
             len(t.produce) <= len(t.consume) for t in net.sorted_transitions()
         ):
             bound = net.initial.total()
+            certificate = {"kind": "conservative"}
         else:
-            bound = _weighted_token_bound(net, place_order)
+            invariant = _weighted_token_bound(net, place_order)
+            if invariant is not None:
+                bound, weights = invariant
+                certificate = {
+                    "kind": "weights",
+                    "weights": list(weights),
+                    "scale": _WEIGHT_SCALE,
+                }
         max_preset = max(
             (len(t.preset) for t in net.transitions.values()), default=0
         )
@@ -408,7 +436,7 @@ def compile_net(net: PetriNet) -> CompiledNet:
             if bound is not None and bound <= _BYTES_MAX and max_preset <= _BYTES_MAX
             else "wide"
         )
-        compiled = CompiledNet(net, place_order, codec, bound)
+        compiled = CompiledNet(net, place_order, codec, bound, certificate)
         span.set(
             places=compiled.num_places,
             transitions=compiled.num_transitions,

@@ -245,12 +245,33 @@ class PetriNet:
         invalidated by any mutation the compiled form bakes in: place
         or transition changes and :meth:`set_initial` /
         :meth:`add_place` with tokens.
+
+        When an artifact store is active (:mod:`repro.cache`), the
+        lowering decisions are restored from it instead of re-derived —
+        the bound certificate is re-verified exactly on every restore,
+        so a stale or corrupt artifact degrades to a cold compile, never
+        to a wrong bound.
         """
         if self._compiled is None:
-            from repro.petri.compiled import compile_net
+            from repro.cache.compilecache import compile_net_cached
 
-            self._compiled = compile_net(self)
+            self._compiled = compile_net_cached(self)
         return self._compiled
+
+    def content_hash(self) -> str:
+        """The canonical SHA-256 content hash of this net.
+
+        Deterministic over name, alphabet, places, the tid-keyed
+        transition relation, the initial marking and the guards — and
+        stable across the lossless load formats: astg/TINA/PNML/JSON
+        round-trips of the same net hash equal (the
+        :meth:`structurally_equal` contract, pinned on the corpus by
+        ``tests/cache/test_content_hash.py``).  Computed fresh per call;
+        see :func:`repro.cache.content.net_content_hash`.
+        """
+        from repro.cache.content import net_content_hash
+
+        return net_content_hash(self)
 
     def used_actions(self) -> set[Action]:
         """Labels that actually occur on transitions."""

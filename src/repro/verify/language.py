@@ -214,6 +214,57 @@ def dfa_contained(d1: Dfa, d2: Dfa) -> bool:
     return True
 
 
+def _language_key(
+    mode: str, net1: PetriNet, net2: PetriNet, silent: Iterable[str]
+) -> str | None:
+    """The verdict-memo key for a language comparison, or ``None`` when
+    caching is off (or a net has opaque guards).  Keyed by the check's
+    semantics only — mode, content hashes, silent set — never by
+    engine/backend (all engines are exact and always agree)."""
+    from repro.cache import verdicts
+
+    if verdicts.active_store() is None:
+        return None
+    if not (verdicts.hashable(net1) and verdicts.hashable(net2)):
+        return None
+    return verdicts.semantic_key(
+        "language",
+        mode,
+        verdicts.net_content_hash(net1),
+        verdicts.net_content_hash(net2),
+        sorted(set(silent)),
+    )
+
+
+def _language_lookup(cache_key: str | None, max_states: int) -> bool | None:
+    from repro.cache import verdicts
+
+    if cache_key is None:
+        return None
+    entry = verdicts.memo_lookup(verdicts.KIND, cache_key, max_states=max_states)
+    if entry is None or "verdict" not in entry["result"]:
+        return None
+    return bool(entry["result"]["verdict"])
+
+
+def _language_publish(
+    cache_key: str | None, verdict: bool, max_states: int, engine: str
+) -> None:
+    from repro.cache import verdicts
+
+    if cache_key is None:
+        return
+    verdicts.memo_store(
+        verdicts.KIND,
+        cache_key,
+        {"verdict": verdict},
+        conclusive=True,
+        floor=max_states,
+        proven_at=max_states,
+        provenance={"engine": engine},
+    )
+
+
 def languages_equal(
     net1: PetriNet,
     net2: PetriNet,
@@ -233,10 +284,18 @@ def languages_equal(
     (the oracle path).  ``engine="symbolic"`` first runs the
     state-equation pre-check (one-letter separating words via
     conclusively-dead actions) and only enumerates when the pre-check
-    is INCONCLUSIVE.  All are exact, so they always agree.
+    is INCONCLUSIVE.  All are exact, so they always agree — which is
+    why the verdict memo (:mod:`repro.cache`, active stores only) keys
+    entries by content hashes, mode, silent set and budget but *not*
+    by engine or backend.
     """
     engine = resolve_engine(engine, extra=("symbolic",))
+    cache_key = _language_key("equal", net1, net2, silent)
     with obs.span("verify.language.equal", engine=engine) as span:
+        hit = _language_lookup(cache_key, max_states)
+        if hit is not None:
+            span.set(verdict=hit, cached=True)
+            return hit
         if engine == "symbolic":
             from repro.petri.symbolic import language_precheck
 
@@ -269,6 +328,7 @@ def languages_equal(
             d2 = dfa_of_net(net2, silent, common, max_states, backend=backend)
             verdict = dfa_equal(d1, d2)
         span.set(verdict=verdict)
+        _language_publish(cache_key, bool(verdict), max_states, engine)
         return verdict
 
 
@@ -282,7 +342,12 @@ def language_contained(
 ) -> bool:
     """Exact visible-trace containment ``L(net1) <= L(net2)``."""
     engine = resolve_engine(engine, extra=("symbolic",))
+    cache_key = _language_key("contained", net1, net2, silent)
     with obs.span("verify.language.contained", engine=engine) as span:
+        hit = _language_lookup(cache_key, max_states)
+        if hit is not None:
+            span.set(verdict=hit, cached=True)
+            return hit
         if engine == "symbolic":
             from repro.petri.symbolic import language_precheck
 
@@ -317,6 +382,7 @@ def language_contained(
             d2 = dfa_of_net(net2, silent, common, max_states, backend=backend)
             verdict = dfa_contained(d1, d2)
         span.set(verdict=verdict)
+        _language_publish(cache_key, bool(verdict), max_states, engine)
         return verdict
 
 

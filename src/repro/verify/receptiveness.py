@@ -129,6 +129,10 @@ class ReceptivenessReport:
     #: fell back to explicit search; ``states_explored`` is ``None`` in
     #: the former case and counts only the fallback in the latter.
     symbolic: dict | None = None
+    #: ``True`` when this report was served from the verdict memo
+    #: (:mod:`repro.cache`); ``engine``/``states_explored`` then
+    #: describe the *original* run that produced the entry.
+    cached: bool = False
 
     def is_receptive(self) -> bool:
         return not self.failures
@@ -649,6 +653,11 @@ def check_receptiveness(
             " cannot preserve); run engine 'por' serially, or keep the"
             " workers with engine 'eager' or 'onthefly'"
         )
+    cache_key = _receptiveness_key(stg1, stg2, method, stop_at_first)
+    if cache_key is not None:
+        hit = _receptiveness_restore(cache_key, stg1, stg2, max_states)
+        if hit is not None:
+            return hit
     with obs.record() as recorder:
         report = _checked_receptiveness(
             stg1,
@@ -664,7 +673,153 @@ def check_receptiveness(
             proviso,
         )
     report.metrics = recorder.to_dict()
+    _receptiveness_publish(cache_key, report, max_states, backend, workers)
     return report
+
+
+def _receptiveness_key(
+    stg1: Stg, stg2: Stg, method: str, stop_at_first: bool
+) -> str | None:
+    """Verdict-memo key for a receptiveness check, ``None`` when caching
+    is off or either net has opaque guards.  Keyed by the semantics only
+    (STG content hashes, requested method, ``stop_at_first`` — the
+    latter changes which failures are attributed, so reports differ);
+    engine/backend/workers never change the verdict or the witnesses'
+    validity and stay provenance-only."""
+    from repro.cache import verdicts
+
+    if verdicts.active_store() is None:
+        return None
+    if not (verdicts.hashable(stg1.net) and verdicts.hashable(stg2.net)):
+        return None
+    return verdicts.semantic_key(
+        "receptiveness",
+        verdicts.stg_content_hash(stg1),
+        verdicts.stg_content_hash(stg2),
+        method,
+        bool(stop_at_first),
+    )
+
+
+def _receptiveness_restore(
+    cache_key: str, stg1: Stg, stg2: Stg, max_states: int
+) -> ReceptivenessReport | None:
+    """Rebuild a full report from a memo entry (re-running only the
+    composition, never the search), or ``None`` on miss/malformed."""
+    from repro.cache import verdicts
+
+    entry = verdicts.memo_lookup(verdicts.KIND, cache_key, max_states=max_states)
+    if entry is None:
+        return None
+    result = entry["result"]
+    try:
+        method = str(result["method"])
+        engine = str(result["engine"])
+        states = result["states_explored"]
+        with obs.record() as recorder:
+            with obs.span(
+                "verify.receptiveness", method=method, cached=True
+            ) as span:
+                composite, obligations = compose_with_obligations(stg1, stg2)
+                failures = []
+                for item in result["failures"]:
+                    marking = verdicts.marking_from(item["marking"])
+                    if marking is None:
+                        raise ValueError("failure entry without a marking")
+                    failures.append(
+                        ReceptivenessFailure(
+                            obligations[int(item["obligation"])],
+                            marking,
+                            trace=(
+                                None
+                                if item["trace"] is None
+                                else tuple(item["trace"])
+                            ),
+                            tids=(
+                                None
+                                if item["tids"] is None
+                                else tuple(item["tids"])
+                            ),
+                        )
+                    )
+                if states is not None:
+                    obs.gauge(
+                        "verify.receptiveness.states_explored", int(states)
+                    )
+                span.set(
+                    engine=engine,
+                    verdict=not failures,
+                    obligations=len(obligations),
+                    failures=len(failures),
+                )
+        report = ReceptivenessReport(
+            composite,
+            obligations,
+            failures,
+            method,
+            engine=engine,
+            states_explored=None if states is None else int(states),
+            states_reduced=(
+                None
+                if result["states_reduced"] is None
+                else int(result["states_reduced"])
+            ),
+            proviso=result["proviso"],
+            symbolic=result["symbolic"],
+            cached=True,
+        )
+        report.metrics = recorder.to_dict()
+        return report
+    except (KeyError, IndexError, TypeError, ValueError):
+        return None
+
+
+def _receptiveness_publish(
+    cache_key: str | None,
+    report: ReceptivenessReport,
+    max_states: int,
+    backend: str,
+    workers: int,
+) -> None:
+    from repro.cache import verdicts
+
+    if cache_key is None:
+        return
+    try:
+        failures = [
+            {
+                "obligation": report.obligations.index(failure.obligation),
+                "marking": verdicts.marking_items(failure.marking),
+                "trace": (
+                    None if failure.trace is None else list(failure.trace)
+                ),
+                "tids": None if failure.tids is None else list(failure.tids),
+            }
+            for failure in report.failures
+        ]
+    except ValueError:
+        return
+    verdicts.memo_store(
+        verdicts.KIND,
+        cache_key,
+        {
+            "method": report.method,
+            "engine": report.engine,
+            "states_explored": report.states_explored,
+            "states_reduced": report.states_reduced,
+            "proviso": report.proviso,
+            "symbolic": report.symbolic,
+            "failures": failures,
+        },
+        conclusive=True,
+        floor=report.states_explored or 0,
+        proven_at=max_states,
+        provenance={
+            "engine": report.engine,
+            "backend": backend,
+            "workers": workers,
+        },
+    )
 
 
 def _checked_receptiveness(

@@ -1,0 +1,217 @@
+"""Compile-cache tests (:mod:`repro.cache.compilecache`).
+
+Two properties carry the weight: a warm restore must be *exactly* the
+cold lowering (same codec, bound, certificate, index tuples — so the
+explorers behave identically), and a tampered artifact must degrade to
+a cold recompile, never to a wrong bound (the certificate is re-verified
+in exact integer arithmetic on every restore).
+"""
+
+import json
+
+import pytest
+
+from repro.cache import compilecache
+from repro.cache.content import net_content_hash
+from repro.cache.store import activated
+from repro.io.formats import load_stg
+from repro.models.library import four_phase_master
+from repro.obs import metrics as obs
+
+
+@pytest.fixture()
+def translator_net(corpus_dir):
+    return load_stg(str(corpus_dir / "fig7_translator.net")).net
+
+
+def _fields(cnet) -> tuple:
+    return (
+        cnet.place_names,
+        cnet.codec,
+        cnet.token_bound,
+        cnet.certificate,
+        cnet.tids,
+        cnet.pre,
+        cnet.consume,
+        cnet.produce,
+        cnet.initial_state,
+        cnet.initial_enabled,
+    )
+
+
+class TestRestore:
+    def test_warm_restore_equals_cold_compile(self, tmp_path, translator_net):
+        with activated(tmp_path):
+            with obs.record() as cold_rec:
+                cold = compilecache.compile_net_cached(translator_net)
+            with obs.record() as warm_rec:
+                warm = compilecache.compile_net_cached(translator_net)
+        assert _fields(cold) == _fields(warm)
+        cold_counters = cold_rec.to_dict()["counters"]
+        warm_counters = warm_rec.to_dict()["counters"]
+        assert cold_counters.get("compile.nets") == 1
+        assert "compile.nets" not in warm_counters
+        assert warm_counters.get("cache.compile.restored") == 1
+
+    def test_certificate_kinds_round_trip(self, tmp_path, corpus_paths):
+        """Every corpus net restores exactly, whatever its certificate
+        kind (conservative, LP weights, or none at all)."""
+        seen = set()
+        with activated(tmp_path):
+            for path in corpus_paths:
+                net = load_stg(str(path)).net
+                cold = compilecache.compile_net_cached(net)
+                net._compiled = None
+                warm = compilecache.compile_net_cached(net)
+                assert _fields(cold) == _fields(warm), path.name
+                certificate = cold.certificate
+                seen.add(certificate["kind"] if certificate else None)
+        assert "conservative" in seen
+        assert "weights" in seen
+
+    def test_no_store_means_cold_compile(self, translator_net):
+        with obs.record() as recorder:
+            compilecache.compile_net_cached(translator_net)
+        counters = recorder.to_dict()["counters"]
+        assert counters.get("compile.nets") == 1
+        assert "cache.hits" not in counters
+
+
+class TestTampering:
+    def artifact_path(self, store_dir, net):
+        from repro.cache.store import ArtifactStore
+
+        return ArtifactStore(store_dir).path_for(
+            compilecache.KIND, net_content_hash(net)
+        )
+
+    def tamper(self, path, mutate) -> None:
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        mutate(envelope["data"])
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda data: data["certificate"].__setitem__("weights", [1] * 26),
+            lambda data: data["certificate"].__setitem__("scale", 0),
+            lambda data: data["certificate"].__setitem__("kind", "bogus"),
+            lambda data: data.__setitem__("token_bound", 1),
+            lambda data: data.__setitem__("codec", "wide"),
+            lambda data: data.__setitem__("place_order", []),
+            lambda data: data.__setitem__("tids", [99]),
+            lambda data: data.pop("pre"),
+        ],
+        ids=[
+            "forged-weights",
+            "zero-scale",
+            "unknown-kind",
+            "forged-bound",
+            "forged-codec",
+            "wrong-places",
+            "wrong-tids",
+            "missing-field",
+        ],
+    )
+    def test_tampered_artifact_recompiles_cold(
+        self, tmp_path, translator_net, mutate
+    ):
+        with activated(tmp_path):
+            cold = compilecache.compile_net_cached(translator_net)
+            assert cold.certificate["kind"] == "weights"
+            path = self.artifact_path(tmp_path, translator_net)
+            self.tamper(path, mutate)
+            with obs.record() as recorder:
+                recovered = compilecache.compile_net_cached(translator_net)
+        assert _fields(recovered) == _fields(cold)
+        counters = recorder.to_dict()["counters"]
+        assert counters.get("cache.compiled.corrupt") == 1
+        assert counters.get("compile.nets") == 1
+
+    def test_non_invariant_weights_rejected(self, tmp_path, translator_net):
+        """Weights that are not a place invariant (w . produce >
+        w . consume somewhere) must fail the exact re-check even when
+        every shape test passes."""
+        with activated(tmp_path):
+            cold = compilecache.compile_net_cached(translator_net)
+            weights = list(cold.certificate["weights"])
+            # Inflate the weight of some produced-only place so a firing
+            # strictly increases the weighted total.
+            target = next(
+                place
+                for t in translator_net.sorted_transitions()
+                for place in t.produce
+            )
+            index = cold.place_names.index(target)
+            forged = dict(cold.certificate)
+            forged["weights"] = list(weights)
+            forged["weights"][index] = weights[index] + 64_000
+            path = self.artifact_path(tmp_path, translator_net)
+
+            def mutate(data):
+                data["certificate"] = forged
+
+            self.tamper(path, mutate)
+            recovered = compilecache.compile_net_cached(translator_net)
+        assert _fields(recovered) == _fields(cold)
+
+
+class TestMutationInvalidation:
+    """Satellite pin: ``PetriNet.compiled()`` memoizes per object and
+    every mutating method drops the memo, so no engine can ever observe
+    stale indices — with or without an artifact store active."""
+
+    def test_identity_memo(self):
+        net = four_phase_master().net
+        assert net.compiled() is net.compiled()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda net: net.add_transition(["p_new"], "act", ["q_new"]),
+            lambda net: net.remove_transition(sorted(net.transitions)[0]),
+            lambda net: net.add_place("p_extra", tokens=2),
+            lambda net: net.add_place("p_plain"),
+            lambda net: net.set_initial(dict(net.initial.items())),
+        ],
+        ids=[
+            "add_transition",
+            "remove_transition",
+            "add_place_tokens",
+            "add_place",
+            "set_initial",
+        ],
+    )
+    def test_mutations_invalidate(self, mutate):
+        net = four_phase_master().net
+        before = net.compiled()
+        mutate(net)
+        after = net.compiled()
+        assert after is not before
+        # The fresh lowering reflects the mutated net exactly.
+        assert after.place_names == tuple(sorted(net.places))
+        assert list(after.tids) == sorted(net.transitions)
+
+    def test_remove_place_invalidates(self):
+        net = four_phase_master().net
+        net.add_place("floating")
+        before = net.compiled()
+        net.remove_place("floating")
+        after = net.compiled()
+        assert after is not before
+        assert "floating" not in after.place_names
+
+    def test_stale_indices_never_served_with_store(self, tmp_path):
+        """The cross product of both caches: object-level mutation must
+        force a re-lookup, and the re-lookup must key on the *new*
+        content (a fresh artifact, not the stale one)."""
+        with activated(tmp_path):
+            net = four_phase_master().net
+            before = net.compiled()
+            added = net.add_transition(
+                [sorted(net.places)[0]], "fresh!", ["p_new"]
+            )
+            after = net.compiled()
+            assert added.tid in after.tids
+            assert added.tid not in before.tids
+            assert "p_new" in after.place_names

@@ -1,0 +1,156 @@
+"""Pins for the canonical content hash (:mod:`repro.cache.content`).
+
+The load-format invariance pin is the soundness anchor of the whole
+cache: if two formats of the same net ever hashed differently the cache
+would merely miss, but if two *different* nets ever hashed equal the
+cache would serve wrong verdicts.  So this module pins both directions
+on the checked-in corpus and on targeted mutations.
+"""
+
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+from repro.cache.content import (
+    derived_key,
+    hashable,
+    net_content_hash,
+    semantic_key,
+    stg_content_hash,
+)
+from repro.io.formats import load_stg
+from repro.models.library import four_phase_master
+from repro.stg.guards import parse_guard
+
+
+def _format_groups(corpus_paths) -> dict[str, list[Path]]:
+    groups = defaultdict(list)
+    for path in corpus_paths:
+        groups[path.stem].append(path)
+    return {stem: paths for stem, paths in groups.items() if len(paths) > 1}
+
+
+class TestFormatInvariance:
+    def test_corpus_multi_format_stems_hash_equal(self, corpus_paths):
+        """Every corpus net checked in under several formats hashes
+        identically from each of them — net and STG hash alike."""
+        groups = _format_groups(corpus_paths)
+        assert groups, "corpus no longer has multi-format instances"
+        for stem, paths in groups.items():
+            stgs = [load_stg(str(path)) for path in paths]
+            net_hashes = {net_content_hash(stg.net) for stg in stgs}
+            stg_hashes = {stg_content_hash(stg) for stg in stgs}
+            assert len(net_hashes) == 1, f"{stem}: net hashes diverge"
+            assert len(stg_hashes) == 1, f"{stem}: stg hashes diverge"
+
+    def test_corpus_distinct_nets_hash_distinct(self, corpus_paths):
+        by_stem = {}
+        for path in corpus_paths:
+            by_stem.setdefault(path.stem, path)
+        hashes = {
+            stem: net_content_hash(load_stg(str(path)).net)
+            for stem, path in by_stem.items()
+        }
+        assert len(set(hashes.values())) == len(hashes)
+
+    def test_json_roundtrip_preserves_hash(self, tmp_path, corpus_paths):
+        from repro.io.formats import save_stg
+
+        source = load_stg(str(corpus_paths[0]))
+        target = tmp_path / "roundtrip.json"
+        save_stg(source, str(target))
+        assert net_content_hash(load_stg(str(target)).net) == net_content_hash(
+            source.net
+        )
+
+
+class TestMutationSensitivity:
+    def net(self):
+        return four_phase_master().net
+
+    def test_structural_mutations_change_hash(self):
+        baseline = net_content_hash(self.net())
+
+        renamed = self.net()
+        renamed.name = "other"
+        assert net_content_hash(renamed) != baseline
+
+        extra_place = self.net()
+        extra_place.add_place("scratch")
+        assert net_content_hash(extra_place) != baseline
+
+        extra_token = self.net()
+        place = sorted(extra_token.places)[0]
+        extra_token.add_place(place, tokens=1)
+        assert net_content_hash(extra_token) != baseline
+
+        dropped = self.net()
+        dropped.remove_transition(sorted(dropped.transitions)[0])
+        assert net_content_hash(dropped) != baseline
+
+    def test_guard_changes_hash(self):
+        baseline = self.net()
+        tid = sorted(baseline.transitions)[0]
+        place = sorted(baseline.transitions[tid].preset)[0]
+        guarded = self.net()
+        guarded.set_guard(place, tid, parse_guard("a"))
+        assert net_content_hash(guarded) != net_content_hash(baseline)
+        differently = self.net()
+        differently.set_guard(place, tid, parse_guard("!a"))
+        assert net_content_hash(differently) != net_content_hash(guarded)
+
+    def test_hash_tracks_mutation_and_back(self):
+        net = self.net()
+        before = net_content_hash(net)
+        transition = net.add_transition(["x"], "t", ["y"])
+        assert net_content_hash(net) != before
+        net.remove_transition(transition.tid)
+        net.remove_place("x")
+        net.remove_place("y")
+        # The label lingers in the alphabet — and the hash covers the
+        # alphabet, so the net is still distinguishable ...
+        assert net_content_hash(net) != before
+        net.actions.discard("t")
+        # ... and only the full structural undo restores the hash.
+        assert net_content_hash(net) == before
+
+
+class TestHashability:
+    def test_guard_fragment_is_hashable(self):
+        net = four_phase_master().net
+        assert hashable(net)
+        tid = sorted(net.transitions)[0]
+        place = sorted(net.transitions[tid].preset)[0]
+        net.set_guard(place, tid, parse_guard("a & !b"))
+        assert hashable(net)
+
+    def test_opaque_guard_is_not(self):
+        net = four_phase_master().net
+        tid = sorted(net.transitions)[0]
+        place = sorted(net.transitions[tid].preset)[0]
+        net.set_guard(place, tid, lambda marking: True)
+        assert not hashable(net)
+
+    def test_method_matches_module_function(self):
+        net = four_phase_master().net
+        assert net.content_hash() == net_content_hash(net)
+
+
+class TestKeys:
+    def test_semantic_key_orders_parts(self):
+        assert semantic_key("language", "a", "b") != semantic_key(
+            "language", "b", "a"
+        )
+        assert semantic_key("language", "a", "b") == semantic_key(
+            "language", "a", "b"
+        )
+
+    def test_derived_key_separates_params(self):
+        operands = ["x" * 64, "y" * 64]
+        assert derived_key("parallel", operands, sync=None) != derived_key(
+            "parallel", operands, sync=["a"]
+        )
+        assert derived_key("parallel", operands, sync=None) != derived_key(
+            "choice", operands, sync=None
+        )

@@ -1,0 +1,193 @@
+"""Robustness tests for the artifact store (:mod:`repro.cache.store`).
+
+The invariant under test everywhere: *any* defect on the load side —
+missing, truncated, garbage, mislabeled, version-skewed — degrades to a
+cache miss (counted as ``cache.corrupt`` where a file existed), never to
+an exception or a wrong payload.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cache import store as store_mod
+from repro.cache.store import (
+    ArtifactStore,
+    activated,
+    active_store,
+    deactivated,
+    default_cache_dir,
+)
+from repro.obs import metrics as obs
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path)
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, store):
+        store.store("verdict", KEY, {"answer": 42})
+        assert store.load("verdict", KEY) == {"answer": 42}
+
+    def test_missing_is_a_miss(self, store):
+        assert store.load("verdict", KEY) is None
+
+    def test_kinds_are_disjoint(self, store):
+        store.store("verdict", KEY, {"kind": "v"})
+        assert store.load("compiled", KEY) is None
+
+    def test_fanout_layout(self, store, tmp_path):
+        store.store("verdict", KEY, {})
+        expected = (
+            tmp_path
+            / f"v{store_mod.SCHEMA_VERSION}"
+            / "verdict"
+            / KEY[:2]
+            / f"{KEY}.json"
+        )
+        assert expected.is_file()
+
+    def test_atomic_no_partial_files_left(self, store, tmp_path):
+        store.store("verdict", KEY, {"x": 1})
+        leftovers = [
+            p
+            for p in tmp_path.rglob("*")
+            if p.is_file() and not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def corrupt(self, store, text: str) -> None:
+        path = store.path_for("verdict", KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",
+            "not json at all {{{",
+            '{"schema": "cip.cache/v1", "kind": "verdict"',  # truncated
+            json.dumps({"schema": "something/else", "kind": "verdict",
+                        "key": KEY, "data": {}}),
+            json.dumps({"schema": "cip.cache/v1", "kind": "compiled",
+                        "key": KEY, "data": {}}),
+            json.dumps({"schema": "cip.cache/v1", "kind": "verdict",
+                        "key": "f" * 64, "data": {}}),
+            json.dumps({"schema": "cip.cache/v1", "kind": "verdict",
+                        "key": KEY, "data": "not a dict"}),
+            json.dumps([1, 2, 3]),
+        ],
+        ids=[
+            "empty",
+            "garbage",
+            "truncated",
+            "wrong-schema",
+            "wrong-kind",
+            "wrong-key",
+            "non-dict-data",
+            "non-dict-envelope",
+        ],
+    )
+    def test_any_defect_is_a_counted_miss(self, store, payload):
+        self.corrupt(store, payload)
+        with obs.record() as recorder:
+            assert store.load("verdict", KEY) is None
+        counters = recorder.to_dict()["counters"]
+        assert counters.get("cache.corrupt") == 1
+        assert "cache.hits" not in counters
+
+    def test_corrupt_entry_can_be_overwritten(self, store):
+        self.corrupt(store, "garbage")
+        store.store("verdict", KEY, {"fresh": True})
+        assert store.load("verdict", KEY) == {"fresh": True}
+
+
+class TestSchemaVersion:
+    def test_version_bump_orphans_old_entries(self, tmp_path, monkeypatch):
+        old = ArtifactStore(tmp_path)
+        old.store("verdict", KEY, {"era": "old"})
+        monkeypatch.setattr(
+            store_mod, "SCHEMA_VERSION", store_mod.SCHEMA_VERSION + 1
+        )
+        new = ArtifactStore(tmp_path)
+        assert new.load("verdict", KEY) is None
+        new.store("verdict", KEY, {"era": "new"})
+        assert new.load("verdict", KEY) == {"era": "new"}
+        # The old tree is untouched, merely unreachable.
+        monkeypatch.undo()
+        assert ArtifactStore(tmp_path).load("verdict", KEY) == {"era": "old"}
+
+
+class TestActivation:
+    def test_library_default_is_inactive(self):
+        assert active_store() is None
+
+    def test_activated_restores_previous(self, tmp_path):
+        with activated(tmp_path / "outer") as outer:
+            assert active_store() is outer
+            with activated(tmp_path / "inner") as inner:
+                assert active_store() is inner
+            assert active_store() is outer
+        assert active_store() is None
+
+    def test_deactivated_masks_active_store(self, tmp_path):
+        with activated(tmp_path):
+            with deactivated():
+                assert active_store() is None
+            assert active_store() is not None
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CIP_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        monkeypatch.delenv("CIP_CACHE_DIR")
+        assert default_cache_dir().name == "cip"
+
+
+def _writer(root: str, index: int) -> None:
+    store = ArtifactStore(root)
+    for round_ in range(25):
+        store.store("verdict", KEY, {"writer": index, "round": round_})
+        store.load("verdict", KEY)
+
+
+class TestConcurrency:
+    def test_racing_writers_never_corrupt(self, tmp_path):
+        """Many processes hammering one key: readers must always see a
+        complete artifact from *some* writer, never a torn one."""
+        processes = [
+            multiprocessing.Process(target=_writer, args=(str(tmp_path), i))
+            for i in range(4)
+        ]
+        for process in processes:
+            process.start()
+        store = ArtifactStore(tmp_path)
+        observed = 0
+        while any(p.is_alive() for p in processes):
+            data = store.load("verdict", KEY)
+            if data is not None:
+                assert set(data) == {"writer", "round"}
+                observed += 1
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        final = store.load("verdict", KEY)
+        assert final is not None and final["round"] == 24
+
+    def test_unwritable_root_degrades_silently(self, tmp_path):
+        # A plain file where the root should be: every mkdir/open under
+        # it fails with OSError, which must surface as silent misses
+        # (chmod tricks don't work here — the suite may run as root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way", encoding="utf-8")
+        store = ArtifactStore(blocker / "cache")
+        store.store("verdict", KEY, {"x": 1})  # swallowed
+        assert store.load("verdict", KEY) is None
+        assert blocker.read_text(encoding="utf-8") == "in the way"

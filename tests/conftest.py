@@ -6,9 +6,16 @@ always sweep the same instance set.  Regenerate the model-derived files
 with ``PYTHONPATH=src python tests/corpus/_generate.py``.
 """
 
+import os
 from pathlib import Path
 
 import pytest
+
+# Keep the suite hermetic: a developer's populated ~/.cache/cip (or a
+# CIP_CACHE_DIR pointing at one) must not leak verdicts into CLI runs
+# under test.  ``--cache-dir`` still overrides this, so the cache tests
+# opt back in explicitly with temporary directories.
+os.environ.setdefault("CIP_NO_CACHE", "1")
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 
